@@ -1,0 +1,33 @@
+# Recursive Fibonacci — exercises the call stack and the return-address
+# stack predictor. OUTs fib(2) .. fib(16).
+  .text
+main:
+  li   sp, 0x8000000
+  li   s0, 2
+next:
+  mv   a0, s0
+  call fib
+  out  a0
+  addi s0, s0, 1
+  li   t0, 17
+  blt  s0, t0, next
+  halt
+
+fib:
+  li   t0, 2
+  blt  a0, t0, fib_base
+  addi sp, sp, -24
+  sd   ra, 0(sp)
+  sd   a0, 8(sp)
+  addi a0, a0, -1
+  call fib
+  sd   a0, 16(sp)
+  ld   a0, 8(sp)
+  addi a0, a0, -2
+  call fib
+  ld   t1, 16(sp)
+  add  a0, a0, t1
+  ld   ra, 0(sp)
+  addi sp, sp, 24
+fib_base:
+  ret

@@ -1,0 +1,51 @@
+# Sum the numbers 1..100 three different ways and publish each result.
+# A minimal SRV assembly tour: loops, memory, and a function call.
+  .text
+main:
+  li   sp, 0x8000000
+
+  # 1. Straight loop.
+  li   t0, 100
+  li   t1, 0
+loop1:
+  add  t1, t1, t0
+  addi t0, t0, -1
+  bnez t0, loop1
+  out  t1                 # 5050
+
+  # 2. Through memory: fill an array then sum it.
+  la   s0, array
+  li   t0, 100
+  li   t2, 1
+fill:
+  sd   t2, 0(s0)
+  addi s0, s0, 8
+  addi t2, t2, 1
+  addi t0, t0, -1
+  bnez t0, fill
+  la   s0, array
+  li   t0, 100
+  li   t1, 0
+sum2:
+  ld   t3, 0(s0)
+  add  t1, t1, t3
+  addi s0, s0, 8
+  addi t0, t0, -1
+  bnez t0, sum2
+  out  t1                 # 5050 again
+
+  # 3. Gauss, via a helper function: n*(n+1)/2.
+  li   a0, 100
+  call gauss
+  out  a0                 # 5050 once more
+  halt
+
+gauss:
+  addi t0, a0, 1
+  mul  a0, a0, t0
+  srli a0, a0, 1
+  ret
+
+  .data
+  .align 8
+array: .space 800

@@ -1,0 +1,106 @@
+// asm_runner: assemble and run an SRV assembly file from disk.
+//
+//   $ ./build/examples/asm_runner examples/asm/hello_sum.s
+//   $ ./build/examples/asm_runner -reese 1 -trace 1 examples/asm/fib.s
+//
+// Runs the program on the golden ISS and (optionally, -pipeline 1, the
+// default) on the cycle-accurate pipeline, printing OUT values, the final
+// checksum and timing statistics. With -trace 1 every ISS instruction is
+// disassembled as it executes (first 200 shown).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "core/pipeline.h"
+#include "core/trace.h"
+#include "isa/assembler.h"
+#include "isa/executor.h"
+#include "isa/iss.h"
+
+using namespace reese;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  if (auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.error().to_string().c_str());
+    return 2;
+  }
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "usage: asm_runner [-reese 0|1] [-trace 0|1] file.s\n");
+    return 2;
+  }
+
+  std::ifstream file(flags.positional()[0]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", flags.positional()[0].c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  auto assembled = isa::assemble(buffer.str());
+  if (!assembled.ok()) {
+    std::fprintf(stderr, "%s: %s\n", flags.positional()[0].c_str(),
+                 assembled.error().to_string().c_str());
+    return 1;
+  }
+  const isa::Program program = std::move(assembled).value();
+  std::printf("assembled %zu instructions, %zu data bytes, entry 0x%llx\n",
+              program.code.size(), program.data.size(),
+              static_cast<unsigned long long>(program.entry));
+
+  const bool trace = flags.get_bool("trace", false);
+  const u64 max_instructions = flags.get_u64("instr", 10'000'000);
+
+  isa::Iss iss(program);
+  if (trace) {
+    u64 shown = 0;
+    u64 last_out_count = 0;
+    while (shown < 200) {
+      if (!program.contains_pc(iss.state().pc)) break;
+      const isa::Instruction& inst = program.at(iss.state().pc);
+      std::printf("  %06llx: %s\n",
+                  static_cast<unsigned long long>(iss.state().pc),
+                  isa::disassemble(inst).c_str());
+      if (!iss.step_one()) break;
+      if (iss.state().out_count != last_out_count) {
+        last_out_count = iss.state().out_count;
+        std::printf("  OUT -> hash now %016llx\n",
+                    static_cast<unsigned long long>(iss.state().out_hash));
+      }
+      ++shown;
+    }
+    if (shown == 200) std::printf("  ... (trace capped at 200)\n");
+  }
+  const isa::IssResult result = iss.run(max_instructions);
+  std::printf("ISS: %llu instructions, %llu OUTs, hash %016llx, %s\n",
+              static_cast<unsigned long long>(result.executed_instructions),
+              static_cast<unsigned long long>(result.out_count),
+              static_cast<unsigned long long>(result.out_hash),
+              result.halted ? "halted" : (result.bad_pc ? "BAD PC" : "budget"));
+
+  if (flags.get_bool("pipeline", true)) {
+    core::CoreConfig config = core::starting_config();
+    if (flags.get_bool("reese", false)) config = core::with_reese(config, 2);
+    core::Pipeline pipeline(program, config);
+    // -pipetrace 1: collect the last N instruction lifecycles and print a
+    // SimpleScalar-pipeview-style timeline after the run.
+    core::TimelineTracer tracer(
+        static_cast<usize>(flags.get_u64("tracecap", 48)));
+    if (flags.get_bool("pipetrace", false)) pipeline.set_tracer(&tracer);
+    pipeline.run(max_instructions, 64 * max_instructions);
+    std::printf("\npipeline (%s):\n%s", config.summary().c_str(),
+                pipeline.report().c_str());
+    if (flags.get_bool("pipetrace", false)) {
+      std::printf("\npipeline timeline (last %zu instructions; DS=dispatch "
+                  "IS=issue WB=writeback RI=r-issue RC=compare CT=commit):\n%s",
+                  tracer.rows().size(), tracer.to_string().c_str());
+    }
+    if (pipeline.arch_state().out_hash != result.out_hash) {
+      std::printf("WARNING: pipeline/ISS hash mismatch!\n");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// reese_sim: the full command-line simulator, SimpleScalar style.
+//
+//   $ ./build/examples/reese_cli -workload li -reese 1 -spare_alus 2
+//       [-instr 500000 -ruu 32 -lsq 16 -rqueue 32 -pred gshare ...]
+//
+// Flags (all optional):
+//   -config FILE       read flags from a config file (command line wins)
+//   -workload NAME     workload to run (default gcc; see -list)
+//   -list              list available workloads and exit
+//   -instr N           committed-instruction budget (default 300000)
+//   -reese 0|1         enable REESE (default 0 = baseline)
+//   -spare_alus N      extra integer ALUs for the REESE model
+//   -spare_mults N     extra integer mult/div units
+//   -ruu N -lsq N      window sizes
+//   -width N           fetch/decode/issue/commit width
+//   -ports N           memory ports
+//   -rqueue N          R-stream Queue entries
+//   -kreexec N         re-execute 1 of every N instructions
+//   -early 0|1         early release (default 1)
+//   -minsep N          enforced minimum P->R separation
+//   -pred NAME         nottaken|taken|btfn|bimodal|gshare|local|tournament
+//   -seed N            workload data seed
+//   -fault_rate F      inject faults at rate F per instruction
+#include <cstdio>
+#include <cstring>
+
+#include "common/flags.h"
+#include "faults/injector.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+using namespace reese;
+
+namespace {
+
+bool pick_predictor(const std::string& name, branch::PredictorKind* out) {
+  using branch::PredictorKind;
+  const struct {
+    const char* name;
+    PredictorKind kind;
+  } kTable[] = {
+      {"nottaken", PredictorKind::kNotTaken}, {"taken", PredictorKind::kTaken},
+      {"btfn", PredictorKind::kBtfn},         {"bimodal", PredictorKind::kBimodal},
+      {"gshare", PredictorKind::kGshare},     {"local", PredictorKind::kLocal},
+      {"tournament", PredictorKind::kTournament},
+  };
+  for (const auto& entry : kTable) {
+    if (name == entry.name) {
+      *out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  if (auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.error().to_string().c_str());
+    return 2;
+  }
+  if (flags.has("config")) {
+    if (auto loaded = flags.parse_file(flags.get_string("config", ""));
+        !loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.error().to_string().c_str());
+      return 2;
+    }
+  }
+
+  if (flags.get_bool("list", false)) {
+    std::printf("available workloads:\n");
+    for (const std::string& name : workloads::all_workload_names()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  core::CoreConfig config = core::starting_config();
+  config.ruu_size = static_cast<u32>(flags.get_u64("ruu", config.ruu_size));
+  config.lsq_size = static_cast<u32>(flags.get_u64("lsq", config.lsq_size));
+  const u32 width =
+      static_cast<u32>(flags.get_u64("width", config.issue_width));
+  config.fetch_width = config.decode_width = width;
+  config.issue_width = config.commit_width = width;
+  config.mem_port_count =
+      static_cast<u32>(flags.get_u64("ports", config.mem_port_count));
+  if (flags.has("pred")) {
+    if (!pick_predictor(flags.get_string("pred", "gshare"),
+                        &config.predictor)) {
+      std::fprintf(stderr, "unknown predictor\n");
+      return 2;
+    }
+  }
+  if (flags.get_bool("reese", false)) {
+    config = core::with_reese(
+        config, static_cast<u32>(flags.get_u64("spare_alus", 0)),
+        static_cast<u32>(flags.get_u64("spare_mults", 0)));
+    config.reese.rqueue_size =
+        static_cast<u32>(flags.get_u64("rqueue", config.reese.rqueue_size));
+    config.reese.reexec_interval =
+        static_cast<u32>(flags.get_u64("kreexec", 1));
+    config.reese.early_release = flags.get_bool("early", true);
+    config.reese.min_separation =
+        static_cast<u32>(flags.get_u64("minsep", 0));
+  }
+
+  workloads::WorkloadOptions options;
+  options.seed = flags.get_u64("seed", 0x5EED5EED);
+  auto workload =
+      workloads::make_workload(flags.get_string("workload", "gcc"), options);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s (try -list)\n",
+                 workload.error().to_string().c_str());
+    return 2;
+  }
+
+  faults::InjectorConfig fault_config;
+  fault_config.rate = flags.get_double("fault_rate", 0.0);
+  faults::Injector injector(fault_config);
+
+  sim::Simulator simulator(std::move(workload).value(), config);
+  if (fault_config.rate > 0.0) {
+    simulator.pipeline().set_fault_hook(&injector);
+  }
+
+  std::printf("workload: %s (%s)\n", simulator.workload().name.c_str(),
+              simulator.workload().mimics.c_str());
+  std::printf("config:   %s\n\n", config.summary().c_str());
+
+  const sim::SimResult result =
+      simulator.run(flags.get_u64("instr", sim::default_instruction_budget()));
+
+  std::printf("%s", simulator.pipeline().report().c_str());
+  if (fault_config.rate > 0.0) {
+    std::printf("faults: injected %llu, detected %llu (%.1f%% coverage)\n",
+                static_cast<unsigned long long>(injector.injected()),
+                static_cast<unsigned long long>(injector.detected()),
+                100.0 * injector.coverage());
+  }
+  std::printf("stop reason: %s\n", core::stop_reason_name(result.stop));
+  return 0;
+}

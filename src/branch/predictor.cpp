@@ -1,0 +1,259 @@
+#include "branch/predictor.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bitutil.h"
+
+namespace reese::branch {
+namespace {
+
+/// 2-bit saturating counter helpers; counters start weakly not-taken (1).
+constexpr u8 kWeakNotTaken = 1;
+
+u8 bump(u8 counter, bool taken) {
+  if (taken) return counter < 3 ? counter + 1 : 3;
+  return counter > 0 ? counter - 1 : 0;
+}
+
+bool counter_taken(u8 counter) { return counter >= 2; }
+
+usize require_pow2(usize n, const char* what) {
+  if (!is_pow2(n)) {
+    std::fprintf(stderr, "branch predictor: %s must be a power of two\n", what);
+    std::abort();
+  }
+  return n;
+}
+
+}  // namespace
+
+// --- Bimodal ---------------------------------------------------------------
+
+BimodalPredictor::BimodalPredictor(usize table_size)
+    : table_(require_pow2(table_size, "bimodal table"), kWeakNotTaken),
+      mask_(table_size - 1) {}
+
+BranchPrediction BimodalPredictor::predict(Addr pc) {
+  const usize index = (pc >> 2) & mask_;
+  return {counter_taken(table_[index]), index};
+}
+
+void BimodalPredictor::update(Addr, bool taken, u64 meta) {
+  table_[meta & mask_] = bump(table_[meta & mask_], taken);
+}
+
+// --- gshare ----------------------------------------------------------------
+
+GsharePredictor::GsharePredictor(unsigned history_bits)
+    : table_(usize{1} << history_bits, kWeakNotTaken),
+      history_bits_(history_bits) {
+  assert(history_bits >= 2 && history_bits <= 24);
+}
+
+usize GsharePredictor::index_of(Addr pc, u64 history) const {
+  return static_cast<usize>(((pc >> 2) ^ history) & (table_.size() - 1));
+}
+
+BranchPrediction GsharePredictor::predict(Addr pc) {
+  const u64 used_history = ghr_;
+  const bool taken = counter_taken(table_[index_of(pc, used_history)]);
+  // Speculative history update with the *predicted* outcome.
+  ghr_ = ((ghr_ << 1) | (taken ? 1 : 0)) & ((u64{1} << history_bits_) - 1);
+  return {taken, used_history};
+}
+
+void GsharePredictor::update(Addr pc, bool taken, u64 meta) {
+  u8& counter = table_[index_of(pc, meta)];
+  counter = bump(counter, taken);
+}
+
+void GsharePredictor::repair(u64 meta, bool taken) {
+  // `meta` is the global history this branch predicted with; everything
+  // shifted in since is wrong-path speculation.
+  ghr_ = ((meta << 1) | (taken ? 1 : 0)) & ((u64{1} << history_bits_) - 1);
+}
+
+// --- local two-level ---------------------------------------------------------
+
+LocalPredictor::LocalPredictor(usize history_entries, unsigned history_bits)
+    : histories_(require_pow2(history_entries, "local history table"), 0),
+      counters_(usize{1} << history_bits, kWeakNotTaken),
+      history_bits_(history_bits) {
+  assert(history_bits >= 2 && history_bits <= 16);
+}
+
+BranchPrediction LocalPredictor::predict(Addr pc) {
+  const usize h_index = (pc >> 2) & (histories_.size() - 1);
+  const u16 history = histories_[h_index];
+  const usize c_index = history & (counters_.size() - 1);
+  return {counter_taken(counters_[c_index]), c_index};
+}
+
+void LocalPredictor::update(Addr pc, bool taken, u64 meta) {
+  u8& counter = counters_[meta & (counters_.size() - 1)];
+  counter = bump(counter, taken);
+  const usize h_index = (pc >> 2) & (histories_.size() - 1);
+  histories_[h_index] = static_cast<u16>(
+      ((histories_[h_index] << 1) | (taken ? 1 : 0)) &
+      ((1u << history_bits_) - 1));
+}
+
+// --- tournament --------------------------------------------------------------
+
+namespace {
+// meta packing for the tournament: [0:31] gshare meta, [32:55] bimodal meta,
+// [56] bimodal prediction, [57] gshare prediction.
+constexpr u64 kBimodalPredBit = u64{1} << 56;
+constexpr u64 kGsharePredBit = u64{1} << 57;
+}  // namespace
+
+TournamentPredictor::TournamentPredictor(usize bimodal_size,
+                                         unsigned gshare_bits,
+                                         usize chooser_size)
+    : bimodal_(bimodal_size),
+      gshare_(gshare_bits),
+      chooser_(require_pow2(chooser_size, "chooser table"), 2),
+      chooser_mask_(chooser_size - 1) {}
+
+BranchPrediction TournamentPredictor::predict(Addr pc) {
+  const BranchPrediction bimodal = bimodal_.predict(pc);
+  const BranchPrediction gshare = gshare_.predict(pc);
+  const u8 chooser = chooser_[(pc >> 2) & chooser_mask_];
+  const bool use_gshare = chooser >= 2;
+  u64 meta = (gshare.meta & 0xFFFFFFFFULL) | ((bimodal.meta & 0xFFFFFF) << 32);
+  if (bimodal.taken) meta |= kBimodalPredBit;
+  if (gshare.taken) meta |= kGsharePredBit;
+  return {use_gshare ? gshare.taken : bimodal.taken, meta};
+}
+
+void TournamentPredictor::update(Addr pc, bool taken, u64 meta) {
+  const bool bimodal_said = (meta & kBimodalPredBit) != 0;
+  const bool gshare_said = (meta & kGsharePredBit) != 0;
+  bimodal_.update(pc, taken, (meta >> 32) & 0xFFFFFF);
+  gshare_.update(pc, taken, meta & 0xFFFFFFFFULL);
+  if (bimodal_said != gshare_said) {
+    u8& chooser = chooser_[(pc >> 2) & chooser_mask_];
+    chooser = bump(chooser, gshare_said == taken);
+  }
+}
+
+void TournamentPredictor::repair(u64 meta, bool taken) {
+  gshare_.repair(meta & 0xFFFFFFFFULL, taken);
+}
+
+// --- factory -----------------------------------------------------------------
+
+std::unique_ptr<DirectionPredictor> make_predictor(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kNotTaken:
+      return std::make_unique<StaticPredictor>(false);
+    case PredictorKind::kTaken:
+      return std::make_unique<StaticPredictor>(true);
+    case PredictorKind::kBtfn:
+      return std::make_unique<BtfnPredictor>();
+    case PredictorKind::kBimodal:
+      return std::make_unique<BimodalPredictor>();
+    case PredictorKind::kGshare:
+      return std::make_unique<GsharePredictor>();
+    case PredictorKind::kLocal:
+      return std::make_unique<LocalPredictor>();
+    case PredictorKind::kTournament:
+      return std::make_unique<TournamentPredictor>();
+  }
+  return nullptr;
+}
+
+const char* predictor_kind_name(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kNotTaken: return "nottaken";
+    case PredictorKind::kTaken: return "taken";
+    case PredictorKind::kBtfn: return "btfn";
+    case PredictorKind::kBimodal: return "bimodal";
+    case PredictorKind::kGshare: return "gshare";
+    case PredictorKind::kLocal: return "local";
+    case PredictorKind::kTournament: return "tournament";
+  }
+  return "?";
+}
+
+// --- BTB ---------------------------------------------------------------------
+
+Btb::Btb(usize entries, u32 associativity) : associativity_(associativity) {
+  if (associativity == 0 || entries % associativity != 0) {
+    std::fprintf(stderr, "btb: bad geometry\n");
+    std::abort();
+  }
+  set_count_ = require_pow2(entries / associativity, "btb set count");
+  entries_.resize(entries);
+}
+
+bool Btb::lookup(Addr pc, Addr* target) const {
+  ++lookups_;
+  ++tick_;
+  const usize set_base = ((pc >> 2) & (set_count_ - 1)) * associativity_;
+  for (u32 way = 0; way < associativity_; ++way) {
+    Entry& entry = entries_[set_base + way];
+    if (entry.valid && entry.pc == pc) {
+      ++hits_;
+      entry.stamp = tick_;
+      *target = entry.target;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Btb::update(Addr pc, Addr target) {
+  ++tick_;
+  const usize set_base = ((pc >> 2) & (set_count_ - 1)) * associativity_;
+  usize victim = 0;
+  u64 oldest = ~u64{0};
+  for (u32 way = 0; way < associativity_; ++way) {
+    Entry& entry = entries_[set_base + way];
+    if (entry.valid && entry.pc == pc) {
+      entry.target = target;
+      entry.stamp = tick_;
+      return;
+    }
+    if (!entry.valid) {
+      victim = way;
+      oldest = 0;
+    } else if (entry.stamp < oldest) {
+      oldest = entry.stamp;
+      victim = way;
+    }
+  }
+  entries_[set_base + victim] = Entry{pc, target, true, tick_};
+}
+
+// --- RAS ---------------------------------------------------------------------
+
+ReturnAddressStack::ReturnAddressStack(usize depth)
+    : stack_(depth, 0), depth_(depth) {
+  assert(depth >= 1);
+}
+
+void ReturnAddressStack::push(Addr return_address) {
+  stack_[top_ % depth_] = return_address;
+  top_ = (top_ + 1) % depth_;
+}
+
+Addr ReturnAddressStack::pop() {
+  top_ = (top_ + depth_ - 1) % depth_;
+  return stack_[top_];
+}
+
+ReturnAddressStack::Checkpoint ReturnAddressStack::checkpoint() const {
+  const usize newest = (top_ + depth_ - 1) % depth_;
+  return {top_, stack_[newest]};
+}
+
+void ReturnAddressStack::restore(const Checkpoint& checkpoint) {
+  top_ = checkpoint.top;
+  const usize newest = (top_ + depth_ - 1) % depth_;
+  stack_[newest] = checkpoint.top_value;
+}
+
+}  // namespace reese::branch

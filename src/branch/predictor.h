@@ -1,0 +1,200 @@
+// Branch direction predictors, BTB, and return-address stack.
+//
+// The paper's configuration uses gshare (McFarling, "Combining Branch
+// Predictors", DEC WRL TN-36). The zoo here also provides static schemes,
+// bimodal, a two-level local predictor and a tournament combiner for
+// ablation studies and tests.
+//
+// Interface contract: predict() may speculatively update internal global
+// history; the returned `meta` word must be passed back to update() when
+// the branch resolves (it carries the history/index the prediction used).
+// checkpoint()/restore() save and repair speculative history around
+// mispredictions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace reese::branch {
+
+struct BranchPrediction {
+  bool taken = false;
+  u64 meta = 0;  ///< implementation-defined resolve-time cookie
+};
+
+class DirectionPredictor {
+ public:
+  virtual ~DirectionPredictor() = default;
+  virtual BranchPrediction predict(Addr pc) = 0;
+  /// Called in program order when the branch resolves.
+  virtual void update(Addr pc, bool taken, u64 meta) = 0;
+  /// Speculative-history checkpointing (no-ops for history-free schemes).
+  virtual u64 checkpoint() const { return 0; }
+  virtual void restore(u64 /*checkpoint*/) {}
+  /// Misprediction repair: rewind speculative global history to the state
+  /// this branch predicted with (`meta`) and shift in the actual outcome.
+  virtual void repair(u64 /*meta*/, bool /*taken*/) {}
+  virtual std::string name() const = 0;
+};
+
+/// Always-not-taken / always-taken.
+class StaticPredictor final : public DirectionPredictor {
+ public:
+  explicit StaticPredictor(bool predict_taken) : taken_(predict_taken) {}
+  BranchPrediction predict(Addr) override { return {taken_, 0}; }
+  void update(Addr, bool, u64) override {}
+  std::string name() const override {
+    return taken_ ? "static-taken" : "static-nottaken";
+  }
+
+ private:
+  bool taken_;
+};
+
+/// Backward-taken / forward-not-taken. The core must tell it the branch
+/// displacement sign; it does so by encoding it in the pc it passes — so
+/// instead this class exposes a dedicated entry point.
+class BtfnPredictor final : public DirectionPredictor {
+ public:
+  BranchPrediction predict(Addr) override { return {false, 0}; }
+  BranchPrediction predict_with_direction(bool backward) {
+    return {backward, 0};
+  }
+  void update(Addr, bool, u64) override {}
+  std::string name() const override { return "btfn"; }
+};
+
+/// 2-bit saturating counter table indexed by PC.
+class BimodalPredictor final : public DirectionPredictor {
+ public:
+  explicit BimodalPredictor(usize table_size = 2048);
+  BranchPrediction predict(Addr pc) override;
+  void update(Addr pc, bool taken, u64 meta) override;
+  std::string name() const override { return "bimodal"; }
+
+ private:
+  std::vector<u8> table_;
+  usize mask_;
+};
+
+/// gshare: global history XOR PC indexes a 2-bit counter table. Global
+/// history is updated speculatively at predict time.
+class GsharePredictor final : public DirectionPredictor {
+ public:
+  /// `history_bits` is also log2(table size).
+  explicit GsharePredictor(unsigned history_bits = 12);
+  BranchPrediction predict(Addr pc) override;
+  void update(Addr pc, bool taken, u64 meta) override;
+  u64 checkpoint() const override { return ghr_; }
+  void restore(u64 checkpoint) override { ghr_ = checkpoint; }
+  void repair(u64 meta, bool taken) override;
+  std::string name() const override { return "gshare"; }
+
+ private:
+  usize index_of(Addr pc, u64 history) const;
+  std::vector<u8> table_;
+  unsigned history_bits_;
+  u64 ghr_ = 0;
+};
+
+/// Two-level local (PAg): per-branch history table -> pattern counter table.
+class LocalPredictor final : public DirectionPredictor {
+ public:
+  LocalPredictor(usize history_entries = 1024, unsigned history_bits = 10);
+  BranchPrediction predict(Addr pc) override;
+  void update(Addr pc, bool taken, u64 meta) override;
+  std::string name() const override { return "local2level"; }
+
+ private:
+  std::vector<u16> histories_;
+  std::vector<u8> counters_;
+  unsigned history_bits_;
+};
+
+/// McFarling tournament: bimodal + gshare with a 2-bit chooser table.
+class TournamentPredictor final : public DirectionPredictor {
+ public:
+  TournamentPredictor(usize bimodal_size = 2048, unsigned gshare_bits = 12,
+                      usize chooser_size = 2048);
+  BranchPrediction predict(Addr pc) override;
+  void update(Addr pc, bool taken, u64 meta) override;
+  u64 checkpoint() const override { return gshare_.checkpoint(); }
+  void restore(u64 checkpoint) override { gshare_.restore(checkpoint); }
+  void repair(u64 meta, bool taken) override;
+  std::string name() const override { return "tournament"; }
+
+ private:
+  BimodalPredictor bimodal_;
+  GsharePredictor gshare_;
+  std::vector<u8> chooser_;
+  usize chooser_mask_;
+};
+
+enum class PredictorKind : u8 {
+  kNotTaken,
+  kTaken,
+  kBtfn,
+  kBimodal,
+  kGshare,
+  kLocal,
+  kTournament,
+};
+
+std::unique_ptr<DirectionPredictor> make_predictor(PredictorKind kind);
+const char* predictor_kind_name(PredictorKind kind);
+
+// ---------------------------------------------------------------------------
+
+/// Branch target buffer: tagged, set-associative, LRU.
+class Btb {
+ public:
+  Btb(usize entries = 512, u32 associativity = 4);
+
+  /// Target for `pc` if present; a hit refreshes the entry's LRU stamp.
+  bool lookup(Addr pc, Addr* target) const;
+  void update(Addr pc, Addr target);
+
+  u64 lookups() const { return lookups_; }
+  u64 hits() const { return hits_; }
+
+ private:
+  struct Entry {
+    Addr pc = 0;
+    Addr target = 0;
+    bool valid = false;
+    u64 stamp = 0;
+  };
+  mutable std::vector<Entry> entries_;
+  usize set_count_;
+  u32 associativity_;
+  mutable u64 tick_ = 0;
+  mutable u64 lookups_ = 0;
+  mutable u64 hits_ = 0;
+};
+
+/// Return-address stack with single-entry repair (standard TOS checkpoint).
+class ReturnAddressStack {
+ public:
+  explicit ReturnAddressStack(usize depth = 16);
+
+  void push(Addr return_address);
+  /// Pops and returns the predicted return target; 0 if empty.
+  Addr pop();
+
+  struct Checkpoint {
+    usize top;
+    Addr top_value;
+  };
+  Checkpoint checkpoint() const;
+  void restore(const Checkpoint& checkpoint);
+
+ private:
+  std::vector<Addr> stack_;
+  usize top_ = 0;  ///< index one past the newest entry, wraps
+  usize depth_;
+};
+
+}  // namespace reese::branch

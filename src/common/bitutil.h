@@ -1,0 +1,59 @@
+// Small bit-manipulation helpers shared by the ISA encoder, caches and the
+// fault injector.
+#pragma once
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.h"
+
+namespace reese {
+
+/// Sign-extend the low `bits` bits of `value` to 64 bits.
+constexpr i64 sign_extend(u64 value, unsigned bits) {
+  assert(bits >= 1 && bits <= 64);
+  if (bits == 64) return static_cast<i64>(value);
+  const u64 mask = (u64{1} << bits) - 1;
+  const u64 sign = u64{1} << (bits - 1);
+  const u64 v = value & mask;
+  return static_cast<i64>((v ^ sign) - sign);
+}
+
+/// Extract bits [lo, lo+len) of `value`.
+constexpr u64 extract_bits(u64 value, unsigned lo, unsigned len) {
+  assert(len >= 1 && len <= 64 && lo < 64);
+  const u64 shifted = value >> lo;
+  if (len == 64) return shifted;
+  return shifted & ((u64{1} << len) - 1);
+}
+
+/// True iff `value` fits in a signed `bits`-bit immediate.
+constexpr bool fits_signed(i64 value, unsigned bits) {
+  assert(bits >= 1 && bits <= 63);
+  const i64 lo = -(i64{1} << (bits - 1));
+  const i64 hi = (i64{1} << (bits - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+/// True iff `value` fits in an unsigned `bits`-bit field.
+constexpr bool fits_unsigned(u64 value, unsigned bits) {
+  assert(bits >= 1 && bits <= 63);
+  return value < (u64{1} << bits);
+}
+
+/// True iff `value` is a power of two (zero is not).
+constexpr bool is_pow2(u64 value) { return std::has_single_bit(value); }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(u64 value) {
+  assert(is_pow2(value));
+  return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/// Flip bit `bit` of `value` — the fault injector's primitive.
+constexpr u64 flip_bit(u64 value, unsigned bit) {
+  assert(bit < 64);
+  return value ^ (u64{1} << bit);
+}
+
+}  // namespace reese

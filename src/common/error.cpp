@@ -1,0 +1,22 @@
+#include "common/error.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace reese {
+
+std::string Error::to_string() const {
+  if (line > 0) return "line " + std::to_string(line) + ": " + message;
+  return message;
+}
+
+Error errorf(const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return Error{std::string(buf), 0};
+}
+
+}  // namespace reese

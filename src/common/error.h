@@ -1,0 +1,52 @@
+// Lightweight error type + Result<T> for fallible tool-side operations
+// (assembling, config parsing, workload construction).
+//
+// The simulator hot path never constructs these; internal invariant
+// violations there are asserts. Result is used at module boundaries where a
+// caller-facing message matters (the C++ Core Guidelines E.* rules: use
+// exceptions or expected-style returns for errors, asserts for bugs — we use
+// the expected style since the hot loop is built with -fno-exceptions-like
+// discipline).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/types.h"
+
+namespace reese {
+
+/// A human-readable error with an optional source location (line number for
+/// assembler diagnostics).
+struct Error {
+  std::string message;
+  int line = 0;  ///< 1-based source line; 0 when not applicable.
+
+  std::string to_string() const;
+};
+
+Error errorf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Minimal expected-like result. C++20 has no std::expected; this covers the
+/// subset the codebase needs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & { return std::get<T>(storage_); }
+  const T& value() const& { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  const Error& error() const { return std::get<Error>(storage_); }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+}  // namespace reese

@@ -1,0 +1,7 @@
+// SplitMix64 is header-only; this translation unit exists so the common
+// library has a stable archive even if all other members become header-only.
+#include "common/rng.h"
+
+namespace reese {
+// Intentionally empty.
+}  // namespace reese

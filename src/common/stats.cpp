@@ -1,0 +1,106 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace reese {
+
+double safe_ratio(u64 numerator, u64 denominator) {
+  if (denominator == 0) return 0.0;
+  return static_cast<double>(numerator) / static_cast<double>(denominator);
+}
+
+Histogram::Histogram(u64 bucket_width, usize bucket_count)
+    : bucket_width_(bucket_width), buckets_(bucket_count, 0) {
+  assert(bucket_width >= 1);
+  assert(bucket_count >= 1);
+}
+
+void Histogram::add(u64 sample) {
+  const u64 index = sample / bucket_width_;
+  if (index < buckets_.size()) {
+    ++buckets_[index];
+  } else {
+    ++overflow_;
+  }
+  ++count_;
+  sum_ += sample;
+  min_ = std::min(min_, sample);
+  max_ = std::max(max_, sample);
+}
+
+u64 Histogram::percentile(double fraction) const {
+  if (count_ == 0) return 0;
+  const u64 target = static_cast<u64>(fraction * static_cast<double>(count_));
+  u64 seen = 0;
+  for (usize i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return (i + 1) * bucket_width_ - 1;
+  }
+  return max_;
+}
+
+std::string Histogram::to_string(const std::string& label) const {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "%s: n=%llu mean=%.2f min=%llu p50=%llu p95=%llu max=%llu",
+                label.c_str(), static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(percentile(0.50)),
+                static_cast<unsigned long long>(percentile(0.95)),
+                static_cast<unsigned long long>(max_));
+  std::string out(line);
+
+  // Sparkline over finite buckets.
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  u64 peak = overflow_;
+  for (u64 b : buckets_) peak = std::max(peak, b);
+  if (peak > 0) {
+    out += "\n  [";
+    for (u64 b : buckets_) {
+      const usize level = (b == 0) ? 0 : 1 + (b * 6) / peak;
+      out += kLevels[std::min<usize>(level, 7)];
+    }
+    out += "]";
+    if (overflow_ > 0) {
+      out += " +" + std::to_string(overflow_) + " overflow";
+    }
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  overflow_ = 0;
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~u64{0};
+  max_ = 0;
+}
+
+void RunningStat::add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+}
+
+double RunningStat::mean() const {
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
+}
+
+void RunningStat::reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace reese

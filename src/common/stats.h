@@ -1,0 +1,77 @@
+// Statistics primitives: counters with ratio helpers, fixed-bucket
+// histograms, and a running mean/max accumulator.
+//
+// Every architectural component (caches, predictors, pipeline, R-stream
+// queue) exposes its activity through these so the experiment harness can
+// print uniform reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace reese {
+
+/// Ratio helper that is safe for zero denominators.
+double safe_ratio(u64 numerator, u64 denominator);
+
+/// A histogram over u64 samples with caller-defined bucket width. Samples
+/// beyond the last bucket accumulate in an overflow bucket. Used for P→R
+/// separation, queue-occupancy and latency distributions.
+class Histogram {
+ public:
+  /// `bucket_width` samples per bucket, `bucket_count` finite buckets.
+  Histogram(u64 bucket_width, usize bucket_count);
+
+  void add(u64 sample);
+
+  u64 count() const { return count_; }
+  u64 sum() const { return sum_; }
+  u64 min() const { return count_ == 0 ? 0 : min_; }
+  u64 max() const { return max_; }
+  double mean() const { return safe_ratio(sum_, count_); }
+
+  u64 bucket_width() const { return bucket_width_; }
+  /// Finite buckets; buckets().back() is NOT the overflow bucket.
+  const std::vector<u64>& buckets() const { return buckets_; }
+  u64 overflow() const { return overflow_; }
+
+  /// Smallest sample value v such that at least `fraction` of samples are
+  /// <= v, computed from bucket upper bounds (approximate).
+  u64 percentile(double fraction) const;
+
+  /// Multi-line human-readable rendering (label, mean, p50/p95, sparkline).
+  std::string to_string(const std::string& label) const;
+
+  void reset();
+
+ private:
+  u64 bucket_width_;
+  std::vector<u64> buckets_;
+  u64 overflow_ = 0;
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = ~u64{0};
+  u64 max_ = 0;
+};
+
+/// Running mean/min/max of double-valued samples (per-cycle occupancies,
+/// utilizations).
+class RunningStat {
+ public:
+  void add(double sample);
+  u64 count() const { return count_; }
+  double mean() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  void reset();
+
+ private:
+  u64 count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace reese

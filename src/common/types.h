@@ -1,0 +1,29 @@
+// Fixed-width integer aliases used throughout the REESE codebase.
+//
+// The simulator models a 64-bit machine: architectural registers are u64,
+// addresses are u64, instruction words are u32.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reese {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Simulated byte address.
+using Addr = u64;
+/// Simulation cycle number.
+using Cycle = u64;
+/// Monotonically increasing instruction sequence number (program order).
+using InstSeq = u64;
+
+}  // namespace reese

@@ -1,0 +1,65 @@
+// Die-area cost model for the paper's §7 cost/benefit discussion.
+//
+// The paper argues: "Depending on its size, the R-stream Queue requires
+// slightly more area than the RUU. If the RUU takes up 10% of the die
+// area, then we can expect REESE to add a total of about 20% to the die
+// area." This model makes that arithmetic explicit and configurable so
+// the cost/benefit table (area overhead vs residual IPC overhead) can be
+// regenerated for any configuration.
+//
+// Units are relative: one baseline starting-configuration die == 100.
+// The RUU anchor (10% of die per 16 entries) comes straight from §7; the
+// remaining coefficients are engineering estimates in the same spirit and
+// are exposed for sensitivity analysis.
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+
+namespace reese::core {
+
+struct AreaCoefficients {
+  /// §7 anchor: a 16-entry RUU occupies 10% of the baseline die.
+  double ruu_pct_of_die = 10.0;
+  u32 ruu_ref_entries = 16;
+
+  /// An R-stream Queue entry is "slightly" larger than an RUU entry (it
+  /// carries operands + result but no rename state); §7 says the whole
+  /// queue needs slightly more area than the RUU.
+  double rqueue_entry_vs_ruu_entry = 1.1;
+
+  /// Integer ALU area relative to one RUU entry ("ALUs are relatively
+  /// inexpensive additions", §7).
+  double int_alu_vs_ruu_entry = 1.5;
+  double int_mult_vs_ruu_entry = 6.0;
+  double mem_port_vs_ruu_entry = 4.0;
+
+  /// Comparator + forwarding + scheduling logic, as a fraction of the
+  /// R-queue area ("very little hardware will be needed", §4.3).
+  double glue_fraction_of_rqueue = 0.15;
+};
+
+struct AreaEstimate {
+  double baseline_die = 100.0;  ///< by construction
+  double rqueue_area = 0.0;
+  double spare_fu_area = 0.0;
+  double glue_area = 0.0;
+
+  double total_added() const {
+    return rqueue_area + spare_fu_area + glue_area;
+  }
+  /// Percent added to the baseline die.
+  double overhead_pct() const { return total_added(); }
+};
+
+/// Estimate the die-area cost of `config`'s REESE additions relative to
+/// `baseline` (same machine without REESE or spares).
+AreaEstimate estimate_area(const CoreConfig& baseline,
+                           const CoreConfig& config,
+                           const AreaCoefficients& coefficients = {});
+
+/// One-line rendering.
+std::string area_report(const AreaEstimate& estimate);
+
+}  // namespace reese::core

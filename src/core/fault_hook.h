@@ -1,0 +1,43 @@
+// Interface between the pipeline and the fault-injection framework.
+//
+// The pipeline asks the hook, once per instruction leaving the RUU toward
+// commit, whether to corrupt that instruction's stored P result or its
+// recomputed R result; it reports back whether the REESE comparator caught
+// the corruption. Keeping this as an interface lets src/core stay
+// independent of src/faults.
+//
+// Injection is *measurement-only*: the architectural (functional) state is
+// never corrupted, so a campaign can measure coverage and detection latency
+// on a live workload without needing architectural rollback. See DESIGN.md.
+#pragma once
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace reese::core {
+
+struct FaultDecision {
+  bool flip_p = false;   ///< corrupt the stored P-stream result copy
+  bool flip_r = false;   ///< corrupt the R-stream recomputation result
+  unsigned bit = 0;      ///< which bit of the 64-bit value to flip
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Called when instruction `seq` leaves the out-of-order window on its
+  /// way to commit (REESE: R-queue entry creation; baseline: commit).
+  virtual FaultDecision on_instruction(InstSeq seq, Cycle now,
+                                       const isa::Instruction& inst) = 0;
+
+  /// The comparator flagged a mismatch for a faulted instruction.
+  virtual void on_detected(InstSeq seq, Cycle injected_at,
+                           Cycle detected_at) = 0;
+
+  /// A faulted instruction committed without any comparison catching it
+  /// (baseline processor, or a non-re-executed instruction in partial mode).
+  virtual void on_undetected(InstSeq seq) = 0;
+};
+
+}  // namespace reese::core

@@ -1,0 +1,68 @@
+// Functional-unit pool: arbitrates per-cycle access to integer ALUs,
+// integer multiplier/dividers, FP adders, FP multipliers and memory ports.
+//
+// Pipelined units accept a new operation every cycle (issue latency 1) even
+// while earlier operations are still in flight; unpipelined units (divide,
+// sqrt) are busy for their whole latency. A unit is modelled by the next
+// cycle at which it can accept an operation.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+#include "isa/opcode.h"
+
+namespace reese::core {
+
+enum class FuKind : u8 { kIntAlu, kIntMult, kFpAlu, kFpMult, kMemPort, kCount };
+constexpr usize kFuKindCount = static_cast<usize>(FuKind::kCount);
+
+const char* fu_kind_name(FuKind kind);
+
+/// Resolved latency/resource requirements of one operation.
+struct OpTiming {
+  FuKind fu = FuKind::kIntAlu;
+  u32 result_latency = 1;  ///< cycles until the result is available
+  u32 issue_latency = 1;   ///< cycles the unit is blocked (== result for
+                           ///< unpipelined ops)
+};
+
+/// Map an exec class to its unit + latencies under `config`. kLoad returns
+/// the port requirements only — cache latency is added by the caller.
+/// kStore/kNone map to a 1-cycle IntALU-free completion (see pipeline.cpp).
+OpTiming op_timing(isa::ExecClass exec_class, const CoreConfig& config);
+
+class FuPool {
+ public:
+  explicit FuPool(const CoreConfig& config);
+
+  /// Try to claim a unit of `kind` at cycle `now` for `issue_latency`
+  /// cycles. Returns false if every unit of that kind is busy.
+  bool try_acquire(FuKind kind, Cycle now, u32 issue_latency);
+
+  /// True if a unit of `kind` could be claimed at `now` (no side effects).
+  /// Used to check multi-resource operations before claiming anything.
+  bool can_acquire(FuKind kind, Cycle now) const;
+
+  u32 unit_count(FuKind kind) const {
+    return static_cast<u32>(next_free_[static_cast<usize>(kind)].size());
+  }
+
+  /// Operations accepted per kind since construction (utilization stats).
+  u64 ops_issued(FuKind kind) const {
+    return ops_issued_[static_cast<usize>(kind)];
+  }
+
+  /// Mean utilization of `kind` over `cycles`: ops issued per unit-cycle.
+  /// (For pipelined units this equals occupancy of the issue port, the
+  /// quantity the paper's "idle capacity" argument is about.)
+  double utilization(FuKind kind, Cycle cycles) const;
+
+ private:
+  std::array<std::vector<Cycle>, kFuKindCount> next_free_;
+  std::array<u64, kFuKindCount> ops_issued_{};
+};
+
+}  // namespace reese::core

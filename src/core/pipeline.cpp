@@ -1,0 +1,716 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strutil.h"
+
+namespace reese::core {
+
+using isa::ExecClass;
+using isa::Opcode;
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::kCommitTarget: return "commit-target";
+    case StopReason::kHalted: return "halted";
+    case StopReason::kBadPc: return "bad-pc";
+    case StopReason::kCycleLimit: return "cycle-limit";
+  }
+  return "?";
+}
+
+std::string CoreConfig::summary() const {
+  std::string s = format(
+      "width=%u ifq=%u ruu=%u lsq=%u ialu=%u imult=%u ports=%u pred=%s",
+      issue_width, ifq_size, ruu_size, lsq_size, int_alu_count,
+      int_mult_count, mem_port_count,
+      branch::predictor_kind_name(predictor));
+  if (reese.enabled) {
+    if (reese.scheme == RedundancyScheme::kFranklin) {
+      s += " FRANKLIN[dual-exec]";
+    } else {
+      s += format(" REESE[rq=%u early=%d k=%u]", reese.rqueue_size,
+                  reese.early_release ? 1 : 0, reese.reexec_interval);
+    }
+  }
+  return s;
+}
+
+CoreConfig starting_config() { return CoreConfig{}; }
+
+CoreConfig with_reese(CoreConfig base, u32 spare_alus, u32 spare_mults) {
+  base.reese.enabled = true;
+  base.int_alu_count += spare_alus;
+  base.int_mult_count += spare_mults;
+  return base;
+}
+
+// ---------------------------------------------------------------------------
+// Construction / run loop
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Create-vector size: 32 integer + 32 FP architectural registers.
+constexpr usize kCvSize = isa::kIntRegCount + isa::kFpRegCount;
+
+usize cv_key(u8 reg, bool fp) { return fp ? isa::kIntRegCount + reg : reg; }
+
+}  // namespace
+
+Pipeline::Pipeline(const isa::Program& program, const CoreConfig& config)
+    : program_(program),
+      config_(config),
+      hierarchy_(std::make_unique<mem::Hierarchy>(config.memory)),
+      fu_pool_(config),
+      direction_(branch::make_predictor(config.predictor)),
+      btb_(config.btb_entries, config.btb_associativity),
+      ras_(config.ras_depth),
+      rqueue_(config.reese.rqueue_size) {
+  assert(config_.ruu_size >= 2 && config_.lsq_size >= 1);
+  if (config_.predictor == branch::PredictorKind::kGshare) {
+    direction_ =
+        std::make_unique<branch::GsharePredictor>(config_.gshare_history_bits);
+  }
+  ruu_.resize(config_.ruu_size);
+  lsq_.resize(config_.lsq_size);
+  cv_.assign(kCvSize, RuuRef{});
+  spec_cv_.assign(kCvSize, RuuRef{});
+
+  program_.load_data(&memory_);
+  front_state_.pc = program_.entry;
+  front_state_.set_x(isa::kSpReg, isa::kDefaultStackTop);
+  front_state_.set_x(isa::kGpReg, program_.data_base);
+  fetch_pc_ = program_.entry;
+  ifq_.reserve(config_.ifq_size);
+}
+
+Pipeline::~Pipeline() = default;
+
+StopReason Pipeline::run(u64 commit_target, Cycle cycle_limit) {
+  const Cycle start = now_;
+  while (stats_.committed < commit_target) {
+    if (halted_) return StopReason::kHalted;
+    if (bad_pc_) return StopReason::kBadPc;
+    if (now_ - start >= cycle_limit) return StopReason::kCycleLimit;
+    cycle();
+  }
+  return StopReason::kCommitTarget;
+}
+
+void Pipeline::cycle() {
+  stage_commit();
+  stage_writeback();
+  stage_issue();
+  stage_dispatch();
+  stage_fetch();
+
+  stats_.ruu_occupancy.add(static_cast<double>(ruu_count_));
+  stats_.lsq_occupancy.add(static_cast<double>(lsq_count_));
+  stats_.ifq_occupancy.add(static_cast<double>(ifq_.size()));
+  if (config_.reese.enabled) {
+    stats_.rqueue_occupancy.add(static_cast<double>(rqueue_.size()));
+  }
+
+  ++now_;
+  ++stats_.cycles;
+}
+
+isa::DataSpace& Pipeline::active_data_space() {
+  if (spec_mode_) return spec_overlay_;
+  return direct_space_;
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------------
+
+void Pipeline::predict_control(FetchedInst* fetched) {
+  const Opcode op = fetched->inst.op;
+  const Addr pc = fetched->pc;
+  const Addr fallthrough = pc + 4;
+
+  if (op == Opcode::kJal) {
+    // Direct target is computable at fetch from the decoded instruction.
+    fetched->predicted_taken = true;
+    fetched->predicted_next = pc + 4 * static_cast<u64>(fetched->inst.imm);
+    if (fetched->inst.rd == isa::kRaReg) ras_.push(fallthrough);
+  } else if (op == Opcode::kJalr) {
+    const bool is_return = fetched->inst.rs1 == isa::kRaReg &&
+                           fetched->inst.rd == isa::kZeroReg;
+    Addr target = 0;
+    if (is_return) {
+      target = ras_.pop();
+      fetched->predicted_taken = true;
+      fetched->predicted_next = target;
+    } else if (btb_.lookup(pc, &target)) {
+      fetched->predicted_taken = true;
+      fetched->predicted_next = target;
+    } else {
+      // No target available: fetch falls through and the jump will repair
+      // at dispatch (counts as a misprediction).
+      fetched->predicted_taken = false;
+      fetched->predicted_next = fallthrough;
+    }
+    if (fetched->inst.rd == isa::kRaReg) ras_.push(fallthrough);
+  } else {
+    // Conditional branch.
+    bool taken = false;
+    switch (config_.predictor) {
+      case branch::PredictorKind::kNotTaken:
+        taken = false;
+        break;
+      case branch::PredictorKind::kTaken:
+        taken = true;
+        break;
+      case branch::PredictorKind::kBtfn:
+        taken = fetched->inst.imm < 0;
+        break;
+      default: {
+        const branch::BranchPrediction prediction = direction_->predict(pc);
+        taken = prediction.taken;
+        fetched->pred_meta = prediction.meta;
+        fetched->used_direction_predictor = true;
+        break;
+      }
+    }
+    fetched->predicted_taken = taken;
+    fetched->predicted_next =
+        taken ? pc + 4 * static_cast<u64>(fetched->inst.imm) : fallthrough;
+  }
+  fetched->ras_checkpoint = ras_.checkpoint();
+}
+
+void Pipeline::stage_fetch() {
+  if (fetch_done_ || halted_ || bad_pc_) return;
+  if (now_ < fetch_stall_until_) {
+    ++stats_.icache_stall_cycles;
+    return;
+  }
+  if (ifq_.size() >= config_.ifq_size) {
+    ++stats_.ifq_full_stall_cycles;
+    return;
+  }
+
+  // One I-cache access covers this cycle's fetch block.
+  const u32 latency = hierarchy_->inst_access(fetch_pc_);
+  if (latency > config_.memory.il1.hit_latency) {
+    fetch_stall_until_ = now_ + (latency - config_.memory.il1.hit_latency);
+    ++stats_.icache_stall_cycles;
+    return;
+  }
+
+  for (u32 fetched_count = 0;
+       fetched_count < config_.fetch_width && ifq_.size() < config_.ifq_size;
+       ++fetched_count) {
+    FetchedInst fetched;
+    fetched.pc = fetch_pc_;
+    fetched.predicted_next = fetch_pc_ + 4;
+    if (program_.contains_pc(fetch_pc_)) {
+      fetched.inst = program_.at(fetch_pc_);
+    } else {
+      // Wrong-path fetch beyond the text segment: fabricate a bubble.
+      fetched.inst = isa::Instruction{};  // NOP
+      fetched.is_pad = true;
+    }
+
+    const bool is_control = isa::is_control(fetched.inst.op);
+    if (is_control) predict_control(&fetched);
+
+    fetch_pc_ = fetched.predicted_next;
+    ifq_.push_back(fetched);
+    ++stats_.fetched;
+
+    // A predicted-taken control transfer ends the fetch block.
+    if (is_control && fetched.predicted_taken) break;
+    // Stop fetching past HALT on what fetch believes is the path.
+    if (fetched.inst.op == Opcode::kHalt) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void Pipeline::execute_at_dispatch(RuuEntry* entry) {
+  isa::ArchState* state = spec_mode_ ? &spec_state_ : &front_state_;
+  state->pc = entry->pc;
+  const isa::StepOut out = isa::step(state, entry->inst, &active_data_space());
+  entry->rs1_value = out.rs1_value;
+  entry->rs2_value = out.rs2_value;
+  entry->result = out.result;
+  entry->mem_addr = out.compute.addr;
+  entry->taken = out.compute.taken;
+  entry->actual_next = out.next_pc;
+}
+
+void Pipeline::link_dependencies(RuuEntry* entry, u32 slot_index) {
+  std::vector<RuuRef>& cv = spec_mode_ ? spec_cv_ : cv_;
+  const isa::OpInfo& info = entry->inst.info();
+
+  auto link_operand = [&](u8 reg, bool fp, u8 operand_index) {
+    if (!fp && reg == isa::kZeroReg) return;
+    const RuuRef producer = cv[cv_key(reg, fp)];
+    if (!ref_alive(producer)) return;
+    // The value is available once the *first* execution finished — under
+    // the Franklin scheme the entry stays incomplete through its duplicate
+    // execution, but its result forwards after the first one.
+    const RuuEntry& producer_entry = ruu_[producer.slot];
+    if (!producer_entry.completed && !producer_entry.first_done) {
+      entry->dep_ready[operand_index] = false;
+      ruu_[producer.slot].consumers.push_back(
+          Consumer{{slot_index, entry->gen}, operand_index});
+    }
+  };
+
+  if (info.reads_rs1) link_operand(entry->inst.rs1, info.is_fp_rs1, 0);
+  if (info.reads_rs2) link_operand(entry->inst.rs2, info.is_fp_rs2, 1);
+  if (info.writes_rd && !(entry->inst.rd == isa::kZeroReg && !info.is_fp_rd)) {
+    cv[cv_key(entry->inst.rd, info.is_fp_rd)] =
+        RuuRef{slot_index, entry->gen};
+  }
+}
+
+void Pipeline::enter_spec_mode() {
+  spec_mode_ = true;
+  spec_state_ = front_state_;
+  spec_overlay_.clear();
+  // Wrong-path dispatches must see the same in-flight producers the true
+  // path created so far.
+  spec_cv_ = cv_;
+}
+
+void Pipeline::stage_dispatch() {
+  u32 dispatched_count = 0;
+  while (dispatched_count < config_.decode_width && !ifq_.empty()) {
+    const FetchedInst& fetched = ifq_.front();
+
+    if (ruu_full()) {
+      ++stats_.ruu_full_stalls;
+      break;
+    }
+    const bool is_mem = isa::is_mem(fetched.inst.op);
+    if (is_mem && lsq_count_ == config_.lsq_size) {
+      ++stats_.lsq_full_stalls;
+      break;
+    }
+
+    if (!spec_mode_) {
+      if (fetched.is_pad || !program_.contains_pc(fetched.pc)) {
+        // The true path left the text segment: a program bug, not a
+        // misprediction. Stop the machine.
+        bad_pc_ = true;
+        return;
+      }
+      assert(front_state_.pc == fetched.pc &&
+             "true-path fetch stream diverged without a detected mispredict");
+    }
+
+    // Allocate the RUU slot at the tail.
+    const u32 slot_index = (ruu_head_ + ruu_count_) % config_.ruu_size;
+    ++ruu_count_;
+    RuuEntry& entry = ruu_[slot_index];
+    const u32 next_gen = entry.gen + 1;
+    entry = RuuEntry{};
+    entry.valid = true;
+    entry.gen = next_gen;
+    entry.inst = fetched.inst;
+    entry.pc = fetched.pc;
+    // Sequence numbers count *true-path* instructions only, so they are
+    // pure program order — independent of timing and squash behaviour.
+    // (Fault schedules rely on this; wrong-path entries reuse the next
+    // number but never reach any consumer of it.)
+    entry.seq = next_seq_;
+    if (!spec_mode_) ++next_seq_;
+    entry.spec = spec_mode_;
+    entry.is_control = isa::is_control(fetched.inst.op);
+    entry.predicted_next = fetched.predicted_next;
+    entry.used_direction_predictor = fetched.used_direction_predictor;
+    entry.pred_meta = fetched.pred_meta;
+    entry.ras_checkpoint = fetched.ras_checkpoint;
+    entry.dispatch_cycle = now_;
+
+    execute_at_dispatch(&entry);
+
+    if (is_mem) {
+      lsq_[(lsq_head_ + lsq_count_) % config_.lsq_size] = slot_index;
+      ++lsq_count_;
+    }
+    link_dependencies(&entry, slot_index);
+
+    ++stats_.dispatched;
+    if (entry.spec) ++stats_.wrongpath_dispatched;
+    trace(TraceKind::kDispatch, entry.seq, entry.pc, entry.inst, entry.spec);
+    ++dispatched_count;
+
+    const bool was_spec = entry.spec;
+    if (!was_spec && entry.actual_next != entry.predicted_next) {
+      // Mispredicted control transfer (or a non-control modelling bug —
+      // sequential instructions always match). Recovery happens when this
+      // entry reaches writeback; until then the wrong path executes.
+      assert(entry.is_control);
+      entry.mispredicted = true;
+      spec_branch_slot_ = slot_index;
+      enter_spec_mode();
+    }
+
+    if (!was_spec && entry.inst.op == Opcode::kHalt) {
+      // True-path HALT: nothing after it may dispatch or fetch.
+      fetch_done_ = true;
+      ifq_.clear();
+      return;
+    }
+
+    ifq_.erase(ifq_.begin());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------------
+
+Pipeline::LoadPlan Pipeline::plan_load(u32 ruu_slot) {
+  const RuuEntry& load = ruu_[ruu_slot];
+  if (!load.dep_ready[0]) return LoadPlan::kBlocked;
+  const Addr load_begin = load.mem_addr;
+  const Addr load_end = load_begin + load.inst.info().mem_bytes;
+
+  // Scan older LSQ entries from youngest to oldest; the youngest
+  // overlapping store decides.
+  u32 position_of_load = 0;
+  bool found = false;
+  for (u32 position = 0; position < lsq_count_; ++position) {
+    if (lsq_[(lsq_head_ + position) % config_.lsq_size] == ruu_slot) {
+      position_of_load = position;
+      found = true;
+      break;
+    }
+  }
+  assert(found && "load missing from LSQ");
+  (void)found;
+
+  for (u32 position = position_of_load; position > 0; --position) {
+    const u32 store_slot = lsq_[(lsq_head_ + position - 1) % config_.lsq_size];
+    const RuuEntry& store = ruu_[store_slot];
+    if (!store.is_store()) continue;
+    if (!store.dep_ready[0]) return LoadPlan::kBlocked;  // address unknown
+    const Addr store_begin = store.mem_addr;
+    const Addr store_end = store_begin + store.inst.info().mem_bytes;
+    const bool overlap = store_begin < load_end && load_begin < store_end;
+    if (!overlap) continue;
+    const bool covers = store_begin <= load_begin && store_end >= load_end;
+    if (covers) {
+      // Store-to-load forwarding once the store data is ready.
+      return store.dep_ready[1] ? LoadPlan::kForward : LoadPlan::kBlocked;
+    }
+    // Partial overlap: wait until the store has fully executed, then go to
+    // the cache.
+    return store.completed ? LoadPlan::kCache : LoadPlan::kBlocked;
+  }
+  return LoadPlan::kCache;
+}
+
+void Pipeline::stage_issue() {
+  u32 budget = config_.issue_width;
+
+  const bool reese_scheme =
+      config_.reese.enabled &&
+      config_.reese.scheme == RedundancyScheme::kReese;
+  const bool r_priority = reese_scheme && reese_priority();
+  if (r_priority) {
+    ++stats_.rpriority_cycles;
+    reese_issue(&budget);
+  }
+
+  // P-stream issue: program order over the RUU.
+  for (u32 position = 0; position < ruu_count_ && budget > 0; ++position) {
+    const u32 slot_index = ruu_index_at(position);
+    RuuEntry& entry = ruu_[slot_index];
+    if (!entry.valid || entry.issued || entry.completed) continue;
+
+    if (entry.first_done) {
+      // Franklin scheme: the duplicate execution competes for leftover
+      // capacity under the R-stream resource rules.
+      if (franklin_issue_second(slot_index)) --budget;
+      continue;
+    }
+
+    const ExecClass exec_class = entry.inst.info().exec_class;
+    Cycle complete_at = 0;
+
+    if (exec_class == ExecClass::kLoad) {
+      switch (plan_load(slot_index)) {
+        case LoadPlan::kBlocked:
+          continue;
+        case LoadPlan::kForward:
+          complete_at = now_ + 1;
+          break;
+        case LoadPlan::kCache: {
+          if (!fu_pool_.try_acquire(FuKind::kMemPort, now_, 1)) continue;
+          complete_at = now_ + hierarchy_->data_access(entry.mem_addr, false);
+          break;
+        }
+      }
+    } else if (exec_class == ExecClass::kStore) {
+      // Address generation + store-buffer write; both operands must be
+      // ready. The cache write happens at commit.
+      if (!entry.deps_ready()) continue;
+      complete_at = now_ + 1;
+    } else if (exec_class == ExecClass::kNone) {
+      complete_at = now_ + 1;
+    } else {
+      if (!entry.deps_ready()) continue;
+      const OpTiming timing = op_timing(exec_class, config_);
+      if (!fu_pool_.try_acquire(timing.fu, now_, timing.issue_latency)) {
+        continue;
+      }
+      complete_at = now_ + timing.result_latency;
+    }
+
+    entry.issued = true;
+    entry.issue_cycle = now_;
+    schedule_p_event(complete_at, RuuRef{slot_index, entry.gen});
+    trace(TraceKind::kIssue, entry.seq, entry.pc, entry.inst, entry.spec);
+    ++stats_.issued_p;
+    --budget;
+  }
+
+  if (reese_scheme && !r_priority) reese_issue(&budget);
+
+  stats_.issue_per_cycle.add(config_.issue_width - budget);
+}
+
+// ---------------------------------------------------------------------------
+// Writeback
+// ---------------------------------------------------------------------------
+
+void Pipeline::schedule_p_event(Cycle when, RuuRef ref) {
+  p_events_[when].push_back(ref);
+}
+
+void Pipeline::schedule_r_event(Cycle when, u64 entry_id) {
+  r_events_[when].push_back(entry_id);
+}
+
+void Pipeline::stage_writeback() {
+  // Recycle scheduler-window slots whose R instructions have cleared the
+  // compare stage (all entries due at or before this cycle).
+  while (!r_release_at_.empty() && r_release_at_.begin()->first <= now_) {
+    assert(r_inflight_ >= r_release_at_.begin()->second);
+    r_inflight_ -= r_release_at_.begin()->second;
+    r_release_at_.erase(r_release_at_.begin());
+  }
+
+  auto p_it = p_events_.find(now_);
+  if (p_it != p_events_.end()) {
+    // Copy: recovery during completion may not touch the list again, but
+    // keep iteration robust against future modification.
+    const std::vector<RuuRef> refs = std::move(p_it->second);
+    p_events_.erase(p_it);
+    for (const RuuRef& ref : refs) {
+      if (!ref_alive(ref)) continue;  // squashed in the meantime
+      if (franklin_mode()) {
+        if (!ruu_[ref.slot].first_done) {
+          franklin_first_completion(ref.slot);
+        } else {
+          franklin_second_completion(ref.slot);
+        }
+      } else {
+        complete_entry(ref.slot);
+      }
+    }
+  }
+
+  auto r_it = r_events_.find(now_);
+  if (r_it != r_events_.end()) {
+    const std::vector<u64> ids = std::move(r_it->second);
+    r_events_.erase(r_it);
+    for (u64 id : ids) reese_complete(id);
+  }
+}
+
+void Pipeline::complete_entry(u32 slot_index) {
+  RuuEntry& entry = ruu_[slot_index];
+  assert(entry.valid && entry.issued && !entry.completed);
+  entry.completed = true;
+  entry.complete_cycle = now_;
+  trace(TraceKind::kComplete, entry.seq, entry.pc, entry.inst, entry.spec);
+
+  for (const Consumer& consumer : entry.consumers) {
+    if (!ref_alive(consumer.ref)) continue;
+    ruu_[consumer.ref.slot].dep_ready[consumer.operand] = true;
+  }
+  entry.consumers.clear();
+
+  if (entry.is_control && !entry.spec) {
+    ++stats_.branches_resolved;
+    if (isa::is_cond_branch(entry.inst.op)) {
+      ++stats_.cond_branches_resolved;
+      if (entry.mispredicted) ++stats_.cond_branch_mispredicts;
+    }
+    if (entry.used_direction_predictor) {
+      direction_->update(entry.pc, entry.taken, entry.pred_meta);
+    }
+    if (entry.taken && entry.inst.op != Opcode::kJal) {
+      btb_.update(entry.pc, entry.actual_next);
+    }
+    if (entry.mispredicted) {
+      ++stats_.branch_mispredicts;
+      recover_from_mispredict(slot_index);
+    }
+  }
+}
+
+void Pipeline::recover_from_mispredict(u32 branch_slot) {
+  assert(spec_mode_ && spec_branch_slot_ == branch_slot);
+  const RuuEntry& branch = ruu_[branch_slot];
+
+  // Squash everything younger than the branch (all of it is spec).
+  while (ruu_count_ > 0) {
+    const u32 tail_slot = ruu_index_at(ruu_count_ - 1);
+    if (tail_slot == branch_slot) break;
+    RuuEntry& victim = ruu_[tail_slot];
+    assert(victim.valid && victim.spec);
+    trace(TraceKind::kSquash, victim.seq, victim.pc, victim.inst, true);
+    if (isa::is_mem(victim.inst.op)) {
+      assert(lsq_count_ > 0);
+      assert(lsq_[(lsq_head_ + lsq_count_ - 1) % config_.lsq_size] ==
+             tail_slot);
+      --lsq_count_;
+    }
+    victim.valid = false;
+    ++victim.gen;
+    victim.consumers.clear();
+    --ruu_count_;
+  }
+
+  ifq_.clear();
+  spec_mode_ = false;
+  spec_overlay_.clear();
+
+  // Repair speculative predictor state.
+  if (branch.used_direction_predictor) {
+    direction_->repair(branch.pred_meta, branch.taken);
+  }
+  ras_.restore(branch.ras_checkpoint);
+
+  // Redirect fetch after the recovery bubble.
+  fetch_pc_ = branch.actual_next;
+  fetch_stall_until_ =
+      std::max(fetch_stall_until_, now_ + 1 + config_.mispredict_penalty);
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------------
+
+void Pipeline::free_ruu_head() {
+  assert(ruu_count_ > 0);
+  RuuEntry& head = ruu_[ruu_head_];
+  assert(head.valid);
+  if (isa::is_mem(head.inst.op)) {
+    assert(lsq_count_ > 0 && lsq_[lsq_head_] == ruu_head_);
+    lsq_head_ = (lsq_head_ + 1) % config_.lsq_size;
+    --lsq_count_;
+  }
+  head.valid = false;
+  ++head.gen;
+  head.consumers.clear();
+  ruu_head_ = (ruu_head_ + 1) % config_.ruu_size;
+  --ruu_count_;
+}
+
+bool Pipeline::commit_head_baseline() {
+  RuuEntry& head = ruu_[ruu_head_];
+  if (!head.completed) return false;
+  assert(!head.spec && "speculative instruction reached the RUU head");
+
+  if (head.is_store()) {
+    if (!fu_pool_.try_acquire(FuKind::kMemPort, now_, 1)) return false;
+    hierarchy_->data_access(head.mem_addr, true);
+  }
+
+  if (fault_hook_ != nullptr && !config_.reese.enabled) {
+    const FaultDecision decision =
+        fault_hook_->on_instruction(head.seq, now_, head.inst);
+    if (decision.flip_p || decision.flip_r) {
+      // The baseline has no comparator: every injected fault escapes.
+      ++stats_.faults_injected;
+      ++stats_.faults_undetected;
+      fault_hook_->on_undetected(head.seq);
+    }
+  }
+
+  if (head.inst.op == Opcode::kHalt) halted_ = true;
+  ++stats_.committed;
+  trace(TraceKind::kCommit, head.seq, head.pc, head.inst, false);
+  free_ruu_head();
+  return true;
+}
+
+void Pipeline::stage_commit() {
+  if (config_.reese.enabled &&
+      config_.reese.scheme == RedundancyScheme::kReese) {
+    reese_commit();
+    reese_release();
+    return;
+  }
+  // Baseline and Franklin both commit in order from the RUU head (Franklin
+  // entries only complete after their duplicate execution compared).
+  for (u32 committed = 0; committed < config_.commit_width && ruu_count_ > 0;
+       ++committed) {
+    if (!commit_head_baseline()) break;
+    if (halted_) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+std::string Pipeline::report() const {
+  std::string out;
+  out += format("cycles %llu, committed %llu, IPC %.3f\n",
+                static_cast<unsigned long long>(stats_.cycles),
+                static_cast<unsigned long long>(stats_.committed),
+                stats_.ipc());
+  out += format(
+      "  fetched %llu, dispatched %llu (%llu wrong-path), issued P %llu"
+      " / R %llu\n",
+      static_cast<unsigned long long>(stats_.fetched),
+      static_cast<unsigned long long>(stats_.dispatched),
+      static_cast<unsigned long long>(stats_.wrongpath_dispatched),
+      static_cast<unsigned long long>(stats_.issued_p),
+      static_cast<unsigned long long>(stats_.issued_r));
+  out += format(
+      "  branches %llu, mispredicts %llu (cond rate %.2f%%)\n",
+      static_cast<unsigned long long>(stats_.branches_resolved),
+      static_cast<unsigned long long>(stats_.branch_mispredicts),
+      100.0 * stats_.mispredict_rate());
+  out += format(
+      "  stalls: ruu-full %llu, lsq-full %llu, icache %llu cycles,"
+      " rqueue-full %llu cycles\n",
+      static_cast<unsigned long long>(stats_.ruu_full_stalls),
+      static_cast<unsigned long long>(stats_.lsq_full_stalls),
+      static_cast<unsigned long long>(stats_.icache_stall_cycles),
+      static_cast<unsigned long long>(stats_.rqueue_full_stall_cycles));
+  out += format(
+      "  occupancy: ruu %.1f, lsq %.1f, ifq %.1f, rqueue %.1f\n",
+      stats_.ruu_occupancy.mean(), stats_.lsq_occupancy.mean(),
+      stats_.ifq_occupancy.mean(), stats_.rqueue_occupancy.mean());
+  if (config_.reese.enabled) {
+    out += format(
+        "  REESE: enqueued %llu, compared %llu, skipped %llu,"
+        " errors detected %llu\n",
+        static_cast<unsigned long long>(stats_.rqueue_enqueued),
+        static_cast<unsigned long long>(stats_.comparisons),
+        static_cast<unsigned long long>(stats_.rskipped),
+        static_cast<unsigned long long>(stats_.errors_detected));
+    out += "  " + stats_.separation.to_string("P->R separation") + "\n";
+  }
+  out += hierarchy_->report();
+  return out;
+}
+
+}  // namespace reese::core

@@ -1,0 +1,354 @@
+// The out-of-order superscalar core, SimpleScalar sim-outorder style, with
+// the REESE extensions.
+//
+// Pipeline (Figure 1 of the paper):
+//
+//   Fetch -> Dispatch -> Sched -> Exec/Mem -> Writeback -> [R-Queue] -> Commit
+//
+// Modelling approach (execution-driven, like sim-outorder):
+//  * Instructions execute *functionally, in program order, at dispatch*
+//    against the front-end architectural state. The RUU then tracks only
+//    timing: register dependencies via a create-vector, structural hazards
+//    via the FU pool, memory ordering via the LSQ.
+//  * When a branch dispatches and its predicted next-PC differs from the
+//    just-computed actual next-PC, the core enters "spec mode": younger
+//    instructions keep dispatching down the wrong path against a
+//    copy-on-write register/memory overlay (realistic wrong-path cache
+//    pollution) until the branch reaches writeback, which squashes them.
+//  * REESE: completed P instructions are released from the RUU head into
+//    the R-stream Queue carrying operands + result; leftover issue slots
+//    and functional units re-execute them in FIFO order; results are
+//    compared, then the instruction commits. A full R-queue back-pressures
+//    the RUU (the paper's overflow discussion in §4.3).
+//
+// Stage evaluation order within one cycle is commit, writeback, issue,
+// dispatch, fetch (same as sim-outorder's main loop) so results written
+// back in cycle N can feed a dependent issue in cycle N.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "branch/predictor.h"
+#include "core/config.h"
+#include "core/fault_hook.h"
+#include "core/fu_pool.h"
+#include "core/rstream.h"
+#include "core/spec_overlay.h"
+#include "core/stats.h"
+#include "core/trace.h"
+#include "isa/executor.h"
+#include "isa/program.h"
+#include "mem/hierarchy.h"
+
+namespace reese::core {
+
+/// Why run() returned.
+enum class StopReason : u8 {
+  kCommitTarget,  ///< reached the requested committed-instruction count
+  kHalted,        ///< the program executed HALT
+  kBadPc,         ///< the true path left the text segment (program bug)
+  kCycleLimit,    ///< safety limit hit (likely a modelling deadlock)
+};
+
+const char* stop_reason_name(StopReason reason);
+
+class Pipeline {
+ public:
+  /// `program` must outlive the pipeline. A fresh memory image is created
+  /// and the program's data is loaded into it.
+  Pipeline(const isa::Program& program, const CoreConfig& config);
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Simulate until `commit_target` instructions have committed (or HALT /
+  /// bad PC / `cycle_limit` cycles). Callable repeatedly; state persists.
+  StopReason run(u64 commit_target, Cycle cycle_limit = ~Cycle{0});
+
+  /// Advance exactly one cycle.
+  void cycle();
+
+  const CoreStats& stats() const { return stats_; }
+  const CoreConfig& config() const { return config_; }
+  mem::Hierarchy& hierarchy() { return *hierarchy_; }
+  FuPool& fu_pool() { return fu_pool_; }
+
+  /// Front-end architectural state (the in-order functional machine). After
+  /// draining, this is the golden final state for equivalence checks.
+  const isa::ArchState& arch_state() const { return front_state_; }
+  mem::MainMemory& memory() { return memory_; }
+
+  bool halted() const { return halted_; }
+
+  /// Install a fault-injection hook (may be nullptr). Not owned.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+
+  /// Install a pipeline tracer (may be nullptr). Not owned.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Multi-line stats report.
+  std::string report() const;
+
+ private:
+  // --- internal structures ----------------------------------------------
+
+  /// A fetched instruction waiting in the fetch queue.
+  struct FetchedInst {
+    isa::Instruction inst;
+    Addr pc = 0;
+    Addr predicted_next = 0;
+    bool predicted_taken = false;
+    bool used_direction_predictor = false;
+    u64 pred_meta = 0;
+    branch::ReturnAddressStack::Checkpoint ras_checkpoint{};
+    bool is_pad = false;  ///< fabricated NOP for an out-of-text fetch PC
+  };
+
+  /// Handle to an RUU slot that survives slot reuse.
+  struct RuuRef {
+    u32 slot = 0;
+    u32 gen = 0;
+  };
+
+  struct Consumer {
+    RuuRef ref;
+    u8 operand = 0;  ///< 0 = rs1 dependency, 1 = rs2 dependency
+  };
+
+  struct RuuEntry {
+    bool valid = false;
+    u32 gen = 0;
+    isa::Instruction inst;
+    Addr pc = 0;
+    InstSeq seq = 0;
+    bool spec = false;
+
+    // Values captured by dispatch-time functional execution.
+    u64 rs1_value = 0;
+    u64 rs2_value = 0;
+    u64 result = 0;
+    Addr mem_addr = 0;
+    bool taken = false;
+    Addr actual_next = 0;
+
+    // Prediction bookkeeping (control instructions).
+    bool is_control = false;
+    Addr predicted_next = 0;
+    bool mispredicted = false;
+    bool used_direction_predictor = false;
+    u64 pred_meta = 0;
+    branch::ReturnAddressStack::Checkpoint ras_checkpoint{};
+
+    // Scheduling state.
+    bool dep_ready[2] = {true, true};
+    bool issued = false;
+    bool completed = false;
+    bool released = false;  ///< copied into the R-queue (early release off)
+
+    // Franklin-scheme ([24]) dual execution: the entry must execute twice
+    // before it may commit; `first_done` marks the primary execution.
+    bool first_done = false;
+    u64 fr_p_copy = 0;       ///< stored first-execution result (comparator
+                             ///< reference; fault flips land here)
+    bool fr_faulted = false;
+    bool fr_flip_r = false;
+    unsigned fr_fault_bit = 0;
+    Cycle fr_fault_cycle = 0;
+    Cycle dispatch_cycle = 0;
+    Cycle issue_cycle = 0;
+    Cycle complete_cycle = 0;
+    std::vector<Consumer> consumers;
+
+    bool deps_ready() const { return dep_ready[0] && dep_ready[1]; }
+    bool is_load() const { return isa::is_load(inst.op); }
+    bool is_store() const { return isa::is_store(inst.op); }
+  };
+
+  // --- per-stage helpers (pipeline.cpp) -----------------------------------
+
+  void stage_fetch();
+  void stage_dispatch();
+  void stage_issue();
+  void stage_writeback();
+  void stage_commit();
+
+  /// Predict the next fetch PC for a just-fetched control instruction and
+  /// fill the prediction fields of `fetched`.
+  void predict_control(FetchedInst* fetched);
+
+  /// Dispatch-time functional execution of one instruction.
+  void execute_at_dispatch(RuuEntry* entry);
+
+  /// Register-dependency linking through the create-vector.
+  void link_dependencies(RuuEntry* entry, u32 slot);
+
+  /// Issue plan for a load under LSQ ordering rules: blocked (unknown or
+  /// unready older store), forwarded from an older store (1 cycle, no
+  /// memory port), or a D-cache access (port + cache latency).
+  enum class LoadPlan : u8 { kBlocked, kForward, kCache };
+  LoadPlan plan_load(u32 ruu_slot);
+
+  /// Mark entry complete, wake consumers, resolve branches.
+  void complete_entry(u32 slot);
+
+  /// Squash all RUU/LSQ/IFQ entries younger than `branch_slot` and redirect
+  /// fetch to the branch's actual target.
+  void recover_from_mispredict(u32 branch_slot);
+
+  /// Baseline commit of the RUU head entry (stores write the cache).
+  /// Returns false if the head cannot commit this cycle.
+  bool commit_head_baseline();
+
+  // --- REESE (reese.cpp) ---------------------------------------------------
+
+  /// Move completed RUU-head instructions into the R-stream Queue.
+  void reese_release();
+
+  /// Issue R-stream instructions into leftover capacity; strict FIFO order.
+  /// `budget` is the remaining issue bandwidth this cycle.
+  void reese_issue(u32* budget);
+
+  /// An R-stream execution finished: re-run the computation, compare with
+  /// the stored P result, flag mismatches.
+  void reese_complete(u64 entry_id);
+
+  /// Final in-order commit from the R-queue head.
+  void reese_commit();
+
+  /// True when R-stream should get issue priority this cycle (§4.3's
+  /// occupancy counters).
+  bool reese_priority() const;
+
+  /// Re-run an instruction from stored operands and compare against the
+  /// stored primary result — the comparator shared by the REESE R-stream
+  /// and the Franklin dual-execution scheme.
+  struct ReexecOutcome {
+    u64 value = 0;
+    bool mismatch = false;
+  };
+  ReexecOutcome recompute_and_compare(const isa::Instruction& inst, Addr pc,
+                                      u64 rs1_value, u64 rs2_value,
+                                      Addr mem_addr, Addr p_next,
+                                      u64 p_result, u64 load_value,
+                                      bool flip_r, unsigned fault_bit) const;
+
+  // --- Franklin scheme (franklin.cpp) --------------------------------------
+
+  bool franklin_mode() const {
+    return config_.reese.enabled &&
+           config_.reese.scheme == RedundancyScheme::kFranklin;
+  }
+  /// First-execution completion: wake consumers, resolve branches, re-arm
+  /// the entry for its duplicate execution.
+  void franklin_first_completion(u32 slot_index);
+  /// Second-execution completion: compare and mark committable.
+  void franklin_second_completion(u32 slot_index);
+  /// Issue the duplicate execution of `entry` (R-stream resource rules).
+  /// Returns false if resources are unavailable this cycle.
+  bool franklin_issue_second(u32 slot_index);
+
+  // --- small utilities -----------------------------------------------------
+
+  RuuEntry& slot(u32 index) { return ruu_[index]; }
+  bool ref_alive(const RuuRef& ref) const {
+    return ruu_[ref.slot].valid && ruu_[ref.slot].gen == ref.gen;
+  }
+  u32 ruu_index_at(u32 position) const {  // position 0 == head
+    return (ruu_head_ + position) % config_.ruu_size;
+  }
+  /// R-stream instructions re-enter the pipeline through the scheduler
+  /// (§5.1: they "proceed through the SimpleScalar pipeline"), so while in
+  /// flight they occupy scheduler window (RUU) capacity alongside P-stream
+  /// entries. P dispatch and R issue both respect the combined limit.
+  bool ruu_full() const {
+    const u32 shared = config_.reese.window_sharing ? r_inflight_ : 0;
+    return ruu_count_ + shared >= config_.ruu_size;
+  }
+  /// Free the RUU head slot (entry must be at the head).
+  void free_ruu_head();
+
+  void schedule_p_event(Cycle when, RuuRef ref);
+  void schedule_r_event(Cycle when, u64 entry_id);
+
+  void enter_spec_mode();
+
+  isa::DataSpace& active_data_space();
+
+  // --- members -------------------------------------------------------------
+
+  const isa::Program& program_;
+  CoreConfig config_;
+
+  mem::MainMemory memory_;
+  isa::DirectDataSpace direct_space_{&memory_};
+  std::unique_ptr<mem::Hierarchy> hierarchy_;
+  FuPool fu_pool_;
+
+  std::unique_ptr<branch::DirectionPredictor> direction_;
+  branch::Btb btb_;
+  branch::ReturnAddressStack ras_;
+
+  // Front-end functional state.
+  isa::ArchState front_state_;
+  bool spec_mode_ = false;
+  isa::ArchState spec_state_;  ///< wrong-path register state
+  SpecOverlay spec_overlay_{&memory_};
+  u32 spec_branch_slot_ = 0;   ///< RUU slot of the mispredicted branch
+
+  // Fetch.
+  Addr fetch_pc_;
+  Cycle fetch_stall_until_ = 0;
+  std::vector<FetchedInst> ifq_;  ///< FIFO, front = oldest
+
+  // RUU ring buffer.
+  std::vector<RuuEntry> ruu_;
+  u32 ruu_head_ = 0;
+  u32 ruu_count_ = 0;
+
+  // LSQ: ring of RUU slot indices in program order.
+  std::vector<u32> lsq_;
+  u32 lsq_head_ = 0;
+  u32 lsq_count_ = 0;
+
+  // Create-vectors: architectural register -> in-flight producer. cv_ is
+  // the true-path map; spec_cv_ is its wrong-path shadow (copied on spec
+  // entry, discarded at recovery).
+  std::vector<RuuRef> cv_;
+  std::vector<RuuRef> spec_cv_;
+
+  // Writeback event queues.
+  std::map<Cycle, std::vector<RuuRef>> p_events_;
+  std::map<Cycle, std::vector<u64>> r_events_;
+
+  // REESE.
+  RStreamQueue rqueue_;
+  u64 reexec_counter_ = 0;  ///< rotates over reexec_interval
+  u32 r_inflight_ = 0;      ///< R instructions currently occupying
+                            ///< scheduler-window capacity
+  std::map<Cycle, u32> r_release_at_;  ///< deferred r_inflight_ releases
+
+  // Run control.
+  Cycle now_ = 0;
+  InstSeq next_seq_ = 1;
+  bool halted_ = false;
+  bool bad_pc_ = false;
+  bool fetch_done_ = false;  ///< HALT dispatched on the true path
+
+  FaultHook* fault_hook_ = nullptr;
+  Tracer* tracer_ = nullptr;
+
+  /// Emit a trace event if a tracer is installed.
+  void trace(TraceKind kind, InstSeq seq, Addr pc,
+             const isa::Instruction& inst, bool spec) {
+    if (tracer_ == nullptr) return;
+    tracer_->record(TraceEvent{kind, now_, seq, pc, inst, spec});
+  }
+
+  CoreStats stats_;
+};
+
+}  // namespace reese::core

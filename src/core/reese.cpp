@@ -1,0 +1,257 @@
+// REESE-specific pipeline stages: release (RUU -> R-stream Queue), R-stream
+// issue into leftover capacity, comparison at R writeback, and the final
+// in-order commit from the queue head.
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitutil.h"
+#include "core/pipeline.h"
+
+namespace reese::core {
+
+using isa::ExecClass;
+using isa::Opcode;
+
+bool Pipeline::reese_priority() const {
+  // §4.3: counters watch the R-queue occupancy; when it runs hot, redundant
+  // instructions must be scheduled ahead of primary ones or the queue fills
+  // and blocks the whole pipeline.
+  const u64 occupancy_pct = 100 * rqueue_.size() / rqueue_.capacity();
+  return occupancy_pct >= config_.reese.priority_watermark_pct;
+}
+
+void Pipeline::reese_release() {
+  u32 released = 0;
+  u32 position = 0;
+  while (released < config_.commit_width && position < ruu_count_) {
+    const u32 slot_index = ruu_index_at(position);
+    RuuEntry& entry = ruu_[slot_index];
+    if (entry.released) {
+      ++position;
+      continue;
+    }
+    if (!entry.completed) break;
+    assert(!entry.spec && "speculative instruction reached the RUU head");
+    if (rqueue_.full()) {
+      ++stats_.rqueue_full_stall_cycles;
+      break;
+    }
+
+    REntry redundant;
+    redundant.inst = entry.inst;
+    redundant.pc = entry.pc;
+    redundant.seq = entry.seq;
+    redundant.rs1_value = entry.rs1_value;
+    redundant.rs2_value = entry.rs2_value;
+    redundant.p_result = entry.result;
+    redundant.r_base_value = entry.result;  // loads: the reload's value
+    redundant.mem_addr = entry.mem_addr;
+    redundant.p_taken = entry.taken;
+    redundant.p_next = entry.actual_next;
+    redundant.p_issue_cycle = entry.issue_cycle;
+    redundant.p_complete_cycle = entry.complete_cycle;
+    redundant.holds_ruu_slot = !config_.reese.early_release;
+
+    // Partial re-execution (§7 future work): re-execute 1 of every k.
+    const u32 k = std::max<u32>(1, config_.reese.reexec_interval);
+    redundant.needs_reexec = (reexec_counter_++ % k) == 0;
+
+    if (fault_hook_ != nullptr) {
+      const FaultDecision decision =
+          fault_hook_->on_instruction(entry.seq, now_, entry.inst);
+      if (decision.flip_p || decision.flip_r) {
+        redundant.faulted = true;
+        redundant.fault_bit = decision.bit % 64;
+        redundant.fault_cycle = now_;
+        ++stats_.faults_injected;
+        if (decision.flip_p) {
+          redundant.p_result = flip_bit(redundant.p_result, redundant.fault_bit);
+        }
+        redundant.flip_r = decision.flip_r;
+      }
+    }
+
+    rqueue_.push(redundant);
+    ++stats_.rqueue_enqueued;
+    trace(TraceKind::kRelease, redundant.seq, redundant.pc, redundant.inst,
+          false);
+
+    if (config_.reese.early_release) {
+      assert(position == 0 &&
+             "early release must drain contiguously from the head");
+      free_ruu_head();
+      // Head moved; position 0 is the next entry.
+    } else {
+      entry.released = true;
+      ++position;
+    }
+    ++released;
+  }
+}
+
+void Pipeline::reese_issue(u32* budget) {
+  // Strict FIFO issue: scan from the head, skip entries already in flight
+  // or not selected for re-execution, stop at the first entry that cannot
+  // issue this cycle.
+  for (usize index = 0; index < rqueue_.size() && *budget > 0; ++index) {
+    REntry& entry = rqueue_.at(index);
+    if (!entry.needs_reexec || entry.issued) continue;
+
+    if (config_.reese.min_separation > 0 &&
+        now_ < entry.p_complete_cycle + config_.reese.min_separation) {
+      break;  // §2: enforce a minimum P->R separation when configured
+    }
+
+    // An R instruction needs a scheduler-window slot while it executes.
+    // The head R instruction may always proceed (the comparator stage has
+    // a dedicated staging latch), which guarantees forward progress when
+    // the window is packed with P entries and the R-queue is full.
+    if (config_.reese.window_sharing &&
+        ruu_count_ + r_inflight_ >= config_.ruu_size && r_inflight_ > 0) {
+      break;
+    }
+
+    const ExecClass exec_class = entry.inst.info().exec_class;
+    const u32 r_occupancy = std::max<u32>(1, config_.reese.r_fu_occupancy);
+    Cycle complete_at = 0;
+    if (exec_class == ExecClass::kLoad) {
+      // R-stream loads recompute the effective address on an integer ALU
+      // and re-access the D-cache through a memory port (§4.4: the P-stream
+      // access brought the line in, so the access almost always hits).
+      if (!fu_pool_.try_acquire(FuKind::kMemPort, now_, 1)) break;
+      complete_at = now_ + hierarchy_->data_access(entry.mem_addr, false);
+    } else if (exec_class == ExecClass::kStore) {
+      // Stores re-verify their effective address and value through the
+      // memory pipeline (AGU + store-buffer check) or a plain ALU; the
+      // single architectural cache write happens at commit.
+      const FuKind unit = config_.reese.r_store_uses_port ? FuKind::kMemPort
+                                                          : FuKind::kIntAlu;
+      if (!fu_pool_.try_acquire(unit, now_, 1)) break;
+      complete_at = now_ + 1;
+    } else if (exec_class == ExecClass::kNone) {
+      complete_at = now_ + 1;
+    } else {
+      OpTiming timing = op_timing(exec_class, config_);
+      // The comparator staging cost applies to the single-cycle ALU paths;
+      // long-latency units already have output buffering.
+      if (timing.fu == FuKind::kIntAlu || timing.fu == FuKind::kFpAlu) {
+        timing.issue_latency = std::max(timing.issue_latency, r_occupancy);
+      }
+      if (!fu_pool_.try_acquire(timing.fu, now_, timing.issue_latency)) break;
+      complete_at = now_ + timing.result_latency;
+    }
+
+    entry.issued = true;
+    entry.r_issue_cycle = now_;
+    trace(TraceKind::kRIssue, entry.seq, entry.pc, entry.inst, false);
+    if (config_.reese.window_sharing) ++r_inflight_;
+    stats_.separation.add(now_ - entry.p_issue_cycle);
+    schedule_r_event(complete_at, entry.id);
+    ++stats_.issued_r;
+    --*budget;
+  }
+}
+
+Pipeline::ReexecOutcome Pipeline::recompute_and_compare(
+    const isa::Instruction& inst, Addr pc, u64 rs1_value, u64 rs2_value,
+    Addr mem_addr, Addr p_next, u64 p_result, u64 load_value, bool flip_r,
+    unsigned fault_bit) const {
+  // Re-run the computation from the stored operands — the same semantics
+  // function the P stream used, as in hardware where it is the same ALU.
+  u64 r_value = 0;
+  bool aux_mismatch = false;
+  const isa::OpInfo& info = inst.info();
+  if (info.exec_class == ExecClass::kLoad) {
+    // The reload returns the same architecturally-correct value the P load
+    // saw (all older stores have committed; younger ones have not).
+    r_value = load_value;
+    const isa::ComputeOut out = isa::compute(inst, rs1_value, rs2_value, pc);
+    aux_mismatch = out.addr != mem_addr;
+  } else {
+    const isa::ComputeOut out = isa::compute(inst, rs1_value, rs2_value, pc);
+    if (info.exec_class == ExecClass::kStore) {
+      r_value = out.value;
+      aux_mismatch = out.addr != mem_addr;
+    } else if (isa::is_cond_branch(inst.op)) {
+      r_value = out.taken ? 1 : 0;
+      aux_mismatch = out.taken && out.target != p_next;
+    } else if (isa::is_jump(inst.op)) {
+      r_value = out.value;  // link value
+      aux_mismatch = out.target != p_next;
+    } else if (inst.op == Opcode::kOut) {
+      r_value = rs1_value;
+    } else {
+      r_value = out.value;
+    }
+  }
+
+  if (flip_r) r_value = flip_bit(r_value, fault_bit);
+  return ReexecOutcome{r_value, (r_value != p_result) || aux_mismatch};
+}
+
+void Pipeline::reese_complete(u64 entry_id) {
+  REntry& entry = rqueue_.by_id(entry_id);
+  assert(entry.issued && !entry.completed);
+
+  const ReexecOutcome outcome = recompute_and_compare(
+      entry.inst, entry.pc, entry.rs1_value, entry.rs2_value, entry.mem_addr,
+      entry.p_next, entry.p_result, entry.r_base_value, entry.flip_r,
+      entry.fault_bit);
+  entry.r_result = outcome.value;
+  entry.mismatch = outcome.mismatch;
+  entry.completed = true;
+  trace(TraceKind::kRComplete, entry.seq, entry.pc, entry.inst, false);
+  // The R instruction holds its scheduler-window slot through the
+  // writeback and comparison stages before it is recycled.
+  if (config_.reese.window_sharing) {
+    ++r_release_at_[now_ + config_.reese.compare_stage_cycles];
+  }
+  ++stats_.committed_r;
+  ++stats_.comparisons;
+}
+
+void Pipeline::reese_commit() {
+  for (u32 committed = 0; committed < config_.commit_width && !rqueue_.empty();
+       ++committed) {
+    REntry& entry = rqueue_.front();
+    if (entry.needs_reexec && !entry.completed) break;
+
+    if (isa::is_store(entry.inst.op)) {
+      // The single architectural memory write (delayed past comparison,
+      // §4.3: "results may not be committed into memory before they have
+      // been compared").
+      if (!fu_pool_.try_acquire(FuKind::kMemPort, now_, 1)) break;
+      hierarchy_->data_access(entry.mem_addr, true);
+    }
+
+    if (entry.mismatch) {
+      // Soft error detected. The pipeline and R-queue are flushed and the
+      // faulting instruction refetched; we charge that as a fetch freeze
+      // (see DESIGN.md — architectural state is never actually corrupted,
+      // so the re-execution is not replayed).
+      ++stats_.errors_detected;
+      trace(TraceKind::kError, entry.seq, entry.pc, entry.inst, false);
+      fetch_stall_until_ = std::max(
+          fetch_stall_until_, now_ + config_.reese.error_recovery_penalty);
+      if (entry.faulted && fault_hook_ != nullptr) {
+        fault_hook_->on_detected(entry.seq, entry.fault_cycle, now_);
+        stats_.detection_latency.add(now_ - entry.fault_cycle);
+      }
+    } else if (entry.faulted && fault_hook_ != nullptr) {
+      // A fault was injected but no comparison caught it (partial mode
+      // skip, or the flip landed on a value the comparator never sees).
+      ++stats_.faults_undetected;
+      fault_hook_->on_undetected(entry.seq);
+    }
+
+    if (!entry.needs_reexec) ++stats_.rskipped;
+    if (entry.holds_ruu_slot) free_ruu_head();
+    if (entry.inst.op == Opcode::kHalt) halted_ = true;
+    ++stats_.committed;
+    trace(TraceKind::kCommit, entry.seq, entry.pc, entry.inst, false);
+    rqueue_.pop_front();
+    if (halted_) break;
+  }
+}
+
+}  // namespace reese::core

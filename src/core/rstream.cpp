@@ -1,0 +1,24 @@
+#include "core/rstream.h"
+
+#include <cassert>
+
+namespace reese::core {
+
+u64 RStreamQueue::push(REntry entry) {
+  assert(!full());
+  entry.id = next_id_++;
+  entries_.push_back(entry);
+  return entries_.back().id;
+}
+
+REntry& RStreamQueue::by_id(u64 id) {
+  assert(!entries_.empty());
+  const u64 front_id = entries_.front().id;
+  assert(id >= front_id);
+  const usize index = static_cast<usize>(id - front_id);
+  assert(index < entries_.size());
+  assert(entries_[index].id == id);
+  return entries_[index];
+}
+
+}  // namespace reese::core

@@ -1,0 +1,84 @@
+// The R-stream Queue — REESE's central structure (§4.3 of the paper).
+//
+// A FIFO sitting between writeback and commit. Each entry is a completed
+// P-stream instruction carrying its operand values and result, so its
+// R-stream re-execution has no data or control dependencies. Entries issue
+// to spare functional-unit capacity in FIFO order, are compared against
+// their stored P result when the re-execution completes, and finally
+// commit (architecturally) from the head in program order.
+#pragma once
+
+#include <deque>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace reese::core {
+
+struct REntry {
+  u64 id = 0;  ///< stable handle for the writeback event queue
+  isa::Instruction inst;
+  Addr pc = 0;
+  InstSeq seq = 0;
+
+  // Captured P-stream execution context.
+  u64 rs1_value = 0;
+  u64 rs2_value = 0;
+  u64 p_result = 0;     ///< P result (stored copy the comparator reads);
+                        ///< fault injection may flip a bit of this copy
+  u64 r_base_value = 0; ///< loads: the value the R-stream reload returns
+                        ///< (see DESIGN.md on timing/function decoupling)
+  Addr mem_addr = 0;    ///< P effective address for loads/stores
+  bool p_taken = false; ///< P branch outcome
+  Addr p_next = 0;      ///< P next-PC
+  Cycle p_issue_cycle = 0;
+  Cycle p_complete_cycle = 0;
+
+  // R-stream progress.
+  bool needs_reexec = true;  ///< false for 1-of-k skipped instructions
+  bool issued = false;
+  bool completed = false;    ///< re-executed and compared
+  Cycle r_issue_cycle = 0;
+  u64 r_result = 0;
+  bool mismatch = false;
+
+  /// True while the P instruction still occupies its RUU slot (early
+  /// release disabled); the final commit must free that slot too.
+  bool holds_ruu_slot = false;
+
+  // Fault-injection bookkeeping.
+  bool faulted = false;
+  bool flip_r = false;       ///< corrupt the R side instead of the P side
+  unsigned fault_bit = 0;
+  Cycle fault_cycle = 0;
+};
+
+class RStreamQueue {
+ public:
+  explicit RStreamQueue(u32 capacity) : capacity_(capacity) {}
+
+  bool full() const { return entries_.size() >= capacity_; }
+  bool empty() const { return entries_.empty(); }
+  usize size() const { return entries_.size(); }
+  u32 capacity() const { return capacity_; }
+
+  /// Enqueue at the tail; returns the entry's stable id. Caller must check
+  /// full() first.
+  u64 push(REntry entry);
+
+  REntry& front() { return entries_.front(); }
+  void pop_front() { entries_.pop_front(); }
+
+  /// Entry by stable id; must still be in the queue.
+  REntry& by_id(u64 id);
+
+  /// Program-order access for the in-order R issue scan.
+  REntry& at(usize index) { return entries_[index]; }
+
+ private:
+  std::deque<REntry> entries_;
+  u32 capacity_;
+  u64 next_id_ = 1;
+};
+
+}  // namespace reese::core

@@ -1,0 +1,48 @@
+// Copy-on-write data-memory overlay for wrong-path execution.
+//
+// After a mispredicted branch dispatches, the front end keeps functionally
+// executing down the predicted (wrong) path so that wrong-path loads/stores
+// pollute the caches realistically. Those instructions must not disturb the
+// true architectural memory, so their stores land in this overlay and their
+// loads read through it. Recovery simply discards the overlay.
+#pragma once
+
+#include <unordered_map>
+
+#include "isa/arch_state.h"
+
+namespace reese::core {
+
+class SpecOverlay final : public isa::DataSpace {
+ public:
+  explicit SpecOverlay(mem::MainMemory* backing) : backing_(backing) {}
+
+  u64 load(Addr addr, unsigned bytes) override {
+    u64 value = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+      value |= static_cast<u64>(load_byte(addr + i)) << (8 * i);
+    }
+    return value;
+  }
+
+  void store(Addr addr, unsigned bytes, u64 value) override {
+    for (unsigned i = 0; i < bytes; ++i) {
+      bytes_[addr + i] = static_cast<u8>(value >> (8 * i));
+    }
+  }
+
+  void clear() { bytes_.clear(); }
+  usize dirty_bytes() const { return bytes_.size(); }
+
+ private:
+  u8 load_byte(Addr addr) const {
+    auto it = bytes_.find(addr);
+    if (it != bytes_.end()) return it->second;
+    return backing_->load_u8(addr);
+  }
+
+  mem::MainMemory* backing_;
+  std::unordered_map<Addr, u8> bytes_;
+};
+
+}  // namespace reese::core

@@ -1,0 +1,60 @@
+// Counters and distributions collected by the pipeline.
+#pragma once
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace reese::core {
+
+struct CoreStats {
+  Cycle cycles = 0;
+
+  // Instruction flow.
+  u64 fetched = 0;
+  u64 dispatched = 0;
+  u64 wrongpath_dispatched = 0;
+  u64 issued_p = 0;
+  u64 issued_r = 0;
+  u64 committed = 0;    ///< P-stream instructions architecturally committed
+  u64 committed_r = 0;  ///< R-stream executions completed + compared
+  u64 rskipped = 0;     ///< instructions not re-executed (partial mode)
+
+  // Front-end stalls.
+  u64 ifq_full_stall_cycles = 0;
+  u64 ruu_full_stalls = 0;
+  u64 lsq_full_stalls = 0;
+  u64 icache_stall_cycles = 0;
+
+  // Branches (non-speculative, resolved).
+  u64 branches_resolved = 0;
+  u64 branch_mispredicts = 0;
+  u64 cond_branches_resolved = 0;
+  u64 cond_branch_mispredicts = 0;
+
+  // REESE.
+  u64 rqueue_enqueued = 0;
+  u64 rqueue_full_stall_cycles = 0;  ///< cycles the release stage was blocked
+  u64 rpriority_cycles = 0;          ///< cycles the watermark flipped priority
+  u64 comparisons = 0;
+  u64 errors_detected = 0;
+
+  // Faults.
+  u64 faults_injected = 0;
+  u64 faults_undetected = 0;  ///< faulty instruction committed unchecked
+
+  // Distributions.
+  Histogram separation{4, 64};        ///< R-issue minus P-issue, cycles
+  Histogram detection_latency{4, 64}; ///< injection to detection, cycles
+  Histogram issue_per_cycle{1, 17};
+  RunningStat ruu_occupancy;
+  RunningStat lsq_occupancy;
+  RunningStat ifq_occupancy;
+  RunningStat rqueue_occupancy;
+
+  double ipc() const { return safe_ratio(committed, cycles); }
+  double mispredict_rate() const {
+    return safe_ratio(cond_branch_mispredicts, cond_branches_resolved);
+  }
+};
+
+}  // namespace reese::core

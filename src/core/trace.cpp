@@ -1,0 +1,81 @@
+#include "core/trace.h"
+
+#include "common/strutil.h"
+
+namespace reese::core {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kDispatch: return "dispatch";
+    case TraceKind::kIssue: return "issue";
+    case TraceKind::kComplete: return "complete";
+    case TraceKind::kRelease: return "release";
+    case TraceKind::kRIssue: return "r-issue";
+    case TraceKind::kRComplete: return "r-complete";
+    case TraceKind::kCommit: return "commit";
+    case TraceKind::kSquash: return "squash";
+    case TraceKind::kError: return "error";
+  }
+  return "?";
+}
+
+TimelineTracer::Row* TimelineTracer::find(InstSeq seq, bool spec) {
+  // Recent rows are at the back; wrong-path entries can share a seq with a
+  // true-path instruction, so the spec flag disambiguates.
+  for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
+    if (it->seq == seq && it->spec == spec) return &*it;
+  }
+  return nullptr;
+}
+
+void TimelineTracer::record(const TraceEvent& event) {
+  ++events_seen_;
+  if (event.kind == TraceKind::kDispatch) {
+    Row row;
+    row.seq = event.seq;
+    row.pc = event.pc;
+    row.inst = event.inst;
+    row.spec = event.spec;
+    row.dispatch = event.cycle;
+    rows_.push_back(row);
+    if (rows_.size() > capacity_) rows_.pop_front();
+    return;
+  }
+  Row* row = find(event.seq, event.spec);
+  if (row == nullptr) return;  // scrolled out of the window
+  switch (event.kind) {
+    case TraceKind::kIssue: row->issue = event.cycle; break;
+    case TraceKind::kComplete: row->complete = event.cycle; break;
+    case TraceKind::kRelease: row->release = event.cycle; break;
+    case TraceKind::kRIssue: row->r_issue = event.cycle; break;
+    case TraceKind::kRComplete: row->r_complete = event.cycle; break;
+    case TraceKind::kCommit: row->commit = event.cycle; break;
+    case TraceKind::kSquash: row->squashed = true; break;
+    case TraceKind::kError: row->error = true; break;
+    case TraceKind::kDispatch: break;
+  }
+}
+
+std::string TimelineTracer::to_string() const {
+  std::string out = format("  %6s %-9s %-26s %7s %7s %7s %7s %7s %7s\n", "seq",
+                           "pc", "instruction", "DS", "IS", "WB", "RI", "RC",
+                           "CT");
+  auto cell = [](Cycle cycle) {
+    return cycle == 0 ? std::string("      .") : format("%7llu",
+        static_cast<unsigned long long>(cycle));
+  };
+  for (const Row& row : rows_) {
+    std::string line = format(
+        "  %5llu%c 0x%-7llx %-26s", static_cast<unsigned long long>(row.seq),
+        row.spec ? '*' : ' ', static_cast<unsigned long long>(row.pc),
+        isa::disassemble(row.inst).c_str());
+    line += cell(row.dispatch) + cell(row.issue) + cell(row.complete) +
+            cell(row.r_issue) + cell(row.r_complete) + cell(row.commit);
+    if (row.squashed) line += "  SQUASHED";
+    if (row.error) line += "  ERROR-DETECTED";
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace reese::core

@@ -1,0 +1,89 @@
+// Pipeline tracing: per-instruction lifecycle events.
+//
+// A Tracer installed on a Pipeline receives one callback per pipeline
+// event (dispatch, issue, completion, R-stream issue/compare, commit,
+// squash). TimelineTracer assembles them into per-instruction rows —
+// SimpleScalar "pipeview" style — for debugging and teaching:
+//
+//   seq      pc  instruction            DS IS WB RI RC CT
+//   17   0x1040  addi t0, t0, -1        12 13 14 18 19 21
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace reese::core {
+
+enum class TraceKind : u8 {
+  kDispatch,   ///< entered the RUU (functionally executed)
+  kIssue,      ///< P-stream issue to a functional unit
+  kComplete,   ///< P-stream writeback
+  kRelease,    ///< moved into the R-stream Queue
+  kRIssue,     ///< R-stream (or duplicate) execution issued
+  kRComplete,  ///< R-stream execution compared
+  kCommit,     ///< architecturally committed
+  kSquash,     ///< wrong-path entry squashed
+  kError,      ///< comparator mismatch detected
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  TraceKind kind;
+  Cycle cycle;
+  InstSeq seq;
+  Addr pc;
+  isa::Instruction inst;
+  bool spec;  ///< event belongs to a wrong-path instruction
+};
+
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Collects the last `capacity` instructions' lifecycles and renders them
+/// as a table. Wrong-path instructions show up with a `*` and a squash
+/// column.
+class TimelineTracer final : public Tracer {
+ public:
+  explicit TimelineTracer(usize capacity = 64) : capacity_(capacity) {}
+
+  void record(const TraceEvent& event) override;
+
+  struct Row {
+    InstSeq seq = 0;
+    Addr pc = 0;
+    isa::Instruction inst;
+    bool spec = false;
+    bool squashed = false;
+    bool error = false;
+    Cycle dispatch = 0;
+    Cycle issue = 0;
+    Cycle complete = 0;
+    Cycle release = 0;
+    Cycle r_issue = 0;
+    Cycle r_complete = 0;
+    Cycle commit = 0;
+  };
+
+  const std::deque<Row>& rows() const { return rows_; }
+  u64 events_seen() const { return events_seen_; }
+
+  /// Render the collected rows; columns show the cycle of each stage
+  /// (blank if it never happened).
+  std::string to_string() const;
+
+ private:
+  Row* find(InstSeq seq, bool spec);
+
+  usize capacity_;
+  std::deque<Row> rows_;
+  u64 events_seen_ = 0;
+};
+
+}  // namespace reese::core

@@ -1,0 +1,78 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace reese::faults {
+
+Injector::Injector(const InjectorConfig& config)
+    : config_(config), rng_(config.seed) {
+  std::sort(config_.schedule.begin(), config_.schedule.end());
+}
+
+core::FaultDecision Injector::on_instruction(InstSeq seq, Cycle now,
+                                             const isa::Instruction&) {
+  if (config_.max_faults != 0 && records_.size() >= config_.max_faults) {
+    return {};
+  }
+
+  bool inject = false;
+  // Explicit schedule: binary search (callers may report instructions out
+  // of program order, e.g. the Franklin scheme's completion-order hook).
+  if (std::binary_search(config_.schedule.begin(), config_.schedule.end(),
+                         seq) &&
+      fired_.insert(seq).second) {
+    inject = true;
+  }
+  if (!inject && config_.rate > 0.0) inject = rng_.next_bool(config_.rate);
+  if (!inject) return {};
+
+  core::FaultDecision decision;
+  bool hit_p = false;
+  switch (config_.target) {
+    case FaultTarget::kPResult: hit_p = true; break;
+    case FaultTarget::kRResult: hit_p = false; break;
+    case FaultTarget::kEither: hit_p = rng_.next_bool(0.5); break;
+  }
+  decision.flip_p = hit_p;
+  decision.flip_r = !hit_p;
+  decision.bit = static_cast<unsigned>(rng_.next_below(64));
+
+  records_.push_back(FaultRecord{seq, now, false, 0});
+  return decision;
+}
+
+FaultRecord* Injector::find(InstSeq seq) {
+  // Faults resolve in near-FIFO order; scan from the tail of the
+  // unresolved region (records are few).
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->seq == seq) return &*it;
+  }
+  return nullptr;
+}
+
+void Injector::on_detected(InstSeq seq, Cycle injected_at, Cycle detected_at) {
+  FaultRecord* record = find(seq);
+  assert(record != nullptr && "detection reported for unknown fault");
+  if (record == nullptr) return;
+  record->detected = true;
+  record->detected_at = detected_at;
+  ++detected_;
+  latency_.add(detected_at - injected_at);
+}
+
+void Injector::on_undetected(InstSeq seq) {
+  FaultRecord* record = find(seq);
+  // Baseline pipelines report undetected faults they were never told about
+  // injecting... no: on_instruction always precedes. Keep the assert.
+  assert(record != nullptr && "escape reported for unknown fault");
+  if (record == nullptr) return;
+  ++undetected_;
+}
+
+double Injector::coverage() const {
+  const u64 resolved = detected_ + undetected_;
+  return safe_ratio(detected_, resolved);
+}
+
+}  // namespace reese::faults

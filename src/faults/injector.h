@@ -1,0 +1,83 @@
+// Transient-fault injector.
+//
+// Implements core::FaultHook: as instructions leave the out-of-order window
+// it decides — deterministically, from a seeded RNG or an explicit schedule
+// — whether to flip a bit in the instruction's stored P-stream result or in
+// its R-stream recomputation. The REESE comparator reports back detections;
+// everything is recorded for coverage/latency analysis.
+//
+// This models the paper's §2/§4.2 error model: "soft errors that affect
+// instruction results" — arithmetic, logical, effective address and branch
+// resolution outcomes. Faults are measurement-only (architectural state is
+// never corrupted); see DESIGN.md.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/fault_hook.h"
+
+namespace reese::faults {
+
+/// Which copy of the value the flip lands in.
+enum class FaultTarget : u8 {
+  kPResult,  ///< the stored P-stream result (comparator's reference copy)
+  kRResult,  ///< the R-stream recomputation output
+  kEither,   ///< 50/50 per fault
+};
+
+struct InjectorConfig {
+  /// Probability of injecting into any given instruction. Typical campaign
+  /// values are 1e-4..1e-3 so faults are far rarer than pipeline events.
+  double rate = 0.0;
+
+  /// Explicit instruction sequence numbers to fault (in addition to the
+  /// rate-driven ones). Useful for deterministic unit tests.
+  std::vector<InstSeq> schedule;
+
+  FaultTarget target = FaultTarget::kEither;
+  u64 seed = 0xFA17;
+
+  /// Cap on total injections (0 = unlimited).
+  u64 max_faults = 0;
+};
+
+struct FaultRecord {
+  InstSeq seq = 0;
+  Cycle injected_at = 0;
+  bool detected = false;
+  Cycle detected_at = 0;
+};
+
+class Injector final : public core::FaultHook {
+ public:
+  explicit Injector(const InjectorConfig& config);
+
+  core::FaultDecision on_instruction(InstSeq seq, Cycle now,
+                                     const isa::Instruction& inst) override;
+  void on_detected(InstSeq seq, Cycle injected_at, Cycle detected_at) override;
+  void on_undetected(InstSeq seq) override;
+
+  u64 injected() const { return records_.size(); }
+  u64 detected() const { return detected_; }
+  u64 undetected() const { return undetected_; }
+  /// Detected / resolved; pending (still in flight) faults are excluded.
+  double coverage() const;
+  const std::vector<FaultRecord>& records() const { return records_; }
+  const Histogram& latency() const { return latency_; }
+
+ private:
+  FaultRecord* find(InstSeq seq);
+
+  InjectorConfig config_;
+  SplitMix64 rng_;
+  std::set<InstSeq> fired_;  ///< scheduled seqs already injected
+  std::vector<FaultRecord> records_;
+  u64 detected_ = 0;
+  u64 undetected_ = 0;
+  Histogram latency_{4, 64};
+};
+
+}  // namespace reese::faults

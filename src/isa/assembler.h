@@ -1,0 +1,44 @@
+// Two-pass text assembler for SRV.
+//
+// Syntax (RISC-V flavoured):
+//
+//   # comment              // comment
+//   .text                  .data
+//   label:
+//     addi  t0, t0, 1
+//     ld    a0, 8(sp)
+//     beq   t0, t1, label
+//     li    t2, 0x12345678abcd      # pseudo, expands as needed
+//     la    a1, table               # pseudo, lui+addi
+//   .data
+//   table:  .dword 1, 2, other_label, label+8
+//   name:   .asciiz "text"
+//           .space 64
+//           .align 8
+//           .byte 1, 2   .half ...   .word ...
+//
+// Pseudo-instructions: li la mv not neg j jr call ret beqz bnez bltz bgez
+// blez bgtz ble bgt bleu bgtu seqz snez subi.
+//
+// Labels may be used wherever an immediate is expected; branch/jal targets
+// are converted to instruction-relative offsets. Data values may be
+// `label` or `label+N` / `label-N`.
+//
+// Entry point: the `main` label if defined, otherwise the first instruction.
+#pragma once
+
+#include <string_view>
+
+#include "common/error.h"
+#include "isa/program.h"
+
+namespace reese::isa {
+
+struct AsmOptions {
+  Addr code_base = kDefaultCodeBase;
+  Addr data_base = kDefaultDataBase;
+};
+
+Result<Program> assemble(std::string_view source, const AsmOptions& options = {});
+
+}  // namespace reese::isa

@@ -1,0 +1,120 @@
+#include "isa/encoding.h"
+
+#include "common/bitutil.h"
+#include "common/strutil.h"
+
+namespace reese::isa {
+namespace {
+
+constexpr u32 field_a(u8 reg) { return static_cast<u32>(reg & 0x1F) << 19; }
+constexpr u32 field_b(u8 reg) { return static_cast<u32>(reg & 0x1F) << 14; }
+constexpr u32 field_c(u8 reg) { return static_cast<u32>(reg & 0x1F) << 9; }
+constexpr u32 field_imm14(i64 imm) {
+  return static_cast<u32>(static_cast<u64>(imm) & 0x3FFF);
+}
+constexpr u32 field_imm19(i64 imm) {
+  return static_cast<u32>(static_cast<u64>(imm) & 0x7FFFF);
+}
+
+}  // namespace
+
+Result<u32> encode(const Instruction& inst) {
+  const OpInfo& info = inst.info();
+  u32 word = static_cast<u32>(inst.op) << 24;
+
+  const bool needs14 = info.format == Format::kI || info.format == Format::kL ||
+                       info.format == Format::kS || info.format == Format::kB ||
+                       info.format == Format::kJr;
+  const bool needs19 = info.format == Format::kU || info.format == Format::kJ;
+  if (needs14 && !fits_signed(inst.imm, kImm14Bits)) {
+    return errorf("%s: immediate %lld out of 14-bit range",
+                  std::string(info.mnemonic).c_str(),
+                  static_cast<long long>(inst.imm));
+  }
+  if (needs19 && !fits_signed(inst.imm, kImm19Bits)) {
+    return errorf("%s: immediate %lld out of 19-bit range",
+                  std::string(info.mnemonic).c_str(),
+                  static_cast<long long>(inst.imm));
+  }
+
+  switch (info.format) {
+    case Format::kR:
+      word |= field_a(inst.rd) | field_b(inst.rs1) | field_c(inst.rs2);
+      break;
+    case Format::kI:
+    case Format::kL:
+    case Format::kJr:
+      word |= field_a(inst.rd) | field_b(inst.rs1) | field_imm14(inst.imm);
+      break;
+    case Format::kU:
+    case Format::kJ:
+      word |= field_a(inst.rd) | field_imm19(inst.imm);
+      break;
+    case Format::kS:
+      word |= field_a(inst.rs2) | field_b(inst.rs1) | field_imm14(inst.imm);
+      break;
+    case Format::kB:
+      word |= field_a(inst.rs1) | field_b(inst.rs2) | field_imm14(inst.imm);
+      break;
+    case Format::kO:
+      word |= field_b(inst.rs1);
+      break;
+    case Format::kN:
+      break;
+  }
+  return word;
+}
+
+Result<Instruction> decode(u32 word) {
+  const u32 opcode_byte = word >> 24;
+  if (opcode_byte >= kOpcodeCount) {
+    return errorf("unknown opcode byte 0x%02X", opcode_byte);
+  }
+  Instruction inst;
+  inst.op = static_cast<Opcode>(opcode_byte);
+  const OpInfo& info = inst.info();
+
+  const u8 a = static_cast<u8>(extract_bits(word, 19, 5));
+  const u8 b = static_cast<u8>(extract_bits(word, 14, 5));
+  const u8 c = static_cast<u8>(extract_bits(word, 9, 5));
+  const i64 imm14 = sign_extend(extract_bits(word, 0, 14), kImm14Bits);
+  const i64 imm19 = sign_extend(extract_bits(word, 0, 19), kImm19Bits);
+
+  switch (info.format) {
+    case Format::kR:
+      inst.rd = a;
+      inst.rs1 = b;
+      inst.rs2 = c;
+      break;
+    case Format::kI:
+    case Format::kL:
+    case Format::kJr:
+      inst.rd = a;
+      inst.rs1 = b;
+      inst.imm = imm14;
+      break;
+    case Format::kU:
+    case Format::kJ:
+      inst.rd = a;
+      inst.imm = imm19;
+      break;
+    case Format::kS:
+      inst.rs2 = a;
+      inst.rs1 = b;
+      inst.imm = imm14;
+      break;
+    case Format::kB:
+      inst.rs1 = a;
+      inst.rs2 = b;
+      inst.imm = imm14;
+      break;
+    case Format::kO:
+      inst.rs1 = b;
+      break;
+    case Format::kN:
+      break;
+  }
+  return inst;
+}
+
+}  // namespace reese::isa

@@ -1,0 +1,32 @@
+// Binary encoding of SRV instructions.
+//
+// Fixed 32-bit words:
+//   [31:24] opcode
+//   [23:19] field a   [18:14] field b   [13:9] field c
+//   [13:0]  imm14 (signed)    [18:0] imm19 (signed)
+//
+// Field assignment per format (see Format in opcode.h):
+//   R : a=rd  b=rs1 c=rs2        I : a=rd  b=rs1 imm14
+//   U : a=rd  imm19              L : a=rd  b=rs1 imm14
+//   S : a=rs2 b=rs1 imm14        B : a=rs1 b=rs2 imm14
+//   J : a=rd  imm19              Jr: a=rd  b=rs1 imm14
+//   O : b=rs1                    N : (none)
+#pragma once
+
+#include "common/error.h"
+#include "isa/instruction.h"
+
+namespace reese::isa {
+
+/// Immediate ranges enforced by encode().
+constexpr unsigned kImm14Bits = 14;
+constexpr unsigned kImm19Bits = 19;
+
+/// Encode a decoded instruction. Fails if the immediate does not fit the
+/// format's field.
+Result<u32> encode(const Instruction& inst);
+
+/// Decode a 32-bit word. Fails on an unknown opcode byte.
+Result<Instruction> decode(u32 word);
+
+}  // namespace reese::isa

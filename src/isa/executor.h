@@ -1,0 +1,52 @@
+// Functional execution of SRV instructions.
+//
+// Two layers:
+//  * compute(): a pure function of (instruction, operand values, pc) that
+//    yields the result value / branch outcome / effective address. This is
+//    the single definition of SRV semantics; both the full step() below and
+//    the REESE R-stream re-execution call it, so P and R streams are
+//    guaranteed to run the same computation (as they do in hardware, where
+//    it is the same functional unit).
+//  * step(): advances an ArchState by one instruction against a DataSpace,
+//    used by the golden ISS and by the pipeline's dispatch-time in-order
+//    execution.
+#pragma once
+
+#include "common/types.h"
+#include "isa/arch_state.h"
+#include "isa/instruction.h"
+
+namespace reese::isa {
+
+/// Result of the pure computation of one instruction.
+struct ComputeOut {
+  u64 value = 0;       ///< rd value; for stores the value to be stored;
+                       ///< for conditional branches taken?1:0
+  bool taken = false;  ///< control transfer taken (always true for jumps)
+  Addr target = 0;     ///< control target when taken
+  Addr addr = 0;       ///< effective address for loads/stores
+};
+
+/// Pure SRV semantics. `rs1_value`/`rs2_value` are the operand *values*
+/// (integer or FP bit pattern as the opcode demands). Does not touch any
+/// state; loads produce only the effective address (the memory read itself
+/// is the caller's business).
+ComputeOut compute(const Instruction& inst, u64 rs1_value, u64 rs2_value,
+                   Addr pc);
+
+/// Side effects + values produced by one full step().
+struct StepOut {
+  ComputeOut compute;       ///< as above
+  u64 rs1_value = 0;        ///< operand values actually read (for the RUU)
+  u64 rs2_value = 0;
+  u64 result = 0;           ///< value written to rd (loads: loaded value)
+  bool wrote_reg = false;
+  Addr next_pc = 0;
+};
+
+/// Execute `inst` at state->pc: read operands, compute, access `data`,
+/// update registers/pc/halt/out-hash. The caller guarantees `inst` is the
+/// instruction at state->pc.
+StepOut step(ArchState* state, const Instruction& inst, DataSpace* data);
+
+}  // namespace reese::isa

@@ -1,0 +1,47 @@
+// Decoded instruction representation and register names.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "isa/opcode.h"
+
+namespace reese::isa {
+
+constexpr usize kIntRegCount = 32;
+constexpr usize kFpRegCount = 32;
+/// x0 reads as zero and ignores writes.
+constexpr u8 kZeroReg = 0;
+/// ABI register aliases (RISC-V naming, used by the assembler).
+constexpr u8 kRaReg = 1;   // return address
+constexpr u8 kSpReg = 2;   // stack pointer
+constexpr u8 kGpReg = 3;   // global pointer
+
+/// One decoded instruction. `imm` is fully sign-extended at decode; branch
+/// and JAL immediates are in units of instruction words (target = pc +
+/// 4*imm).
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i64 imm = 0;
+
+  const OpInfo& info() const { return op_info(op); }
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// "add x5, x6, x7" style disassembly (ABI register names).
+std::string disassemble(const Instruction& inst);
+
+/// Register name ("x7"/ABI alias) -> index; returns -1 if unknown.
+/// `fp` selects the FP register namespace (f0..f31, fa0.., ft0.., fs0..).
+int parse_register(std::string_view name, bool fp);
+
+/// Canonical ABI name of integer register `index`.
+std::string_view int_reg_name(u8 index);
+/// Canonical name of FP register `index`.
+std::string_view fp_reg_name(u8 index);
+
+}  // namespace reese::isa

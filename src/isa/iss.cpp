@@ -1,0 +1,67 @@
+#include "isa/iss.h"
+
+#include "isa/executor.h"
+
+namespace reese::isa {
+
+void InstMix::record(Opcode op, bool taken) {
+  ++total;
+  const OpInfo& info = op_info(op);
+  if (is_cond_branch(op)) {
+    ++cond_branches;
+    if (taken) ++taken_branches;
+    return;
+  }
+  if (is_jump(op)) {
+    ++jumps;
+    return;
+  }
+  switch (info.exec_class) {
+    case ExecClass::kIntAlu: ++int_alu; break;
+    case ExecClass::kIntMul: ++int_mul; break;
+    case ExecClass::kIntDiv: ++int_div; break;
+    case ExecClass::kFpAdd:
+    case ExecClass::kFpMul:
+    case ExecClass::kFpDiv:
+    case ExecClass::kFpSqrt: ++fp; break;
+    case ExecClass::kLoad: ++loads; break;
+    case ExecClass::kStore: ++stores; break;
+    case ExecClass::kNone: ++other; break;
+  }
+}
+
+Iss::Iss(const Program& program) : program_(program) {
+  program_.load_data(&memory_);
+  state_.pc = program_.entry;
+  state_.set_x(kSpReg, kDefaultStackTop);
+  state_.set_x(kGpReg, program_.data_base);
+}
+
+bool Iss::step_one() {
+  if (state_.halted || bad_pc_) return false;
+  if (!program_.contains_pc(state_.pc)) {
+    bad_pc_ = true;
+    return false;
+  }
+  const Instruction& inst = program_.at(state_.pc);
+  const StepOut out = step(&state_, inst, &data_space_);
+  mix_.record(inst.op, out.compute.taken);
+  ++executed_;
+  return !state_.halted;
+}
+
+IssResult Iss::run(u64 max_instructions) {
+  for (u64 i = 0; i < max_instructions; ++i) {
+    if (!step_one()) break;
+  }
+  IssResult result;
+  result.executed_instructions = executed_;
+  result.halted = state_.halted;
+  result.bad_pc = bad_pc_;
+  result.final_pc = state_.pc;
+  result.out_hash = state_.out_hash;
+  result.out_count = state_.out_count;
+  return result;
+}
+
+}  // namespace reese::isa

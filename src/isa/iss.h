@@ -1,0 +1,70 @@
+// Golden in-order instruction-set simulator.
+//
+// Executes a Program one instruction at a time with no timing model. Used
+// as the functional-correctness reference: every workload's checksum and
+// final memory image must match between this ISS and the cycle-level
+// pipeline (which executes the same `step()` at dispatch).
+#pragma once
+
+#include "common/types.h"
+#include "isa/arch_state.h"
+#include "isa/program.h"
+
+namespace reese::isa {
+
+struct IssResult {
+  u64 executed_instructions = 0;
+  bool halted = false;        ///< program executed HALT
+  bool bad_pc = false;        ///< fetch left the text segment
+  Addr final_pc = 0;
+  u64 out_hash = 0;
+  u64 out_count = 0;
+};
+
+/// Per-opcode-class dynamic instruction mix, reported by profile runs and
+/// the Table 2 bench.
+struct InstMix {
+  u64 total = 0;
+  u64 int_alu = 0;
+  u64 int_mul = 0;
+  u64 int_div = 0;
+  u64 fp = 0;
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 cond_branches = 0;
+  u64 taken_branches = 0;
+  u64 jumps = 0;
+  u64 other = 0;
+
+  void record(Opcode op, bool taken);
+};
+
+class Iss {
+ public:
+  /// Loads `program`'s data image into a fresh memory, points the PC at the
+  /// entry and initializes SP to the standard stack top.
+  explicit Iss(const Program& program);
+
+  /// Run at most `max_instructions`. Returns early on HALT or on a PC
+  /// outside the text segment.
+  IssResult run(u64 max_instructions);
+
+  ArchState& state() { return state_; }
+  const ArchState& state() const { return state_; }
+  mem::MainMemory& memory() { return memory_; }
+  const InstMix& mix() const { return mix_; }
+
+  /// One instruction; returns false if halted / bad PC.
+  bool step_one();
+
+ private:
+  const Program& program_;
+  mem::MainMemory memory_;
+  DirectDataSpace data_space_{&memory_};
+  ArchState state_;
+  InstMix mix_;
+  u64 executed_ = 0;
+  bool bad_pc_ = false;
+};
+
+}  // namespace reese::isa

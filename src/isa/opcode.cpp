@@ -1,0 +1,154 @@
+#include "isa/opcode.h"
+
+#include <cassert>
+#include <map>
+
+namespace reese::isa {
+namespace {
+
+constexpr OpInfo make_r(std::string_view m, ExecClass ec) {
+  return OpInfo{m, Format::kR, ec, true, true, true,
+                false, false, false, 0, false};
+}
+constexpr OpInfo make_i(std::string_view m, ExecClass ec) {
+  return OpInfo{m, Format::kI, ec, true, false, true,
+                false, false, false, 0, false};
+}
+constexpr OpInfo make_load(std::string_view m, u8 bytes, bool sign, bool fp) {
+  return OpInfo{m, Format::kL, ExecClass::kLoad, true, false, true,
+                fp, false, false, bytes, sign};
+}
+constexpr OpInfo make_store(std::string_view m, u8 bytes, bool fp) {
+  return OpInfo{m, Format::kS, ExecClass::kStore, true, true, false,
+                false, false, fp, bytes, false};
+}
+constexpr OpInfo make_branch(std::string_view m) {
+  return OpInfo{m, Format::kB, ExecClass::kIntAlu, true, true, false,
+                false, false, false, 0, false};
+}
+constexpr OpInfo make_fpr(std::string_view m, ExecClass ec) {
+  return OpInfo{m, Format::kR, ec, true, true, true,
+                true, true, true, 0, false};
+}
+// FP unary (rs2 unused).
+constexpr OpInfo make_fp1(std::string_view m, ExecClass ec) {
+  return OpInfo{m, Format::kR, ec, true, false, true,
+                true, true, false, 0, false};
+}
+// FP compare: FP sources, integer destination.
+constexpr OpInfo make_fcmp(std::string_view m) {
+  return OpInfo{m, Format::kR, ExecClass::kFpAdd, true, true, true,
+                false, true, true, 0, false};
+}
+
+constexpr OpInfo kOpTable[kOpcodeCount] = {
+    /* kAdd  */ make_r("add", ExecClass::kIntAlu),
+    /* kSub  */ make_r("sub", ExecClass::kIntAlu),
+    /* kAnd  */ make_r("and", ExecClass::kIntAlu),
+    /* kOr   */ make_r("or", ExecClass::kIntAlu),
+    /* kXor  */ make_r("xor", ExecClass::kIntAlu),
+    /* kSll  */ make_r("sll", ExecClass::kIntAlu),
+    /* kSrl  */ make_r("srl", ExecClass::kIntAlu),
+    /* kSra  */ make_r("sra", ExecClass::kIntAlu),
+    /* kSlt  */ make_r("slt", ExecClass::kIntAlu),
+    /* kSltu */ make_r("sltu", ExecClass::kIntAlu),
+    /* kMul  */ make_r("mul", ExecClass::kIntMul),
+    /* kMulh */ make_r("mulh", ExecClass::kIntMul),
+    /* kDiv  */ make_r("div", ExecClass::kIntDiv),
+    /* kDivu */ make_r("divu", ExecClass::kIntDiv),
+    /* kRem  */ make_r("rem", ExecClass::kIntDiv),
+    /* kRemu */ make_r("remu", ExecClass::kIntDiv),
+    /* kAddi */ make_i("addi", ExecClass::kIntAlu),
+    /* kAndi */ make_i("andi", ExecClass::kIntAlu),
+    /* kOri  */ make_i("ori", ExecClass::kIntAlu),
+    /* kXori */ make_i("xori", ExecClass::kIntAlu),
+    /* kSlli */ make_i("slli", ExecClass::kIntAlu),
+    /* kSrli */ make_i("srli", ExecClass::kIntAlu),
+    /* kSrai */ make_i("srai", ExecClass::kIntAlu),
+    /* kSlti */ make_i("slti", ExecClass::kIntAlu),
+    /* kSltiu*/ make_i("sltiu", ExecClass::kIntAlu),
+    /* kLui  */ OpInfo{"lui", Format::kU, ExecClass::kIntAlu, false, false,
+                       true, false, false, false, 0, false},
+    /* kLb   */ make_load("lb", 1, true, false),
+    /* kLbu  */ make_load("lbu", 1, false, false),
+    /* kLh   */ make_load("lh", 2, true, false),
+    /* kLhu  */ make_load("lhu", 2, false, false),
+    /* kLw   */ make_load("lw", 4, true, false),
+    /* kLwu  */ make_load("lwu", 4, false, false),
+    /* kLd   */ make_load("ld", 8, false, false),
+    /* kSb   */ make_store("sb", 1, false),
+    /* kSh   */ make_store("sh", 2, false),
+    /* kSw   */ make_store("sw", 4, false),
+    /* kSd   */ make_store("sd", 8, false),
+    /* kBeq  */ make_branch("beq"),
+    /* kBne  */ make_branch("bne"),
+    /* kBlt  */ make_branch("blt"),
+    /* kBge  */ make_branch("bge"),
+    /* kBltu */ make_branch("bltu"),
+    /* kBgeu */ make_branch("bgeu"),
+    /* kJal  */ OpInfo{"jal", Format::kJ, ExecClass::kIntAlu, false, false,
+                       true, false, false, false, 0, false},
+    /* kJalr */ OpInfo{"jalr", Format::kJr, ExecClass::kIntAlu, true, false,
+                       true, false, false, false, 0, false},
+    /* kFadd */ make_fpr("fadd", ExecClass::kFpAdd),
+    /* kFsub */ make_fpr("fsub", ExecClass::kFpAdd),
+    /* kFmul */ make_fpr("fmul", ExecClass::kFpMul),
+    /* kFdiv */ make_fpr("fdiv", ExecClass::kFpDiv),
+    /* kFsqrt*/ make_fp1("fsqrt", ExecClass::kFpSqrt),
+    /* kFmin */ make_fpr("fmin", ExecClass::kFpAdd),
+    /* kFmax */ make_fpr("fmax", ExecClass::kFpAdd),
+    /* kFneg */ make_fp1("fneg", ExecClass::kFpAdd),
+    /* kFcvtDL */ OpInfo{"fcvt.d.l", Format::kR, ExecClass::kFpAdd, true,
+                         false, true, true, false, false, 0, false},
+    /* kFcvtLD */ OpInfo{"fcvt.l.d", Format::kR, ExecClass::kFpAdd, true,
+                         false, true, false, true, false, 0, false},
+    /* kFeq  */ make_fcmp("feq"),
+    /* kFlt  */ make_fcmp("flt"),
+    /* kFle  */ make_fcmp("fle"),
+    /* kFld  */ make_load("fld", 8, false, true),
+    /* kFsd  */ make_store("fsd", 8, true),
+    /* kFmvXD */ OpInfo{"fmv.x.d", Format::kR, ExecClass::kFpAdd, true, false,
+                        true, false, true, false, 0, false},
+    /* kFmvDX */ OpInfo{"fmv.d.x", Format::kR, ExecClass::kFpAdd, true, false,
+                        true, true, false, false, 0, false},
+    /* kOut  */ OpInfo{"out", Format::kO, ExecClass::kIntAlu, true, false,
+                       false, false, false, false, 0, false},
+    /* kHalt */ OpInfo{"halt", Format::kN, ExecClass::kNone, false, false,
+                       false, false, false, false, 0, false},
+    /* kNop  */ OpInfo{"nop", Format::kN, ExecClass::kNone, false, false,
+                       false, false, false, false, 0, false},
+};
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) {
+  const usize index = static_cast<usize>(op);
+  assert(index < kOpcodeCount);
+  return kOpTable[index];
+}
+
+bool is_load(Opcode op) { return op_info(op).exec_class == ExecClass::kLoad; }
+bool is_store(Opcode op) { return op_info(op).exec_class == ExecClass::kStore; }
+bool is_mem(Opcode op) { return is_load(op) || is_store(op); }
+bool is_cond_branch(Opcode op) { return op_info(op).format == Format::kB; }
+bool is_jump(Opcode op) { return op == Opcode::kJal || op == Opcode::kJalr; }
+bool is_control(Opcode op) { return is_cond_branch(op) || is_jump(op); }
+
+bool is_fp(Opcode op) {
+  const OpInfo& info = op_info(op);
+  return info.is_fp_rd || info.is_fp_rs1 || info.is_fp_rs2;
+}
+
+Opcode opcode_from_mnemonic(std::string_view mnemonic) {
+  static const std::map<std::string_view, Opcode>* kByName = [] {
+    auto* m = new std::map<std::string_view, Opcode>();
+    for (usize i = 0; i < kOpcodeCount; ++i) {
+      (*m)[kOpTable[i].mnemonic] = static_cast<Opcode>(i);
+    }
+    return m;
+  }();
+  auto it = kByName->find(mnemonic);
+  return it == kByName->end() ? Opcode::kCount : it->second;
+}
+
+}  // namespace reese::isa

@@ -1,0 +1,114 @@
+// The SRV instruction set.
+//
+// SRV is a small 64-bit load/store RISC ISA defined for this project so the
+// whole simulator stack (assembler, functional executor, golden ISS, and the
+// cycle-level out-of-order core) is self-contained — the paper's substrate,
+// SimpleScalar's PISA, plays the same role there. The ISA is deliberately
+// RISC-V-flavoured: 32 integer registers (x0 hardwired to zero), 32 FP
+// registers holding IEEE doubles, fixed 32-bit instruction words.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.h"
+
+namespace reese::isa {
+
+enum class Opcode : u8 {
+  // Integer register-register ALU.
+  kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra, kSlt, kSltu,
+  // Integer multiply/divide (long latency).
+  kMul, kMulh, kDiv, kDivu, kRem, kRemu,
+  // Integer register-immediate ALU.
+  kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai, kSlti, kSltiu,
+  // Upper-immediate constant construction: rd = sext(imm19) << 14.
+  kLui,
+  // Loads (sign-extending unless 'u').
+  kLb, kLbu, kLh, kLhu, kLw, kLwu, kLd,
+  // Stores.
+  kSb, kSh, kSw, kSd,
+  // Conditional branches (PC-relative, instruction-count offset).
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  // Jumps.
+  kJal,   // rd = return address; PC-relative target.
+  kJalr,  // rd = return address; target = rs1 + imm.
+  // Floating point (doubles; FP regs hold raw IEEE-754 bit patterns).
+  kFadd, kFsub, kFmul, kFdiv, kFsqrt, kFmin, kFmax, kFneg,
+  kFcvtDL,  // int reg -> double FP reg
+  kFcvtLD,  // double FP reg -> int reg (truncating)
+  kFeq, kFlt, kFle,  // FP compare -> int reg
+  kFld, kFsd,        // FP load/store (64-bit)
+  kFmvXD,  // bit-move FP reg -> int reg
+  kFmvDX,  // bit-move int reg -> FP reg
+  // System.
+  kOut,   // append rs1's value to the architectural output hash (testing aid)
+  kHalt,  // stop the machine
+  kNop,
+  kCount,
+};
+
+constexpr usize kOpcodeCount = static_cast<usize>(Opcode::kCount);
+
+/// Instruction-word layout, selected per opcode.
+enum class Format : u8 {
+  kR,   // op rd, rs1, rs2
+  kI,   // op rd, rs1, imm14
+  kU,   // op rd, imm19          (LUI)
+  kL,   // op rd, imm14(rs1)     (loads)
+  kS,   // op rs2, imm14(rs1)    (stores)
+  kB,   // op rs1, rs2, imm14    (branches; imm in instruction words)
+  kJ,   // op rd, imm19          (JAL; imm in instruction words)
+  kJr,  // op rd, rs1, imm14     (JALR)
+  kN,   // op                    (HALT/NOP)
+  kO,   // op rs1                (OUT)
+};
+
+/// Which execution resource an operation occupies, and its latency class.
+/// The core maps these to functional units and latencies from its config
+/// (Table 1 of the paper: 4 IntAdd + 1 IntM/D + the FP mirror + mem ports).
+enum class ExecClass : u8 {
+  kIntAlu,   // 1-cycle integer ops, branches, jumps, address arithmetic
+  kIntMul,   // pipelined multiply
+  kIntDiv,   // unpipelined divide
+  kFpAdd,    // FP add/sub/compare/convert/min/max/neg
+  kFpMul,    // pipelined FP multiply
+  kFpDiv,    // unpipelined FP divide
+  kFpSqrt,   // unpipelined FP sqrt
+  kLoad,     // memory port + D-cache access
+  kStore,    // address on IntALU; cache write at commit via memory port
+  kNone,     // HALT/NOP
+};
+
+/// Static properties of one opcode. All decode/execute/schedule logic is
+/// table-driven off this.
+struct OpInfo {
+  std::string_view mnemonic;
+  Format format;
+  ExecClass exec_class;
+  bool reads_rs1;
+  bool reads_rs2;
+  bool writes_rd;
+  bool is_fp_rd;     // destination is an FP register
+  bool is_fp_rs1;    // rs1 names an FP register
+  bool is_fp_rs2;    // rs2 names an FP register
+  u8 mem_bytes;      // 0 for non-memory ops
+  bool load_signed;  // sign-extend loaded value
+};
+
+/// Table lookup; aborts on out-of-range opcode in debug builds.
+const OpInfo& op_info(Opcode op);
+
+/// Derived predicates (header-inline for the hot paths).
+bool is_load(Opcode op);
+bool is_store(Opcode op);
+bool is_mem(Opcode op);
+bool is_cond_branch(Opcode op);
+bool is_jump(Opcode op);
+/// Any control transfer: conditional branch, JAL, JALR.
+bool is_control(Opcode op);
+bool is_fp(Opcode op);
+
+/// Mnemonic -> opcode; returns kCount if unknown.
+Opcode opcode_from_mnemonic(std::string_view mnemonic);
+
+}  // namespace reese::isa

@@ -1,0 +1,24 @@
+#include "isa/program.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace reese::isa {
+
+Addr Program::symbol(const std::string& name) const {
+  auto it = symbols.find(name);
+  if (it == symbols.end()) {
+    std::fprintf(stderr, "Program::symbol: no symbol named '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second;
+}
+
+void Program::load_data(mem::MainMemory* memory) const {
+  if (!data.empty()) {
+    memory->write_block(data_base, data.data(), data.size());
+  }
+}
+
+}  // namespace reese::isa

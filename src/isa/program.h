@@ -1,0 +1,55 @@
+// A loadable SRV program image: encoded text segment, initialized data
+// segment, entry point and symbol table.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "mem/main_memory.h"
+
+namespace reese::isa {
+
+/// Default memory layout (all addresses byte-granular):
+///   text  at 0x0000'1000
+///   data  at 0x0010'0000
+///   heap  grows up from the end of data (workload-managed)
+///   stack grows down from 0x0800'0000
+constexpr Addr kDefaultCodeBase = 0x1000;
+constexpr Addr kDefaultDataBase = 0x100000;
+constexpr Addr kDefaultStackTop = 0x8000000;
+
+struct Program {
+  std::vector<Instruction> code;  ///< decoded text, code[i] at code_base + 4*i
+  std::vector<u32> words;         ///< encoded text, same length as `code`
+  Addr code_base = kDefaultCodeBase;
+
+  std::vector<u8> data;  ///< initialized data image
+  Addr data_base = kDefaultDataBase;
+
+  Addr entry = kDefaultCodeBase;
+  std::map<std::string, Addr> symbols;
+
+  /// True iff `pc` addresses an instruction of this program.
+  bool contains_pc(Addr pc) const {
+    return pc >= code_base && pc < code_base + 4 * code.size() &&
+           (pc & 3) == 0;
+  }
+
+  /// Instruction at `pc`; pc must satisfy contains_pc().
+  const Instruction& at(Addr pc) const { return code[(pc - code_base) / 4]; }
+
+  Addr end_pc() const { return code_base + 4 * code.size(); }
+
+  /// Address of a labelled symbol; aborts if absent (programming error in
+  /// tests/workloads, not user input).
+  Addr symbol(const std::string& name) const;
+
+  /// Copy the data image into simulated memory. (Code is Harvard-style: the
+  /// I-cache is simulated on text addresses but fetch reads `code` directly.)
+  void load_data(mem::MainMemory* memory) const;
+};
+
+}  // namespace reese::isa

@@ -1,0 +1,144 @@
+#include "mem/cache.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bitutil.h"
+#include "common/stats.h"
+
+namespace reese::mem {
+
+double CacheStats::miss_rate() const { return safe_ratio(misses, accesses); }
+
+void CacheConfig::validate() const {
+  auto die = [this](const char* what) {
+    std::fprintf(stderr, "cache '%s': %s\n", name.c_str(), what);
+    std::abort();
+  };
+  if (!is_pow2(line_bytes) || line_bytes < 4) die("line size must be pow2 >= 4");
+  if (associativity == 0) die("associativity must be >= 1");
+  if (size_bytes == 0 || size_bytes % (u64{line_bytes} * associativity) != 0) {
+    die("size must be a multiple of line_bytes * associativity");
+  }
+  if (!is_pow2(set_count())) die("set count must be a power of two");
+  if (hit_latency == 0) die("hit latency must be >= 1");
+}
+
+Cache::Cache(const CacheConfig& config, MemoryLevel* next, u64 seed)
+    : config_(config), next_(next), rng_(seed) {
+  config_.validate();
+  assert(next_ != nullptr && "cache needs a next level");
+  lines_.resize(config_.set_count() * config_.associativity);
+}
+
+bool Cache::contains(Addr addr) const {
+  const u64 set_base = set_index(addr) * config_.associativity;
+  const u64 tag = tag_bits(addr);
+  for (u32 way = 0; way < config_.associativity; ++way) {
+    const Line& line = lines_[set_base + way];
+    if (line.valid && line.tag == tag) return true;
+  }
+  return false;
+}
+
+usize Cache::victim_way(usize set_base) {
+  // Prefer an invalid way.
+  for (u32 way = 0; way < config_.associativity; ++way) {
+    if (!lines_[set_base + way].valid) return way;
+  }
+  switch (config_.replacement) {
+    case ReplacementPolicy::kRandom:
+      return static_cast<usize>(rng_.next_below(config_.associativity));
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo: {
+      usize victim = 0;
+      u64 oldest = ~u64{0};
+      for (u32 way = 0; way < config_.associativity; ++way) {
+        if (lines_[set_base + way].stamp < oldest) {
+          oldest = lines_[set_base + way].stamp;
+          victim = way;
+        }
+      }
+      return victim;
+    }
+  }
+  return 0;
+}
+
+u32 Cache::access_one_line(Addr addr, bool is_write) {
+  ++tick_;
+  ++stats_.accesses;
+  if (is_write) {
+    ++stats_.write_accesses;
+  } else {
+    ++stats_.read_accesses;
+  }
+
+  const u64 set_base = set_index(addr) * config_.associativity;
+  const u64 tag = tag_bits(addr);
+
+  for (u32 way = 0; way < config_.associativity; ++way) {
+    Line& line = lines_[set_base + way];
+    if (line.valid && line.tag == tag) {
+      ++stats_.hits;
+      if (config_.replacement == ReplacementPolicy::kLru) line.stamp = tick_;
+      u32 latency = config_.hit_latency;
+      if (is_write) {
+        if (config_.write_policy == WritePolicy::kWriteThrough) {
+          // Write-through: the write proceeds to the next level but the
+          // pipeline does not wait for it (write buffer assumed).
+          next_->access(addr, true);
+        } else {
+          line.dirty = true;
+        }
+      }
+      return latency;
+    }
+  }
+
+  // Miss.
+  ++stats_.misses;
+  u32 latency = config_.hit_latency;
+
+  const bool allocate = !is_write || config_.write_allocate;
+  if (allocate) {
+    const usize way = victim_way(set_base);
+    Line& line = lines_[set_base + way];
+    if (line.valid) {
+      ++stats_.evictions;
+      if (line.dirty) {
+        ++stats_.writebacks;
+        // Victim writeback goes to a write buffer; its latency is not on
+        // the critical path of this access.
+        const Addr victim_addr =
+            (line.tag * config_.set_count() + set_index(addr)) *
+            config_.line_bytes;
+        next_->access(victim_addr, true);
+      }
+    }
+    latency += next_->access(line_addr(addr), false);
+    line.valid = true;
+    line.tag = tag;
+    line.dirty = is_write && config_.write_policy == WritePolicy::kWriteBack;
+    line.stamp = tick_;
+  } else {
+    // Write miss, no-allocate: pass through.
+    latency += next_->access(addr, true);
+  }
+  return latency;
+}
+
+u32 Cache::access(Addr addr, bool is_write) {
+  const Addr first_line = line_addr(addr);
+  return access_one_line(first_line, is_write);
+}
+
+void Cache::invalidate_all() {
+  for (Line& line : lines_) {
+    if (line.valid && line.dirty) ++stats_.writebacks;
+    line = Line{};
+  }
+}
+
+}  // namespace reese::mem

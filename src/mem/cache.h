@@ -1,0 +1,130 @@
+// Timing model of one set-associative cache level.
+//
+// Function and timing are decoupled in this simulator (as in SimpleScalar):
+// data values live in MainMemory, while Cache only tracks tags to decide
+// hit/miss and compute access latency. An access returns its total latency
+// in cycles, recursing into the next level on a miss.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace reese::mem {
+
+enum class ReplacementPolicy : u8 { kLru, kFifo, kRandom };
+
+enum class WritePolicy : u8 {
+  kWriteBack,     // dirty lines written to the next level on eviction
+  kWriteThrough,  // every write also updates the next level (no dirty state)
+};
+
+struct CacheConfig {
+  std::string name = "cache";
+  u64 size_bytes = 32 * 1024;
+  u32 line_bytes = 32;
+  u32 associativity = 2;
+  u32 hit_latency = 1;        ///< cycles for a hit (includes lookup)
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  WritePolicy write_policy = WritePolicy::kWriteBack;
+  bool write_allocate = true;
+
+  u64 set_count() const { return size_bytes / (u64{line_bytes} * associativity); }
+  /// Validates power-of-two geometry; aborts with a message on bad configs
+  /// (configuration bugs, not user input).
+  void validate() const;
+};
+
+struct CacheStats {
+  u64 accesses = 0;
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 read_accesses = 0;
+  u64 write_accesses = 0;
+  u64 evictions = 0;
+  u64 writebacks = 0;
+
+  double miss_rate() const;
+};
+
+/// Interface for the level below a cache (another cache or main memory).
+class MemoryLevel {
+ public:
+  virtual ~MemoryLevel() = default;
+  /// Latency of serving a whole-line access at `addr`.
+  virtual u32 access(Addr addr, bool is_write) = 0;
+  virtual const std::string& name() const = 0;
+};
+
+/// Flat DRAM model: fixed first-word latency (SimpleScalar's chunked model
+/// collapses to this for single-line fills).
+class FlatMemoryLevel final : public MemoryLevel {
+ public:
+  explicit FlatMemoryLevel(u32 latency, std::string name = "dram")
+      : latency_(latency), name_(std::move(name)) {}
+  u32 access(Addr, bool) override {
+    ++accesses_;
+    return latency_;
+  }
+  const std::string& name() const override { return name_; }
+  u64 accesses() const { return accesses_; }
+
+ private:
+  u32 latency_;
+  std::string name_;
+  u64 accesses_ = 0;
+};
+
+class Cache final : public MemoryLevel {
+ public:
+  /// `next` is the level to fetch misses from / write through to; it must
+  /// outlive this cache. `seed` feeds random replacement only.
+  Cache(const CacheConfig& config, MemoryLevel* next, u64 seed = 0x5EED);
+
+  /// Simulate an access of up to one line at `addr`; returns total latency.
+  /// Accesses that straddle a line boundary charge both lines (worst case).
+  u32 access(Addr addr, bool is_write) override;
+
+  /// Probe without changing state (for tests and warmth queries).
+  bool contains(Addr addr) const;
+
+  /// Drop all lines (dirty lines are written back for accounting). Used on
+  /// REESE error recovery only if configured to flush; normally unused.
+  void invalidate_all();
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+  const std::string& name() const override { return config_.name; }
+
+ private:
+  struct Line {
+    u64 tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    u64 stamp = 0;  ///< LRU: last-use time; FIFO: fill time
+  };
+
+  u32 access_one_line(Addr addr, bool is_write);
+  usize victim_way(usize set_base);
+
+  Addr line_addr(Addr addr) const { return addr & ~(Addr{config_.line_bytes} - 1); }
+  u64 set_index(Addr addr) const {
+    return (addr / config_.line_bytes) & (config_.set_count() - 1);
+  }
+  u64 tag_bits(Addr addr) const {
+    return addr / config_.line_bytes / config_.set_count();
+  }
+
+  CacheConfig config_;
+  MemoryLevel* next_;
+  std::vector<Line> lines_;  ///< set-major: lines_[set * assoc + way]
+  CacheStats stats_;
+  u64 tick_ = 0;
+  SplitMix64 rng_;
+};
+
+}  // namespace reese::mem

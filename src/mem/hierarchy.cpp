@@ -1,0 +1,43 @@
+#include "mem/hierarchy.h"
+
+#include "common/strutil.h"
+
+namespace reese::mem {
+
+Hierarchy::Hierarchy(const HierarchyConfig& config) : config_(config) {
+  dram_ = std::make_unique<FlatMemoryLevel>(config_.memory_latency);
+  ul2_ = std::make_unique<Cache>(config_.ul2, dram_.get(), /*seed=*/0x12);
+  il1_ = std::make_unique<Cache>(config_.il1, ul2_.get(), /*seed=*/0x34);
+  dl1_ = std::make_unique<Cache>(config_.dl1, ul2_.get(), /*seed=*/0x56);
+  itlb_ = std::make_unique<Tlb>(config_.itlb);
+  dtlb_ = std::make_unique<Tlb>(config_.dtlb);
+}
+
+u32 Hierarchy::inst_access(Addr pc) {
+  u32 latency = il1_->access(pc, /*is_write=*/false);
+  if (config_.enable_tlbs) latency += itlb_->access(pc);
+  return latency;
+}
+
+u32 Hierarchy::data_access(Addr addr, bool is_write) {
+  u32 latency = dl1_->access(addr, is_write);
+  if (config_.enable_tlbs) latency += dtlb_->access(addr);
+  return latency;
+}
+
+std::string Hierarchy::report() const {
+  std::string out;
+  for (const Cache* cache : {il1_.get(), dl1_.get(), ul2_.get()}) {
+    const CacheStats& s = cache->stats();
+    out += format("  %-4s: %10llu accesses, %9llu misses (%.3f%% miss rate)\n",
+                  cache->name().c_str(),
+                  static_cast<unsigned long long>(s.accesses),
+                  static_cast<unsigned long long>(s.misses),
+                  100.0 * s.miss_rate());
+  }
+  out += format("  dram: %10llu accesses\n",
+                static_cast<unsigned long long>(dram_->accesses()));
+  return out;
+}
+
+}  // namespace reese::mem

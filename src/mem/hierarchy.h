@@ -1,0 +1,78 @@
+// The full memory hierarchy of the simulated machine (Table 1 of the
+// paper): split L1 I/D caches, a unified L2, flat DRAM behind it, and
+// I/D TLBs.
+//
+//   L1 I: 32 KB, 2-way, 2-cycle hit        L1 D: 32 KB, 2-way, 2-cycle hit
+//   L2  : 512 KB, 4-way, 12-cycle hit (shared by I and D)
+//   DRAM: fixed 60-cycle access
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mem/cache.h"
+#include "mem/tlb.h"
+
+namespace reese::mem {
+
+struct HierarchyConfig {
+  CacheConfig il1{.name = "il1",
+                  .size_bytes = 32 * 1024,
+                  .line_bytes = 32,
+                  .associativity = 2,
+                  .hit_latency = 2};
+  CacheConfig dl1{.name = "dl1",
+                  .size_bytes = 32 * 1024,
+                  .line_bytes = 32,
+                  .associativity = 2,
+                  .hit_latency = 2};
+  CacheConfig ul2{.name = "ul2",
+                  .size_bytes = 512 * 1024,
+                  .line_bytes = 64,
+                  .associativity = 4,
+                  .hit_latency = 12};
+  TlbConfig itlb{.name = "itlb", .entries = 64};
+  TlbConfig dtlb{.name = "dtlb", .entries = 128};
+  u32 memory_latency = 60;
+  bool enable_tlbs = true;
+};
+
+/// Owns the cache/TLB objects and answers "how many cycles does this access
+/// take". TLB miss latency is additive (walk overlaps nothing), matching
+/// sim-outorder's treatment.
+class Hierarchy {
+ public:
+  explicit Hierarchy(const HierarchyConfig& config);
+
+  /// Instruction fetch of the line containing `pc`.
+  u32 inst_access(Addr pc);
+
+  /// Data access latency (loads and committed stores).
+  u32 data_access(Addr addr, bool is_write);
+
+  Cache& il1() { return *il1_; }
+  Cache& dl1() { return *dl1_; }
+  Cache& ul2() { return *ul2_; }
+  const Cache& il1() const { return *il1_; }
+  const Cache& dl1() const { return *dl1_; }
+  const Cache& ul2() const { return *ul2_; }
+  Tlb& itlb() { return *itlb_; }
+  Tlb& dtlb() { return *dtlb_; }
+  const HierarchyConfig& config() const { return config_; }
+
+  u64 dram_accesses() const { return dram_->accesses(); }
+
+  /// Multi-line summary for reports.
+  std::string report() const;
+
+ private:
+  HierarchyConfig config_;
+  std::unique_ptr<FlatMemoryLevel> dram_;
+  std::unique_ptr<Cache> ul2_;
+  std::unique_ptr<Cache> il1_;
+  std::unique_ptr<Cache> dl1_;
+  std::unique_ptr<Tlb> itlb_;
+  std::unique_ptr<Tlb> dtlb_;
+};
+
+}  // namespace reese::mem

@@ -1,0 +1,118 @@
+#include "mem/main_memory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace reese::mem {
+
+MainMemory::MainMemory(const MainMemory& other) { *this = other; }
+
+MainMemory& MainMemory::operator=(const MainMemory& other) {
+  if (this == &other) return *this;
+  pages_.clear();
+  pages_.reserve(other.pages_.size());
+  for (const auto& [page_index, page] : other.pages_) {
+    pages_.emplace(page_index, std::make_unique<Page>(*page));
+  }
+  return *this;
+}
+
+const MainMemory::Page* MainMemory::find_page(Addr addr) const {
+  auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+MainMemory::Page& MainMemory::touch_page(Addr addr) {
+  auto& slot = pages_[addr >> kPageBits];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+u8 MainMemory::load_u8(Addr addr) const {
+  const Page* page = find_page(addr);
+  if (page == nullptr) return 0;
+  return (*page)[addr & (kPageSize - 1)];
+}
+
+void MainMemory::store_u8(Addr addr, u8 value) {
+  touch_page(addr)[addr & (kPageSize - 1)] = value;
+}
+
+u64 MainMemory::load(Addr addr, unsigned bytes) const {
+  assert(bytes >= 1 && bytes <= 8);
+  // Fast path: access within one page.
+  const usize offset = addr & (kPageSize - 1);
+  if (offset + bytes <= kPageSize) {
+    const Page* page = find_page(addr);
+    if (page == nullptr) return 0;
+    u64 value = 0;
+    std::memcpy(&value, page->data() + offset, bytes);
+    return value;
+  }
+  u64 value = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    value |= static_cast<u64>(load_u8(addr + i)) << (8 * i);
+  }
+  return value;
+}
+
+void MainMemory::store(Addr addr, unsigned bytes, u64 value) {
+  assert(bytes >= 1 && bytes <= 8);
+  const usize offset = addr & (kPageSize - 1);
+  if (offset + bytes <= kPageSize) {
+    std::memcpy(touch_page(addr).data() + offset, &value, bytes);
+    return;
+  }
+  for (unsigned i = 0; i < bytes; ++i) {
+    store_u8(addr + i, static_cast<u8>(value >> (8 * i)));
+  }
+}
+
+void MainMemory::write_block(Addr addr, const u8* data, usize size) {
+  for (usize i = 0; i < size;) {
+    const usize offset = (addr + i) & (kPageSize - 1);
+    const usize chunk = std::min(size - i, kPageSize - offset);
+    std::memcpy(touch_page(addr + i).data() + offset, data + i, chunk);
+    i += chunk;
+  }
+}
+
+u64 MainMemory::content_hash() const {
+  std::vector<u64> indices;
+  indices.reserve(pages_.size());
+  for (const auto& [page_index, page] : pages_) indices.push_back(page_index);
+  std::sort(indices.begin(), indices.end());
+
+  u64 hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&hash](u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xFF;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  for (u64 index : indices) {
+    const Page& page = *pages_.at(index);
+    // Skip all-zero pages so "touched but zero" equals "never touched".
+    bool all_zero = true;
+    for (u8 b : page) {
+      if (b != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) continue;
+    mix(index);
+    for (u8 b : page) {
+      hash ^= b;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+}  // namespace reese::mem

@@ -1,0 +1,58 @@
+// Sparse, paged simulated main memory.
+//
+// Backing store for the functional machine state. Pages are allocated on
+// first touch so workloads can use widely separated code/data/stack/heap
+// regions without reserving gigabytes. All multi-byte accesses are
+// little-endian and support arbitrary (unaligned) addresses.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace reese::mem {
+
+class MainMemory {
+ public:
+  static constexpr usize kPageBits = 12;
+  static constexpr usize kPageSize = usize{1} << kPageBits;
+
+  MainMemory() = default;
+
+  // Deep-copyable: the speculative overlay machinery and tests snapshot
+  // memory images.
+  MainMemory(const MainMemory& other);
+  MainMemory& operator=(const MainMemory& other);
+  MainMemory(MainMemory&&) noexcept = default;
+  MainMemory& operator=(MainMemory&&) noexcept = default;
+
+  u8 load_u8(Addr addr) const;
+  void store_u8(Addr addr, u8 value);
+
+  /// Load `bytes` (1..8) little-endian; unallocated memory reads as zero.
+  u64 load(Addr addr, unsigned bytes) const;
+  /// Store the low `bytes` (1..8) of `value` little-endian.
+  void store(Addr addr, unsigned bytes, u64 value);
+
+  /// Bulk copy-in used by the program loader.
+  void write_block(Addr addr, const u8* data, usize size);
+
+  /// Number of distinct pages touched (memory footprint diagnostics).
+  usize allocated_pages() const { return pages_.size(); }
+
+  /// FNV-1a hash over all allocated pages in address order — the functional
+  /// equivalence fingerprint used by tests (golden ISS vs pipeline).
+  u64 content_hash() const;
+
+ private:
+  using Page = std::array<u8, kPageSize>;
+
+  const Page* find_page(Addr addr) const;
+  Page& touch_page(Addr addr);
+
+  std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace reese::mem

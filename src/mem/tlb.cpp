@@ -1,0 +1,55 @@
+#include "mem/tlb.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bitutil.h"
+
+namespace reese::mem {
+
+Tlb::Tlb(const TlbConfig& config) : config_(config) {
+  if (config_.associativity == 0 || config_.entries == 0 ||
+      config_.entries % config_.associativity != 0 ||
+      !is_pow2(config_.entries / config_.associativity)) {
+    std::fprintf(stderr, "tlb '%s': bad geometry\n", config_.name.c_str());
+    std::abort();
+  }
+  set_count_ = config_.entries / config_.associativity;
+  entries_.resize(config_.entries);
+}
+
+u32 Tlb::access(Addr addr) {
+  ++tick_;
+  ++stats_.accesses;
+  const u64 vpn = addr >> config_.page_bits;
+  const u64 set_base = (vpn & (set_count_ - 1)) * config_.associativity;
+
+  for (u32 way = 0; way < config_.associativity; ++way) {
+    Entry& entry = entries_[set_base + way];
+    if (entry.valid && entry.vpn == vpn) {
+      entry.stamp = tick_;
+      return 0;
+    }
+  }
+
+  ++stats_.misses;
+  // LRU fill.
+  usize victim = 0;
+  u64 oldest = ~u64{0};
+  for (u32 way = 0; way < config_.associativity; ++way) {
+    Entry& entry = entries_[set_base + way];
+    if (!entry.valid) {
+      victim = way;
+      break;
+    }
+    if (entry.stamp < oldest) {
+      oldest = entry.stamp;
+      victim = way;
+    }
+  }
+  entries_[set_base + victim] = Entry{vpn, true, tick_};
+  return config_.miss_latency;
+}
+
+}  // namespace reese::mem

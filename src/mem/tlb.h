@@ -1,0 +1,52 @@
+// Translation lookaside buffer timing model.
+//
+// Like the caches, the TLB is timing-only: the simulated machine is flat
+// physically-addressed, so the TLB merely charges a miss penalty (modelling
+// a hardware page-table walk) with SimpleScalar-style defaults.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace reese::mem {
+
+struct TlbConfig {
+  std::string name = "tlb";
+  u32 entries = 64;
+  u32 associativity = 4;
+  u32 page_bits = 12;        ///< 4 KiB pages
+  u32 miss_latency = 30;     ///< cycles to walk on a miss
+};
+
+struct TlbStats {
+  u64 accesses = 0;
+  u64 misses = 0;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config);
+
+  /// Returns the extra latency this access pays (0 on hit).
+  u32 access(Addr addr);
+
+  const TlbStats& stats() const { return stats_; }
+  const TlbConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    u64 vpn = 0;
+    bool valid = false;
+    u64 stamp = 0;
+  };
+
+  TlbConfig config_;
+  u32 set_count_;
+  std::vector<Entry> entries_;
+  TlbStats stats_;
+  u64 tick_ = 0;
+};
+
+}  // namespace reese::mem

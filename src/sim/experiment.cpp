@@ -1,0 +1,238 @@
+#include "sim/experiment.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+#include "common/strutil.h"
+#include "sim/simulator.h"
+
+namespace reese::sim {
+
+const char* model_name(Model model) {
+  switch (model) {
+    case Model::kBaseline: return "Baseline";
+    case Model::kReese: return "REESE";
+    case Model::kReese1Alu: return "R+1ALU";
+    case Model::kReese2Alu: return "R+2ALU";
+    case Model::kReese2Alu1Mult: return "R+2ALU+1Mult";
+  }
+  return "?";
+}
+
+const std::vector<Model>& standard_models() {
+  static const auto* kModels = new std::vector<Model>{
+      Model::kBaseline, Model::kReese, Model::kReese1Alu, Model::kReese2Alu,
+      Model::kReese2Alu1Mult};
+  return *kModels;
+}
+
+core::CoreConfig apply_model(core::CoreConfig base, Model model) {
+  switch (model) {
+    case Model::kBaseline: return base;
+    case Model::kReese: return core::with_reese(base, 0, 0);
+    case Model::kReese1Alu: return core::with_reese(base, 1, 0);
+    case Model::kReese2Alu: return core::with_reese(base, 2, 0);
+    case Model::kReese2Alu1Mult: return core::with_reese(base, 2, 1);
+  }
+  return base;
+}
+
+double ExperimentResult::average(usize model_index) const {
+  if (ipc.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::vector<double>& row : ipc) sum += row[model_index];
+  return sum / static_cast<double>(ipc.size());
+}
+
+double ExperimentResult::overhead_pct(usize model_index) const {
+  assert(!spec.models.empty() && spec.models[0] == Model::kBaseline);
+  const double base = average(0);
+  if (base == 0.0) return 0.0;
+  return 100.0 * (base - average(model_index)) / base;
+}
+
+std::string ExperimentResult::table() const {
+  std::string out = spec.title + "\n";
+  out += format("  (config: %s; %llu instructions/run)\n",
+                spec.base.summary().c_str(),
+                static_cast<unsigned long long>(spec.instructions));
+
+  out += format("  %-10s", "workload");
+  for (Model model : spec.models) out += format("%14s", model_name(model));
+  out += "\n";
+
+  for (usize w = 0; w < spec.workloads.size(); ++w) {
+    out += format("  %-10s", spec.workloads[w].c_str());
+    for (usize m = 0; m < spec.models.size(); ++m) {
+      out += format("%14.3f", ipc[w][m]);
+    }
+    out += "\n";
+  }
+
+  out += format("  %-10s", "AV");
+  for (usize m = 0; m < spec.models.size(); ++m) {
+    out += format("%14.3f", average(m));
+  }
+  out += "\n";
+
+  if (!spec.models.empty() && spec.models[0] == Model::kBaseline) {
+    out += format("  %-10s", "vs base");
+    out += format("%14s", "-");
+    for (usize m = 1; m < spec.models.size(); ++m) {
+      out += format("%13.1f%%", -overhead_pct(m));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ExperimentResult::csv() const {
+  std::string out = "workload,model,ipc,ipc_stdev\n";
+  for (usize w = 0; w < spec.workloads.size(); ++w) {
+    for (usize m = 0; m < spec.models.size(); ++m) {
+      out += format("%s,%s,%.6f,%.6f\n", spec.workloads[w].c_str(),
+                    model_name(spec.models[m]), ipc[w][m], ipc_stdev[w][m]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// "Figure 2: initial comparison" -> "figure_2_initial_comparison".
+std::string slugify(const std::string& title) {
+  std::string slug;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug.empty() ? "experiment" : slug;
+}
+
+void maybe_write_csv(const ExperimentResult& result) {
+  const char* dir = std::getenv("REESE_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path =
+      std::string(dir) + "/" + slugify(result.spec.title) + ".csv";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "experiment: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string csv = result.csv();
+  std::fwrite(csv.data(), 1, csv.size(), file);
+  std::fclose(file);
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
+  ExperimentSpec spec = spec_in;
+  if (spec.models.empty()) spec.models = standard_models();
+  if (spec.workloads.empty()) spec.workloads = workloads::spec_like_names();
+  if (spec.instructions == 0) spec.instructions = default_instruction_budget();
+
+  std::vector<u64> seeds = {spec.seed};
+  seeds.insert(seeds.end(), spec.extra_seeds.begin(),
+               spec.extra_seeds.end());
+
+  ExperimentResult result;
+  result.spec = spec;
+  result.ipc.assign(spec.workloads.size(),
+                    std::vector<double>(spec.models.size(), 0.0));
+  result.ipc_stdev.assign(spec.workloads.size(),
+                          std::vector<double>(spec.models.size(), 0.0));
+  // Per-seed samples: samples[w][m][seed_index].
+  std::vector<std::vector<std::vector<double>>> samples(
+      spec.workloads.size(),
+      std::vector<std::vector<double>>(spec.models.size(),
+                                       std::vector<double>(seeds.size(), 0.0)));
+
+  struct Job {
+    usize workload_index;
+    usize model_index;
+    usize seed_index;
+  };
+  std::vector<Job> jobs;
+  for (usize w = 0; w < spec.workloads.size(); ++w) {
+    for (usize m = 0; m < spec.models.size(); ++m) {
+      for (usize s = 0; s < seeds.size(); ++s) {
+        jobs.push_back({w, m, s});
+      }
+    }
+  }
+
+  // Bounded parallelism: each cell is an independent simulation.
+  std::atomic<usize> next_job{0};
+  auto worker = [&] {
+    while (true) {
+      const usize job_index = next_job.fetch_add(1);
+      if (job_index >= jobs.size()) return;
+      const Job job = jobs[job_index];
+
+      workloads::WorkloadOptions options;
+      options.seed = seeds[job.seed_index];
+      options.iterations = 0;  // run forever; budget bounds the simulation
+      auto workload = workloads::make_workload(spec.workloads[job.workload_index],
+                                               options);
+      if (!workload.ok()) {
+        std::fprintf(stderr, "experiment: %s\n",
+                     workload.error().to_string().c_str());
+        std::exit(1);
+      }
+      Simulator simulator(std::move(workload).value(),
+                          apply_model(spec.base, spec.models[job.model_index]));
+      const SimResult sim_result = simulator.run(spec.instructions);
+      if (sim_result.stop != core::StopReason::kCommitTarget) {
+        std::fprintf(stderr,
+                     "experiment: %s/%s stopped early (%s) after %llu insts\n",
+                     spec.workloads[job.workload_index].c_str(),
+                     model_name(spec.models[job.model_index]),
+                     core::stop_reason_name(sim_result.stop),
+                     static_cast<unsigned long long>(sim_result.committed));
+        std::exit(1);
+      }
+      samples[job.workload_index][job.model_index][job.seed_index] =
+          sim_result.ipc;
+    }
+  };
+
+  const usize thread_count =
+      std::min<usize>(jobs.size(),
+                      std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<std::thread> threads;
+  for (usize i = 0; i < thread_count; ++i) threads.emplace_back(worker);
+  for (std::thread& thread : threads) thread.join();
+
+  for (usize w = 0; w < spec.workloads.size(); ++w) {
+    for (usize m = 0; m < spec.models.size(); ++m) {
+      double sum = 0.0;
+      for (double sample : samples[w][m]) sum += sample;
+      const double mean = sum / static_cast<double>(seeds.size());
+      result.ipc[w][m] = mean;
+      if (seeds.size() > 1) {
+        double variance = 0.0;
+        for (double sample : samples[w][m]) {
+          variance += (sample - mean) * (sample - mean);
+        }
+        variance /= static_cast<double>(seeds.size() - 1);
+        result.ipc_stdev[w][m] = std::sqrt(variance);
+      }
+    }
+  }
+
+  maybe_write_csv(result);
+  return result;
+}
+
+}  // namespace reese::sim

@@ -1,0 +1,76 @@
+// Experiment grid runner: evaluates (workload x model) matrices and prints
+// the tables behind the paper's figures.
+//
+// A "model" is one bar of the paper's figure groups:
+//   Baseline            — no REESE
+//   REESE               — time redundancy, no spare hardware
+//   REESE+1 ALU         — one spare integer ALU
+//   REESE+2 ALU         — two spare integer ALUs
+//   REESE+2 ALU+1 Mult  — plus a spare integer multiplier/divider
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "workloads/workload.h"
+
+namespace reese::sim {
+
+enum class Model : u8 {
+  kBaseline,
+  kReese,
+  kReese1Alu,
+  kReese2Alu,
+  kReese2Alu1Mult,
+};
+
+const char* model_name(Model model);
+
+/// The paper's five standard bars, in figure order.
+const std::vector<Model>& standard_models();
+
+/// Apply a model to a figure's base (baseline) configuration.
+core::CoreConfig apply_model(core::CoreConfig base, Model model);
+
+struct ExperimentSpec {
+  std::string title;                    ///< e.g. "Figure 2: ..."
+  core::CoreConfig base;                ///< baseline hardware for this figure
+  std::vector<Model> models;            ///< bars (default: the standard five)
+  std::vector<std::string> workloads;   ///< default: the six spec-like names
+  u64 instructions = 0;                 ///< 0 = default_instruction_budget()
+  u64 seed = 0x5EED5EED;
+  /// Additional workload-data seeds; when non-empty, every cell is run
+  /// once per seed (including `seed`) and the matrix holds the mean, with
+  /// the sample standard deviation in ExperimentResult::ipc_stdev.
+  std::vector<u64> extra_seeds;
+};
+
+struct ExperimentResult {
+  ExperimentSpec spec;
+  /// ipc[workload_index][model_index] — mean over seeds
+  std::vector<std::vector<double>> ipc;
+  /// Sample standard deviation over seeds (zero when a single seed ran).
+  std::vector<std::vector<double>> ipc_stdev;
+
+  /// Arithmetic mean over workloads for one model (the figures' AV bars).
+  double average(usize model_index) const;
+  /// REESE-vs-baseline IPC deficit in percent for one model (paper's
+  /// headline "11-16%" / "8%" numbers). Requires models[0] == kBaseline.
+  double overhead_pct(usize model_index) const;
+
+  /// Render the figure's data as a table (workload rows, model columns,
+  /// AV row), matching the bar groups in the paper.
+  std::string table() const;
+
+  /// Machine-readable CSV: workload,model,ipc,ipc_stdev — one row per
+  /// cell, ready for plotting.
+  std::string csv() const;
+};
+
+/// Run the grid; cells run in parallel across hardware threads. When the
+/// environment variable REESE_CSV_DIR names a directory, the result is
+/// also written there as "<slugified title>.csv".
+ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace reese::sim

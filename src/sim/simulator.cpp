@@ -1,0 +1,31 @@
+#include "sim/simulator.h"
+
+#include <cstdlib>
+
+namespace reese::sim {
+
+Simulator::Simulator(workloads::Workload workload,
+                     const core::CoreConfig& config)
+    : workload_(std::move(workload)) {
+  pipeline_ = std::make_unique<core::Pipeline>(workload_.program, config);
+}
+
+SimResult Simulator::run(u64 instructions) {
+  SimResult result;
+  result.workload = workload_.name;
+  result.stop = pipeline_->run(instructions, /*cycle_limit=*/64 * instructions);
+  result.ipc = pipeline_->stats().ipc();
+  result.cycles = pipeline_->stats().cycles;
+  result.committed = pipeline_->stats().committed;
+  return result;
+}
+
+u64 default_instruction_budget() {
+  if (const char* env = std::getenv("REESE_SIM_INSTR")) {
+    const long long value = std::atoll(env);
+    if (value > 0) return static_cast<u64>(value);
+  }
+  return 300'000;
+}
+
+}  // namespace reese::sim

@@ -1,0 +1,44 @@
+// Simulator: owns a workload + pipeline pair and runs an instruction
+// budget. This is the top-level object example programs and benches use.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "workloads/workload.h"
+
+namespace reese::sim {
+
+struct SimResult {
+  std::string workload;
+  core::StopReason stop = core::StopReason::kCommitTarget;
+  double ipc = 0.0;
+  Cycle cycles = 0;
+  u64 committed = 0;
+};
+
+class Simulator {
+ public:
+  /// Takes ownership of the workload so the program outlives the pipeline.
+  Simulator(workloads::Workload workload, const core::CoreConfig& config);
+
+  /// Simulate until `instructions` have committed (cumulative across
+  /// calls). A cycle limit of 64x the budget guards against modelling
+  /// deadlocks.
+  SimResult run(u64 instructions);
+
+  core::Pipeline& pipeline() { return *pipeline_; }
+  const workloads::Workload& workload() const { return workload_; }
+
+ private:
+  workloads::Workload workload_;
+  std::unique_ptr<core::Pipeline> pipeline_;
+};
+
+/// Instruction budget for figure reproduction: $REESE_SIM_INSTR if set,
+/// otherwise 300k (the kernels' IPC converges well before that; the paper
+/// ran 100M on real SPEC binaries).
+u64 default_instruction_budget();
+
+}  // namespace reese::sim

@@ -1,0 +1,71 @@
+#include "workloads/builder.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strutil.h"
+#include "isa/assembler.h"
+
+namespace reese::workloads {
+
+std::string dword_table(const std::string& label,
+                        std::span<const u64> values) {
+  std::string out = "  .align 8\n" + label + ":\n";
+  for (usize i = 0; i < values.size(); i += 8) {
+    out += "  .dword ";
+    for (usize j = i; j < std::min(values.size(), i + 8); ++j) {
+      if (j != i) out += ", ";
+      out += format("0x%llx", static_cast<unsigned long long>(values[j]));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string byte_table(const std::string& label, std::span<const u8> values) {
+  std::string out = label + ":\n";
+  for (usize i = 0; i < values.size(); i += 16) {
+    out += "  .byte ";
+    for (usize j = i; j < std::min(values.size(), i + 16); ++j) {
+      if (j != i) out += ", ";
+      out += std::to_string(values[j]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+isa::Program assemble_or_die(const std::string& source, const char* name) {
+  auto result = isa::assemble(source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "workload '%s' failed to assemble: %s\n", name,
+                 result.error().to_string().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+std::string program_shell(const std::string& kernel_label, u64 iterations) {
+  std::string out;
+  out += "main:\n";
+  out += "  li   sp, 0x8000000\n";
+  out += "  li   s10, 0\n";  // iteration index
+  if (iterations > 0) {
+    out += format("  li   s11, %llu\n",
+                  static_cast<unsigned long long>(iterations));
+  }
+  out += "outer_loop:\n";
+  out += "  mv   a0, s10\n";
+  out += "  call " + kernel_label + "\n";
+  out += "  addi s10, s10, 1\n";
+  if (iterations > 0) {
+    out += "  addi s11, s11, -1\n";
+    out += "  bnez s11, outer_loop\n";
+    out += "  halt\n";
+  } else {
+    out += "  j    outer_loop\n";
+  }
+  return out;
+}
+
+}  // namespace reese::workloads

@@ -1,0 +1,34 @@
+// Helpers for generating workload assembly: data-table emission and the
+// common program shell (stack setup + outer repeat loop).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace reese::workloads {
+
+/// ".align 8\nlabel:\n  .dword v0, v1, ...\n" with line wrapping.
+std::string dword_table(const std::string& label, std::span<const u64> values);
+
+/// "label:\n  .byte ...\n".
+std::string byte_table(const std::string& label, std::span<const u8> values);
+
+/// Wrap `kernel_label` (a callable routine that OUTs a checksum) in the
+/// standard shell:
+///
+///   main:  set up sp, loop `iterations` times (or forever) calling the
+///          kernel, then HALT.
+///
+/// The shell passes the iteration index (0-based) in a0 so kernels can vary
+/// their behaviour across iterations.
+std::string program_shell(const std::string& kernel_label, u64 iterations);
+
+/// Assemble `source` or abort with a diagnostic — workload sources are
+/// build-time constants, so a failure is a programming error.
+isa::Program assemble_or_die(const std::string& source, const char* name);
+
+}  // namespace reese::workloads

@@ -1,0 +1,212 @@
+#include "workloads/fuzz.h"
+
+#include <vector>
+
+#include "common/strutil.h"
+#include "workloads/builder.h"
+
+namespace reese::workloads {
+namespace {
+
+/// Registers the generator plays with. sp/gp/ra and s0 (arena base) are
+/// reserved.
+constexpr const char* kPool[] = {"t0", "t1", "t2", "t3", "t4", "t5",
+                                 "a0", "a1", "a2", "a3", "a4", "a5",
+                                 "s1", "s2", "s3", "s4"};
+constexpr usize kPoolSize = sizeof(kPool) / sizeof(kPool[0]);
+
+class FuzzGenerator {
+ public:
+  explicit FuzzGenerator(const FuzzOptions& options)
+      : options_(options), rng_(options.seed ^ 0xF022) {}
+
+  std::string generate() {
+    emit("main:");
+    emit("  la   s0, arena");
+    // Seed the register pool with random values.
+    for (const char* reg : kPool) {
+      emit(format("  li   %s, %lld", reg,
+                  static_cast<long long>(
+                      sign_extend_value(rng_.next(), 32))));
+    }
+
+    for (u32 i = 0; i < options_.segments; ++i) segment(/*depth=*/0);
+
+    // Publish a handful of checksums and stop.
+    for (int i = 0; i < 4; ++i) emit(format("  out  %s", pick_reg()));
+    emit("  halt");
+
+    if (options_.with_calls) emit_leaf_functions();
+
+    emit("  .data");
+    emit("  .align 8");
+    emit("arena: .space 4096");
+    return source_;
+  }
+
+ private:
+  static i64 sign_extend_value(u64 value, unsigned bits) {
+    const u64 mask = (u64{1} << bits) - 1;
+    const u64 sign = u64{1} << (bits - 1);
+    return static_cast<i64>(((value & mask) ^ sign) - sign);
+  }
+
+  void emit(const std::string& line) { source_ += line + "\n"; }
+
+  const char* pick_reg() { return kPool[rng_.next_below(kPoolSize)]; }
+
+  std::string fresh_label() { return format("L%u", label_counter_++); }
+
+  void alu_op() {
+    const char* rd = pick_reg();
+    const char* rs1 = pick_reg();
+    const char* rs2 = pick_reg();
+    switch (rng_.next_below(10)) {
+      case 0: emit(format("  add  %s, %s, %s", rd, rs1, rs2)); break;
+      case 1: emit(format("  sub  %s, %s, %s", rd, rs1, rs2)); break;
+      case 2: emit(format("  xor  %s, %s, %s", rd, rs1, rs2)); break;
+      case 3: emit(format("  and  %s, %s, %s", rd, rs1, rs2)); break;
+      case 4: emit(format("  or   %s, %s, %s", rd, rs1, rs2)); break;
+      case 5:
+        emit(format("  addi %s, %s, %lld", rd, rs1,
+                    static_cast<long long>(rng_.next_range(0, 8000)) - 4000));
+        break;
+      case 6:
+        emit(format("  slli %s, %s, %llu", rd, rs1,
+                    static_cast<unsigned long long>(rng_.next_below(8))));
+        break;
+      case 7:
+        emit(format("  srli %s, %s, %llu", rd, rs1,
+                    static_cast<unsigned long long>(rng_.next_below(8))));
+        break;
+      case 8: emit(format("  slt  %s, %s, %s", rd, rs1, rs2)); break;
+      case 9: emit(format("  sltu %s, %s, %s", rd, rs1, rs2)); break;
+    }
+  }
+
+  void muldiv_op() {
+    const char* rd = pick_reg();
+    const char* rs1 = pick_reg();
+    const char* rs2 = pick_reg();
+    switch (rng_.next_below(4)) {
+      case 0: emit(format("  mul  %s, %s, %s", rd, rs1, rs2)); break;
+      case 1: emit(format("  mulh %s, %s, %s", rd, rs1, rs2)); break;
+      case 2: emit(format("  div  %s, %s, %s", rd, rs1, rs2)); break;
+      case 3: emit(format("  rem  %s, %s, %s", rd, rs1, rs2)); break;
+    }
+  }
+
+  void mem_op() {
+    // Offsets keep every access inside the 4 KiB arena.
+    const u64 offset = rng_.next_below(512) * 8;
+    const char* value = pick_reg();
+    const char* dest = pick_reg();
+    static const char* kStores[] = {"sd", "sw", "sh", "sb"};
+    static const char* kLoads[] = {"ld", "lw", "lwu", "lh", "lhu", "lb", "lbu"};
+    if (rng_.next_bool(0.5)) {
+      emit(format("  %s   %s, %llu(s0)", kStores[rng_.next_below(4)], value,
+                  static_cast<unsigned long long>(offset)));
+    } else {
+      emit(format("  %s  %s, %llu(s0)", kLoads[rng_.next_below(7)], dest,
+                  static_cast<unsigned long long>(offset)));
+    }
+  }
+
+  void counted_loop(u32 depth) {
+    // A dedicated counter register keeps termination unconditional; s11 at
+    // depth 0, s10 at depth 1.
+    const char* counter = depth == 0 ? "s11" : "s10";
+    const std::string label = fresh_label();
+    emit(format("  li   %s, %llu", counter,
+                static_cast<unsigned long long>(
+                    1 + rng_.next_below(options_.max_loop_trips))));
+    emit(label + ":");
+    const u32 body = 1 + static_cast<u32>(rng_.next_below(4));
+    for (u32 i = 0; i < body; ++i) segment(depth + 1);
+    emit(format("  addi %s, %s, -1", counter, counter));
+    emit(format("  bnez %s, %s", counter, label.c_str()));
+  }
+
+  void forward_branch(u32 depth) {
+    const std::string label = fresh_label();
+    const char* rs1 = pick_reg();
+    const char* rs2 = pick_reg();
+    static const char* kBranches[] = {"beq", "bne", "blt", "bge", "bltu",
+                                      "bgeu"};
+    emit(format("  %s %s, %s, %s", kBranches[rng_.next_below(6)], rs1, rs2,
+                label.c_str()));
+    const u32 skipped = 1 + static_cast<u32>(rng_.next_below(3));
+    for (u32 i = 0; i < skipped; ++i) segment(depth + 1);
+    emit(label + ":");
+  }
+
+  void leaf_call() {
+    emit(format("  call leaf%llu",
+                static_cast<unsigned long long>(rng_.next_below(3))));
+    // The leaf's result lands in a6; fold it into the pool.
+    emit(format("  xor  %s, %s, a6", pick_reg(), pick_reg()));
+  }
+
+  void segment(u32 depth) {
+    // Deeper nesting restricts choices to straight-line work so programs
+    // stay bounded.
+    const u64 choice = rng_.next_below(depth == 0 ? 100 : 70);
+    if (choice < 40) {
+      const u32 run = 1 + static_cast<u32>(rng_.next_below(5));
+      for (u32 i = 0; i < run; ++i) alu_op();
+    } else if (choice < 55 && options_.with_memory) {
+      mem_op();
+    } else if (choice < 62 && options_.with_muldiv) {
+      muldiv_op();
+    } else if (choice < 70) {
+      forward_branch(depth);
+    } else if (choice < 90 && depth == 0) {
+      counted_loop(depth);
+    } else if (options_.with_calls && depth == 0) {
+      leaf_call();
+    } else {
+      alu_op();
+    }
+  }
+
+  void emit_leaf_functions() {
+    // Three tiny leaf functions with distinct flavours: arithmetic, a
+    // memory touch, and a small internal loop. Result in a6; they may only
+    // clobber a6/a7.
+    emit("leaf0:");
+    emit("  slli a6, a0, 1");
+    emit("  xor  a6, a6, a1");
+    emit("  ret");
+    emit("leaf1:");
+    emit("  ld   a6, 128(s0)");
+    emit("  add  a6, a6, a2");
+    emit("  sd   a6, 136(s0)");
+    emit("  ret");
+    emit("leaf2:");
+    emit("  li   a7, 5");
+    emit("  li   a6, 1");
+    emit("leaf2_loop:");
+    emit("  add  a6, a6, a7");
+    emit("  addi a7, a7, -1");
+    emit("  bnez a7, leaf2_loop");
+    emit("  ret");
+  }
+
+  FuzzOptions options_;
+  SplitMix64 rng_;
+  std::string source_;
+  u32 label_counter_ = 0;
+};
+
+}  // namespace
+
+std::string generate_fuzz_source(const FuzzOptions& options) {
+  FuzzGenerator generator(options);
+  return generator.generate();
+}
+
+isa::Program generate_fuzz_program(const FuzzOptions& options) {
+  return assemble_or_die(generate_fuzz_source(options), "fuzz");
+}
+
+}  // namespace reese::workloads

@@ -1,0 +1,38 @@
+// Random structured SRV program generation for differential testing.
+//
+// Programs are generated as assembly text from a seed: random ALU
+// arithmetic over a register pool, loads/stores into a bounded arena,
+// counted loops, data-dependent forward branches, leaf calls, and an
+// occasional multiply/divide — always terminating, always ending in OUT
+// checksums + HALT. The golden ISS result is the oracle; every pipeline
+// configuration must match it bit-for-bit.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "isa/program.h"
+
+namespace reese::workloads {
+
+struct FuzzOptions {
+  u64 seed = 1;
+  /// Top-level program segments (roughly proportional to size).
+  u32 segments = 40;
+  /// Maximum counted-loop trip count.
+  u32 max_loop_trips = 12;
+  /// Enable memory operations.
+  bool with_memory = true;
+  /// Enable mul/div.
+  bool with_muldiv = true;
+  /// Enable leaf calls.
+  bool with_calls = true;
+};
+
+/// Generate the assembly text (useful for debugging failures).
+std::string generate_fuzz_source(const FuzzOptions& options);
+
+/// Generate and assemble; aborts on assembly failure (generator bug).
+isa::Program generate_fuzz_program(const FuzzOptions& options);
+
+}  // namespace reese::workloads

@@ -1,0 +1,85 @@
+// Die-area model tests (§7 arithmetic).
+#include <gtest/gtest.h>
+
+#include "core/area.h"
+
+namespace reese::core {
+namespace {
+
+TEST(Area, BaselineAddsNothing) {
+  const CoreConfig base = starting_config();
+  const AreaEstimate estimate = estimate_area(base, base);
+  EXPECT_DOUBLE_EQ(estimate.total_added(), 0.0);
+}
+
+TEST(Area, ReeseQueueCostsSlightlyMoreThanRuu) {
+  // §7: "the R-stream Queue requires slightly more area than the RUU".
+  // Default: 32-entry queue vs 16-entry RUU at 10% of die, entries 1.1x.
+  const CoreConfig base = starting_config();
+  const AreaEstimate estimate = estimate_area(base, with_reese(base));
+  EXPECT_GT(estimate.rqueue_area, 10.0);  // more than the RUU's 10%
+  EXPECT_LT(estimate.rqueue_area, 30.0);
+}
+
+TEST(Area, TotalNearPaperTwentyPercent) {
+  // REESE + 2 spare ALUs should land in the neighbourhood of the paper's
+  // "about 20%" total estimate.
+  const CoreConfig base = starting_config();
+  const AreaEstimate estimate = estimate_area(base, with_reese(base, 2));
+  EXPECT_GT(estimate.overhead_pct(), 15.0);
+  EXPECT_LT(estimate.overhead_pct(), 35.0);
+}
+
+TEST(Area, SpareHardwareScales) {
+  const CoreConfig base = starting_config();
+  const AreaEstimate none = estimate_area(base, with_reese(base, 0));
+  const AreaEstimate two = estimate_area(base, with_reese(base, 2));
+  const AreaEstimate mult = estimate_area(base, with_reese(base, 2, 1));
+  EXPECT_GT(two.spare_fu_area, none.spare_fu_area);
+  EXPECT_GT(mult.spare_fu_area, two.spare_fu_area);
+  EXPECT_DOUBLE_EQ(none.spare_fu_area, 0.0);
+}
+
+TEST(Area, QueueSizeScalesLinearly) {
+  const CoreConfig base = starting_config();
+  CoreConfig small = with_reese(base);
+  small.reese.rqueue_size = 16;
+  CoreConfig large = with_reese(base);
+  large.reese.rqueue_size = 64;
+  const AreaEstimate small_estimate = estimate_area(base, small);
+  const AreaEstimate large_estimate = estimate_area(base, large);
+  EXPECT_NEAR(large_estimate.rqueue_area, 4.0 * small_estimate.rqueue_area,
+              1e-9);
+}
+
+TEST(Area, FranklinHasNoQueueArea) {
+  const CoreConfig base = starting_config();
+  CoreConfig franklin = with_reese(base);
+  franklin.reese.scheme = RedundancyScheme::kFranklin;
+  const AreaEstimate estimate = estimate_area(base, franklin);
+  EXPECT_DOUBLE_EQ(estimate.rqueue_area, 0.0);
+  EXPECT_GT(estimate.glue_area, 0.0);
+  EXPECT_LT(estimate.total_added(),
+            estimate_area(base, with_reese(base)).total_added());
+}
+
+TEST(Area, ReportMentionsComponents) {
+  const CoreConfig base = starting_config();
+  const std::string report =
+      area_report(estimate_area(base, with_reese(base, 2)));
+  EXPECT_NE(report.find("R-queue"), std::string::npos);
+  EXPECT_NE(report.find("spare FUs"), std::string::npos);
+}
+
+TEST(Area, CustomCoefficients) {
+  AreaCoefficients coefficients;
+  coefficients.rqueue_entry_vs_ruu_entry = 2.0;
+  const CoreConfig base = starting_config();
+  const AreaEstimate doubled =
+      estimate_area(base, with_reese(base), coefficients);
+  const AreaEstimate normal = estimate_area(base, with_reese(base));
+  EXPECT_NEAR(doubled.rqueue_area, normal.rqueue_area * 2.0 / 1.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace reese::core

@@ -1,0 +1,324 @@
+// Assembler tests: syntax, directives, pseudo-instruction expansion
+// (including the li constant-materialization property test), label
+// resolution and error reporting.
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "isa/encoding.h"
+#include "isa/iss.h"
+
+namespace reese::isa {
+namespace {
+
+Program ok(const std::string& source) {
+  auto result = assemble(source);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().to_string());
+  return result.ok() ? std::move(result).value() : Program{};
+}
+
+std::string err(const std::string& source) {
+  auto result = assemble(source);
+  EXPECT_FALSE(result.ok()) << "expected assembly failure";
+  return result.ok() ? "" : result.error().to_string();
+}
+
+TEST(Assembler, EmptyProgram) {
+  const Program p = ok("");
+  EXPECT_TRUE(p.code.empty());
+  EXPECT_EQ(p.entry, kDefaultCodeBase);
+}
+
+TEST(Assembler, SingleInstruction) {
+  const Program p = ok("add t0, t1, t2\n");
+  ASSERT_EQ(p.code.size(), 1u);
+  EXPECT_EQ(p.code[0].op, Opcode::kAdd);
+  EXPECT_EQ(p.code[0].rd, 5);
+  EXPECT_EQ(p.words.size(), 1u);
+}
+
+TEST(Assembler, CommentsEverywhere) {
+  const Program p = ok(R"(
+# full line comment
+add t0, t1, t2   # trailing
+// slashes too
+sub t0, t1, t2   ; semicolon
+)");
+  EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, EntryIsMainIfPresent) {
+  const Program p = ok(R"(
+helper:
+  nop
+main:
+  halt
+)");
+  EXPECT_EQ(p.entry, kDefaultCodeBase + 4);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const Program p = ok(R"(
+start:
+  addi t0, zero, 3
+loop:
+  addi t0, t0, -1
+  bnez t0, loop
+  j start
+  halt
+)");
+  // bnez expands to bne with offset -1 instruction.
+  const Instruction& bne = p.code[2];
+  EXPECT_EQ(bne.op, Opcode::kBne);
+  EXPECT_EQ(bne.imm, -1);
+  const Instruction& jump = p.code[3];
+  EXPECT_EQ(jump.op, Opcode::kJal);
+  EXPECT_EQ(jump.imm, -3);
+}
+
+TEST(Assembler, ForwardReferences) {
+  const Program p = ok(R"(
+  beq zero, zero, end
+  nop
+end:
+  halt
+)");
+  EXPECT_EQ(p.code[0].imm, 2);
+}
+
+TEST(Assembler, MultipleLabelsOneAddress) {
+  const Program p = ok("a: b: c: halt\n");
+  EXPECT_EQ(p.symbol("a"), p.symbol("c"));
+}
+
+TEST(Assembler, MemOperands) {
+  const Program p = ok(R"(
+  ld  t0, 8(sp)
+  sd  t0, -16(s0)
+  lbu t1, 0(a0)
+)");
+  EXPECT_EQ(p.code[0].op, Opcode::kLd);
+  EXPECT_EQ(p.code[0].imm, 8);
+  EXPECT_EQ(p.code[0].rs1, 2);
+  EXPECT_EQ(p.code[1].imm, -16);
+  EXPECT_EQ(p.code[1].rs2, 5);  // value register t0
+}
+
+TEST(Assembler, DataDirectives) {
+  const Program p = ok(R"(
+  .data
+bytes: .byte 1, 2, 255
+halfs: .half 0x1234
+words: .word -1
+dwords: .dword 0x1122334455667788
+)");
+  ASSERT_GE(p.data.size(), 3u + 2u + 4u + 8u);
+  EXPECT_EQ(p.data[0], 1);
+  EXPECT_EQ(p.data[2], 255);
+  EXPECT_EQ(p.data[3], 0x34);  // little-endian half
+  EXPECT_EQ(p.data[4], 0x12);
+  EXPECT_EQ(p.data[5], 0xFF);  // -1 word
+  EXPECT_EQ(p.symbol("halfs"), kDefaultDataBase + 3);
+}
+
+TEST(Assembler, DataAlignment) {
+  const Program p = ok(R"(
+  .data
+a: .byte 1
+  .align 8
+b: .dword 2
+)");
+  EXPECT_EQ(p.symbol("b") % 8, 0u);
+  EXPECT_EQ(p.symbol("b"), kDefaultDataBase + 8);
+}
+
+TEST(Assembler, DataSpace) {
+  const Program p = ok(R"(
+  .data
+buf: .space 100
+after: .byte 9
+)");
+  EXPECT_EQ(p.symbol("after"), p.symbol("buf") + 100);
+  EXPECT_EQ(p.data[100], 9);
+}
+
+TEST(Assembler, Strings) {
+  const Program p = ok(R"(
+  .data
+s1: .asciiz "hi\n"
+s2: .ascii "ab"
+)");
+  EXPECT_EQ(p.data[0], 'h');
+  EXPECT_EQ(p.data[1], 'i');
+  EXPECT_EQ(p.data[2], '\n');
+  EXPECT_EQ(p.data[3], 0);  // asciiz NUL
+  EXPECT_EQ(p.data[4], 'a');
+  EXPECT_EQ(p.symbol("s2"), p.symbol("s1") + 4);
+}
+
+TEST(Assembler, DataLabelReferences) {
+  const Program p = ok(R"(
+  .data
+a: .dword 7
+table: .dword a, a+8, a-8
+)");
+  const Addr a = p.symbol("a");
+  u64 v0 = 0, v1 = 0, v2 = 0;
+  for (int i = 0; i < 8; ++i) {
+    v0 |= static_cast<u64>(p.data[8 + i]) << (8 * i);
+    v1 |= static_cast<u64>(p.data[16 + i]) << (8 * i);
+    v2 |= static_cast<u64>(p.data[24 + i]) << (8 * i);
+  }
+  EXPECT_EQ(v0, a);
+  EXPECT_EQ(v1, a + 8);
+  EXPECT_EQ(v2, a - 8);
+}
+
+TEST(Assembler, LaLoadsAddress) {
+  const Program p = ok(R"(
+main:
+  la t0, target
+  halt
+  .data
+  .space 12345
+target: .byte 1
+)");
+  // Execute and check t0.
+  Iss iss(p);
+  iss.run(10);
+  EXPECT_EQ(iss.state().x(5), p.symbol("target"));
+}
+
+TEST(Assembler, PseudoOps) {
+  const Program p = ok(R"(
+  mv   t0, t1
+  not  t0, t1
+  neg  t0, t1
+  seqz t0, t1
+  snez t0, t1
+  subi t0, t1, 5
+  jr   t0
+  ret
+  nop
+)");
+  EXPECT_EQ(p.code[0].op, Opcode::kAddi);
+  EXPECT_EQ(p.code[1].op, Opcode::kXori);
+  EXPECT_EQ(p.code[1].imm, -1);
+  EXPECT_EQ(p.code[2].op, Opcode::kSub);
+  EXPECT_EQ(p.code[3].op, Opcode::kSltiu);
+  EXPECT_EQ(p.code[4].op, Opcode::kSltu);
+  EXPECT_EQ(p.code[5].op, Opcode::kAddi);
+  EXPECT_EQ(p.code[5].imm, -5);
+  EXPECT_EQ(p.code[6].op, Opcode::kJalr);
+  EXPECT_EQ(p.code[7].op, Opcode::kJalr);
+  EXPECT_EQ(p.code[7].rs1, kRaReg);
+  EXPECT_EQ(p.code[8].op, Opcode::kNop);
+}
+
+TEST(Assembler, BranchPseudoSwaps) {
+  const Program p = ok(R"(
+x:
+  ble  t0, t1, x
+  bgt  t0, t1, x
+  bleu t0, t1, x
+  bgtu t0, t1, x
+  blez t0, x
+  bgtz t0, x
+)");
+  EXPECT_EQ(p.code[0].op, Opcode::kBge);   // t1 >= t0
+  EXPECT_EQ(p.code[0].rs1, 6);
+  EXPECT_EQ(p.code[0].rs2, 5);
+  EXPECT_EQ(p.code[1].op, Opcode::kBlt);
+  EXPECT_EQ(p.code[2].op, Opcode::kBgeu);
+  EXPECT_EQ(p.code[3].op, Opcode::kBltu);
+  EXPECT_EQ(p.code[4].op, Opcode::kBge);   // zero >= t0
+  EXPECT_EQ(p.code[4].rs1, 0);
+  EXPECT_EQ(p.code[5].op, Opcode::kBlt);
+}
+
+// Property: `li rd, V` then OUT must reproduce V for arbitrary 64-bit V.
+TEST(Assembler, PropertyLiMaterializesAnyConstant) {
+  SplitMix64 rng(0x11CAFE);
+  std::vector<i64> values = {0,       1,      -1,     8191,   -8192,
+                             8192,    -8193,  1 << 20, INT64_MAX,
+                             INT64_MIN, 0x7FFFFFFF, -0x80000000LL};
+  for (int i = 0; i < 200; ++i) values.push_back(static_cast<i64>(rng.next()));
+
+  for (i64 value : values) {
+    const std::string source =
+        "main:\n  li t0, " + std::to_string(value) + "\n  out t0\n  halt\n";
+    auto assembled = assemble(source);
+    ASSERT_TRUE(assembled.ok()) << value;
+    Iss iss(assembled.value());
+    const IssResult result = iss.run(50);
+    ASSERT_TRUE(result.halted) << value;
+    EXPECT_EQ(iss.state().x(5), static_cast<u64>(value)) << "li " << value;
+  }
+}
+
+TEST(Assembler, ErrorDuplicateLabel) {
+  const std::string message = err("a: nop\na: nop\n");
+  EXPECT_NE(message.find("duplicate"), std::string::npos);
+}
+
+TEST(Assembler, ErrorUnknownMnemonic) {
+  EXPECT_NE(err("frobnicate t0\n").find("unknown mnemonic"),
+            std::string::npos);
+}
+
+TEST(Assembler, ErrorUnknownSymbol) {
+  EXPECT_NE(err("j nowhere\n").find("unknown symbol"), std::string::npos);
+}
+
+TEST(Assembler, ErrorBadRegister) {
+  EXPECT_NE(err("add q1, t0, t1\n").find("bad register"), std::string::npos);
+}
+
+TEST(Assembler, ErrorImmediateRange) {
+  EXPECT_FALSE(assemble("addi t0, t0, 100000\n").ok());
+}
+
+TEST(Assembler, ErrorReportsLineNumber) {
+  const std::string message = err("nop\nnop\nbogus t0\n");
+  EXPECT_NE(message.find("line 3"), std::string::npos);
+}
+
+TEST(Assembler, ErrorInstructionInData) {
+  EXPECT_FALSE(assemble(".data\nadd t0, t1, t2\n").ok());
+}
+
+TEST(Assembler, ErrorDirectiveInText) {
+  EXPECT_FALSE(assemble(".byte 1\n").ok());
+}
+
+TEST(Assembler, ErrorBadAlign) {
+  EXPECT_FALSE(assemble(".data\n.align 3\n").ok());
+}
+
+TEST(Assembler, ErrorBadString) {
+  EXPECT_FALSE(assemble(".data\n.asciiz \"unterminated\n").ok());
+}
+
+TEST(Assembler, CustomBases) {
+  AsmOptions options;
+  options.code_base = 0x4000;
+  options.data_base = 0x200000;
+  auto result = assemble("main: halt\n.data\nx: .byte 1\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().entry, 0x4000u);
+  EXPECT_EQ(result.value().symbol("x"), 0x200000u);
+}
+
+TEST(Assembler, WordsMatchDecodedCode) {
+  const Program p = ok("add t0, t1, t2\nld a0, 4(sp)\nhalt\n");
+  ASSERT_EQ(p.words.size(), p.code.size());
+  for (usize i = 0; i < p.words.size(); ++i) {
+    auto decoded = decode(p.words[i]);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), p.code[i]);
+  }
+}
+
+}  // namespace
+}  // namespace reese::isa

@@ -1,0 +1,435 @@
+// Unit tests for src/common: bit utilities, RNG, statistics, string
+// helpers, flags and errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitutil.h"
+#include "common/error.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/strutil.h"
+
+namespace reese {
+namespace {
+
+// --- bitutil -----------------------------------------------------------------
+
+TEST(BitUtil, SignExtendPositive) {
+  EXPECT_EQ(sign_extend(0x7F, 8), 0x7F);
+  EXPECT_EQ(sign_extend(0x1, 1), -1);
+  EXPECT_EQ(sign_extend(0x0, 1), 0);
+  EXPECT_EQ(sign_extend(0x1FFF, 14), 0x1FFF);
+}
+
+TEST(BitUtil, SignExtendNegative) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x2000, 14), -8192);
+  EXPECT_EQ(sign_extend(0x3FFF, 14), -1);
+}
+
+TEST(BitUtil, SignExtendFullWidth) {
+  EXPECT_EQ(sign_extend(~u64{0}, 64), -1);
+  EXPECT_EQ(sign_extend(u64{1} << 63, 64), INT64_MIN);
+}
+
+TEST(BitUtil, ExtractBits) {
+  EXPECT_EQ(extract_bits(0xABCD, 0, 4), 0xDu);
+  EXPECT_EQ(extract_bits(0xABCD, 4, 4), 0xCu);
+  EXPECT_EQ(extract_bits(0xABCD, 8, 8), 0xABu);
+  EXPECT_EQ(extract_bits(~u64{0}, 0, 64), ~u64{0});
+}
+
+TEST(BitUtil, FitsSigned) {
+  EXPECT_TRUE(fits_signed(8191, 14));
+  EXPECT_FALSE(fits_signed(8192, 14));
+  EXPECT_TRUE(fits_signed(-8192, 14));
+  EXPECT_FALSE(fits_signed(-8193, 14));
+  EXPECT_TRUE(fits_signed(0, 1));
+  EXPECT_TRUE(fits_signed(-1, 1));
+  EXPECT_FALSE(fits_signed(1, 1));
+}
+
+TEST(BitUtil, FitsUnsigned) {
+  EXPECT_TRUE(fits_unsigned(255, 8));
+  EXPECT_FALSE(fits_unsigned(256, 8));
+  EXPECT_TRUE(fits_unsigned(0, 1));
+}
+
+TEST(BitUtil, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(4096), 12u);
+}
+
+TEST(BitUtil, FlipBit) {
+  EXPECT_EQ(flip_bit(0, 0), 1u);
+  EXPECT_EQ(flip_bit(1, 0), 0u);
+  EXPECT_EQ(flip_bit(0, 63), u64{1} << 63);
+  // Flipping twice restores.
+  EXPECT_EQ(flip_bit(flip_bit(0xDEADBEEF, 17), 17), 0xDEADBEEFu);
+}
+
+// --- rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicBySeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextRangeInclusive) {
+  SplitMix64 rng(8);
+  std::set<u64> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = rng.next_range(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  SplitMix64 rng(10);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.next_bool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ForkIndependence) {
+  SplitMix64 parent(11);
+  SplitMix64 child = parent.fork();
+  EXPECT_NE(parent.next(), child.next());
+}
+
+TEST(Rng, UniformityChiSquaredish) {
+  SplitMix64 rng(12);
+  int buckets[16] = {};
+  const int n = 16000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.next_below(16)];
+  for (int b : buckets) {
+    EXPECT_NEAR(b, n / 16, n / 16 / 4);  // within 25% of expectation
+  }
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(Stats, SafeRatio) {
+  EXPECT_DOUBLE_EQ(safe_ratio(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(safe_ratio(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_ratio(0, 5), 0.0);
+}
+
+TEST(Stats, HistogramBasics) {
+  Histogram h(1, 10);
+  h.add(0);
+  h.add(5);
+  h.add(5);
+  h.add(9);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 19u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 9u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.75);
+  EXPECT_EQ(h.buckets()[5], 2u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Stats, HistogramOverflow) {
+  Histogram h(1, 4);
+  h.add(3);
+  h.add(4);
+  h.add(1000);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(Stats, HistogramBucketWidth) {
+  Histogram h(10, 4);
+  h.add(0);
+  h.add(9);
+  h.add(10);
+  h.add(39);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(Stats, HistogramPercentile) {
+  Histogram h(1, 100);
+  for (u64 i = 0; i < 100; ++i) h.add(i);
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 50.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.95)), 95.0, 2.0);
+  EXPECT_EQ(h.percentile(1.0), 99u);
+}
+
+TEST(Stats, HistogramEmpty) {
+  Histogram h(1, 4);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Stats, HistogramReset) {
+  Histogram h(1, 4);
+  h.add(2);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.buckets()[2], 0u);
+}
+
+TEST(Stats, HistogramToStringContainsLabel) {
+  Histogram h(1, 4);
+  h.add(1);
+  EXPECT_NE(h.to_string("mylabel").find("mylabel"), std::string::npos);
+}
+
+TEST(Stats, RunningStat) {
+  RunningStat s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Stats, RunningStatNegative) {
+  RunningStat s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+// --- strutil ---------------------------------------------------------------------
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StrUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StrUtil, SplitWhitespace) {
+  const auto parts = split_whitespace("  one\ttwo   three ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[2], "three");
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(StrUtil, ParseIntDecimal) {
+  i64 v = 0;
+  EXPECT_TRUE(parse_int("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(parse_int("-45", &v));
+  EXPECT_EQ(v, -45);
+  EXPECT_TRUE(parse_int("+7", &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(parse_int("0", &v));
+  EXPECT_EQ(v, 0);
+}
+
+TEST(StrUtil, ParseIntHexBinary) {
+  i64 v = 0;
+  EXPECT_TRUE(parse_int("0xFF", &v));
+  EXPECT_EQ(v, 255);
+  EXPECT_TRUE(parse_int("0xdeadBEEF", &v));
+  EXPECT_EQ(v, 0xDEADBEEF);
+  EXPECT_TRUE(parse_int("-0x10", &v));
+  EXPECT_EQ(v, -16);
+  EXPECT_TRUE(parse_int("0b1010", &v));
+  EXPECT_EQ(v, 10);
+}
+
+TEST(StrUtil, ParseIntRejectsGarbage) {
+  i64 v = 0;
+  EXPECT_FALSE(parse_int("", &v));
+  EXPECT_FALSE(parse_int("abc", &v));
+  EXPECT_FALSE(parse_int("12x", &v));
+  EXPECT_FALSE(parse_int("0x", &v));
+  EXPECT_FALSE(parse_int("-", &v));
+  EXPECT_FALSE(parse_int("1 2", &v));
+}
+
+TEST(StrUtil, ParseIntBounds) {
+  i64 v = 0;
+  EXPECT_TRUE(parse_int("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_TRUE(parse_int("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+  EXPECT_FALSE(parse_int("9223372036854775808", &v));
+  EXPECT_FALSE(parse_int("99999999999999999999999", &v));
+}
+
+TEST(StrUtil, ParseIntTrimsWhitespace) {
+  i64 v = 0;
+  EXPECT_TRUE(parse_int("  42  ", &v));
+  EXPECT_EQ(v, 42);
+}
+
+TEST(StrUtil, Format) {
+  EXPECT_EQ(format("%d-%s", 5, "x"), "5-x");
+}
+
+TEST(StrUtil, ToLower) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+}
+
+// --- flags -----------------------------------------------------------------------
+
+TEST(Flags, ParseSpaceSeparated) {
+  const char* argv[] = {"prog", "-ruu", "32", "-name", "li"};
+  FlagSet flags;
+  ASSERT_TRUE(flags.parse(5, argv).ok());
+  EXPECT_EQ(flags.get_i64("ruu", 0), 32);
+  EXPECT_EQ(flags.get_string("name", ""), "li");
+  EXPECT_FALSE(flags.has("missing"));
+  EXPECT_EQ(flags.get_i64("missing", 7), 7);
+}
+
+TEST(Flags, ParseColonAndEquals) {
+  const char* argv[] = {"prog", "-ruu:64", "--lsq=16"};
+  FlagSet flags;
+  ASSERT_TRUE(flags.parse(3, argv).ok());
+  EXPECT_EQ(flags.get_i64("ruu", 0), 64);
+  EXPECT_EQ(flags.get_i64("lsq", 0), 16);
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "-verbose"};
+  FlagSet flags;
+  ASSERT_TRUE(flags.parse(2, argv).ok());
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(Flags, BoolValues) {
+  const char* argv[] = {"prog", "-a", "true", "-b", "0", "-c", "on"};
+  FlagSet flags;
+  ASSERT_TRUE(flags.parse(7, argv).ok());
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_TRUE(flags.get_bool("c", false));
+}
+
+TEST(Flags, Positional) {
+  const char* argv[] = {"prog", "file.s", "-x", "1", "other"};
+  FlagSet flags;
+  ASSERT_TRUE(flags.parse(5, argv).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "file.s");
+  EXPECT_EQ(flags.positional()[1], "other");
+}
+
+TEST(Flags, ParseFileMergesWithCommandLinePriority) {
+  const char* path = "/tmp/reese_flags_test.cfg";
+  FILE* f = fopen(path, "w");
+  ASSERT_NE(f, nullptr);
+  fputs("# comment line\n-ruu 64   -lsq 32\n-workload li # trailing\n", f);
+  fclose(f);
+
+  const char* argv[] = {"prog", "-ruu", "16"};
+  FlagSet flags;
+  ASSERT_TRUE(flags.parse(3, argv).ok());
+  ASSERT_TRUE(flags.parse_file(path).ok());
+  EXPECT_EQ(flags.get_i64("ruu", 0), 16) << "command line must win";
+  EXPECT_EQ(flags.get_i64("lsq", 0), 32);
+  EXPECT_EQ(flags.get_string("workload", ""), "li");
+}
+
+TEST(Flags, ParseFileMissing) {
+  FlagSet flags;
+  EXPECT_FALSE(flags.parse_file("/nonexistent/definitely.cfg").ok());
+}
+
+TEST(Flags, DoubleParsing) {
+  const char* argv[] = {"prog", "-rate", "0.25"};
+  FlagSet flags;
+  ASSERT_TRUE(flags.parse(3, argv).ok());
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 0.25);
+}
+
+// --- error -----------------------------------------------------------------------
+
+TEST(Error, Format) {
+  const Error e = errorf("bad %s at %d", "thing", 9);
+  EXPECT_EQ(e.message, "bad thing at 9");
+  EXPECT_EQ(e.to_string(), "bad thing at 9");
+}
+
+TEST(Error, LinePrefix) {
+  Error e{"oops", 12};
+  EXPECT_EQ(e.to_string(), "line 12: oops");
+}
+
+TEST(Error, ResultHoldsValue) {
+  Result<int> r = 5;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Error, ResultHoldsError) {
+  Result<int> r = Error{"no", 0};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "no");
+}
+
+}  // namespace
+}  // namespace reese

@@ -1,0 +1,221 @@
+// Unit + property tests for the SRV binary encoding: every instruction must
+// survive an encode/decode round trip; out-of-range immediates must be
+// rejected; the disassembler must produce canonical text.
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "common/rng.h"
+#include "isa/encoding.h"
+
+namespace reese::isa {
+namespace {
+
+Instruction roundtrip(const Instruction& inst) {
+  auto word = encode(inst);
+  EXPECT_TRUE(word.ok()) << (word.ok() ? "" : word.error().to_string());
+  auto decoded = decode(word.value());
+  EXPECT_TRUE(decoded.ok());
+  return decoded.value();
+}
+
+TEST(Encoding, RTypeRoundTrip) {
+  const Instruction inst{Opcode::kAdd, 5, 6, 7, 0};
+  EXPECT_EQ(roundtrip(inst), inst);
+}
+
+TEST(Encoding, ITypeRoundTrip) {
+  for (i64 imm : {0LL, 1LL, -1LL, 8191LL, -8192LL, 100LL}) {
+    const Instruction inst{Opcode::kAddi, 1, 2, 0, imm};
+    EXPECT_EQ(roundtrip(inst), inst) << "imm=" << imm;
+  }
+}
+
+TEST(Encoding, UTypeRoundTrip) {
+  for (i64 imm : {0LL, 262143LL, -262144LL, 12345LL}) {
+    const Instruction inst{Opcode::kLui, 9, 0, 0, imm};
+    EXPECT_EQ(roundtrip(inst), inst) << "imm=" << imm;
+  }
+}
+
+TEST(Encoding, LoadStoreRoundTrip) {
+  const Instruction load{Opcode::kLd, 3, 4, 0, -8};
+  EXPECT_EQ(roundtrip(load), load);
+  const Instruction store{Opcode::kSd, 0, 4, 3, 16};
+  EXPECT_EQ(roundtrip(store), store);
+}
+
+TEST(Encoding, BranchRoundTrip) {
+  const Instruction branch{Opcode::kBne, 0, 10, 11, -100};
+  EXPECT_EQ(roundtrip(branch), branch);
+}
+
+TEST(Encoding, JumpRoundTrip) {
+  const Instruction jal{Opcode::kJal, 1, 0, 0, -200000};
+  EXPECT_EQ(roundtrip(jal), jal);
+  const Instruction jalr{Opcode::kJalr, 0, 1, 0, 4};
+  EXPECT_EQ(roundtrip(jalr), jalr);
+}
+
+TEST(Encoding, SystemRoundTrip) {
+  const Instruction halt{Opcode::kHalt, 0, 0, 0, 0};
+  EXPECT_EQ(roundtrip(halt), halt);
+  const Instruction out{Opcode::kOut, 0, 17, 0, 0};
+  EXPECT_EQ(roundtrip(out), out);
+}
+
+TEST(Encoding, RejectsImm14Overflow) {
+  EXPECT_FALSE(encode({Opcode::kAddi, 1, 2, 0, 8192}).ok());
+  EXPECT_FALSE(encode({Opcode::kAddi, 1, 2, 0, -8193}).ok());
+  EXPECT_FALSE(encode({Opcode::kBeq, 0, 1, 2, 10000}).ok());
+}
+
+TEST(Encoding, RejectsImm19Overflow) {
+  EXPECT_FALSE(encode({Opcode::kLui, 1, 0, 0, 262144}).ok());
+  EXPECT_FALSE(encode({Opcode::kJal, 1, 0, 0, -262145}).ok());
+}
+
+TEST(Encoding, RejectsUnknownOpcodeByte) {
+  EXPECT_FALSE(decode(0xFF000000u).ok());
+}
+
+TEST(Encoding, OpcodeByteIsTopByte) {
+  auto word = encode({Opcode::kAdd, 1, 2, 3, 0});
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(word.value() >> 24, static_cast<u32>(Opcode::kAdd));
+}
+
+// Property: random valid instructions of every opcode round-trip.
+TEST(Encoding, PropertyRandomRoundTrip) {
+  SplitMix64 rng(0xE9C0DE);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Instruction inst;
+    inst.op = static_cast<Opcode>(rng.next_below(kOpcodeCount));
+    const OpInfo& info = op_info(inst.op);
+    // Populate only the fields the format encodes.
+    switch (info.format) {
+      case Format::kR:
+        inst.rd = static_cast<u8>(rng.next_below(32));
+        inst.rs1 = static_cast<u8>(rng.next_below(32));
+        if (info.reads_rs2) inst.rs2 = static_cast<u8>(rng.next_below(32));
+        break;
+      case Format::kI:
+      case Format::kL:
+      case Format::kJr:
+        inst.rd = static_cast<u8>(rng.next_below(32));
+        inst.rs1 = static_cast<u8>(rng.next_below(32));
+        inst.imm = sign_extend(rng.next(), kImm14Bits);
+        break;
+      case Format::kS:
+        inst.rs1 = static_cast<u8>(rng.next_below(32));
+        inst.rs2 = static_cast<u8>(rng.next_below(32));
+        inst.imm = sign_extend(rng.next(), kImm14Bits);
+        break;
+      case Format::kB:
+        inst.rs1 = static_cast<u8>(rng.next_below(32));
+        inst.rs2 = static_cast<u8>(rng.next_below(32));
+        inst.imm = sign_extend(rng.next(), kImm14Bits);
+        break;
+      case Format::kU:
+      case Format::kJ:
+        inst.rd = static_cast<u8>(rng.next_below(32));
+        inst.imm = sign_extend(rng.next(), kImm19Bits);
+        break;
+      case Format::kO:
+        inst.rs1 = static_cast<u8>(rng.next_below(32));
+        break;
+      case Format::kN:
+        break;
+    }
+    ASSERT_EQ(roundtrip(inst), inst) << disassemble(inst);
+  }
+}
+
+// --- opcode table sanity -------------------------------------------------------
+
+TEST(OpcodeTable, MnemonicLookupIsInverse) {
+  for (usize i = 0; i < kOpcodeCount; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    EXPECT_EQ(opcode_from_mnemonic(op_info(op).mnemonic), op);
+  }
+  EXPECT_EQ(opcode_from_mnemonic("bogus"), Opcode::kCount);
+}
+
+TEST(OpcodeTable, Predicates) {
+  EXPECT_TRUE(is_load(Opcode::kLd));
+  EXPECT_TRUE(is_load(Opcode::kFld));
+  EXPECT_FALSE(is_load(Opcode::kSd));
+  EXPECT_TRUE(is_store(Opcode::kSb));
+  EXPECT_TRUE(is_mem(Opcode::kLw));
+  EXPECT_TRUE(is_mem(Opcode::kSw));
+  EXPECT_FALSE(is_mem(Opcode::kAdd));
+  EXPECT_TRUE(is_cond_branch(Opcode::kBeq));
+  EXPECT_FALSE(is_cond_branch(Opcode::kJal));
+  EXPECT_TRUE(is_jump(Opcode::kJal));
+  EXPECT_TRUE(is_jump(Opcode::kJalr));
+  EXPECT_TRUE(is_control(Opcode::kBgeu));
+  EXPECT_FALSE(is_control(Opcode::kAdd));
+  EXPECT_TRUE(is_fp(Opcode::kFadd));
+  EXPECT_TRUE(is_fp(Opcode::kFcvtLD));
+  EXPECT_FALSE(is_fp(Opcode::kMul));
+}
+
+TEST(OpcodeTable, MemBytes) {
+  EXPECT_EQ(op_info(Opcode::kLb).mem_bytes, 1);
+  EXPECT_EQ(op_info(Opcode::kLh).mem_bytes, 2);
+  EXPECT_EQ(op_info(Opcode::kLw).mem_bytes, 4);
+  EXPECT_EQ(op_info(Opcode::kLd).mem_bytes, 8);
+  EXPECT_EQ(op_info(Opcode::kSb).mem_bytes, 1);
+  EXPECT_EQ(op_info(Opcode::kFsd).mem_bytes, 8);
+  EXPECT_EQ(op_info(Opcode::kAdd).mem_bytes, 0);
+}
+
+TEST(OpcodeTable, LoadSignedness) {
+  EXPECT_TRUE(op_info(Opcode::kLb).load_signed);
+  EXPECT_FALSE(op_info(Opcode::kLbu).load_signed);
+  EXPECT_TRUE(op_info(Opcode::kLw).load_signed);
+  EXPECT_FALSE(op_info(Opcode::kLwu).load_signed);
+}
+
+TEST(OpcodeTable, ExecClasses) {
+  EXPECT_EQ(op_info(Opcode::kMul).exec_class, ExecClass::kIntMul);
+  EXPECT_EQ(op_info(Opcode::kDiv).exec_class, ExecClass::kIntDiv);
+  EXPECT_EQ(op_info(Opcode::kRemu).exec_class, ExecClass::kIntDiv);
+  EXPECT_EQ(op_info(Opcode::kFadd).exec_class, ExecClass::kFpAdd);
+  EXPECT_EQ(op_info(Opcode::kFmul).exec_class, ExecClass::kFpMul);
+  EXPECT_EQ(op_info(Opcode::kFsqrt).exec_class, ExecClass::kFpSqrt);
+  EXPECT_EQ(op_info(Opcode::kBeq).exec_class, ExecClass::kIntAlu);
+}
+
+// --- disassembler ----------------------------------------------------------------
+
+TEST(Disassemble, Formats) {
+  EXPECT_EQ(disassemble({Opcode::kAdd, 5, 6, 7, 0}), "add t0, t1, t2");
+  EXPECT_EQ(disassemble({Opcode::kAddi, 10, 2, 0, -4}), "addi a0, sp, -4");
+  EXPECT_EQ(disassemble({Opcode::kLd, 10, 2, 0, 8}), "ld a0, 8(sp)");
+  EXPECT_EQ(disassemble({Opcode::kSd, 0, 2, 10, 8}), "sd a0, 8(sp)");
+  EXPECT_EQ(disassemble({Opcode::kBeq, 0, 5, 0, -3}), "beq t0, zero, -3");
+  EXPECT_EQ(disassemble({Opcode::kJal, 1, 0, 0, 12}), "jal ra, 12");
+  EXPECT_EQ(disassemble({Opcode::kHalt, 0, 0, 0, 0}), "halt");
+  EXPECT_EQ(disassemble({Opcode::kOut, 0, 10, 0, 0}), "out a0");
+  EXPECT_EQ(disassemble({Opcode::kFadd, 1, 2, 3, 0}), "fadd ft1, ft2, ft3");
+}
+
+TEST(Registers, ParseByNumberAndAlias) {
+  EXPECT_EQ(parse_register("x0", false), 0);
+  EXPECT_EQ(parse_register("zero", false), 0);
+  EXPECT_EQ(parse_register("sp", false), 2);
+  EXPECT_EQ(parse_register("x31", false), 31);
+  EXPECT_EQ(parse_register("t6", false), 31);
+  EXPECT_EQ(parse_register("fp", false), 8);
+  EXPECT_EQ(parse_register("s0", false), 8);
+  EXPECT_EQ(parse_register("x32", false), -1);
+  EXPECT_EQ(parse_register("bogus", false), -1);
+  EXPECT_EQ(parse_register("f0", true), 0);
+  EXPECT_EQ(parse_register("ft0", true), 0);
+  EXPECT_EQ(parse_register("fa0", true), 10);
+  EXPECT_EQ(parse_register("f31", true), 31);
+  EXPECT_EQ(parse_register("t0", true), -1);
+}
+
+}  // namespace
+}  // namespace reese::isa

@@ -1,0 +1,279 @@
+// Functional-semantics tests for the SRV executor: arithmetic edge cases,
+// memory access widths and sign extension, control flow, FP behaviour, and
+// the compute()/step() consistency property REESE's comparator relies on.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/rng.h"
+#include "isa/executor.h"
+
+namespace reese::isa {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  u64 run_alu(Opcode op, u64 a, u64 b, i64 imm = 0) {
+    const Instruction inst{op, 1, 2, 3, imm};
+    return compute(inst, a, b, /*pc=*/0x1000).value;
+  }
+
+  mem::MainMemory memory_;
+  DirectDataSpace space_{&memory_};
+  ArchState state_;
+};
+
+TEST_F(ExecutorTest, AddSubWrap) {
+  EXPECT_EQ(run_alu(Opcode::kAdd, 2, 3), 5u);
+  EXPECT_EQ(run_alu(Opcode::kAdd, ~u64{0}, 1), 0u);  // wraparound
+  EXPECT_EQ(run_alu(Opcode::kSub, 2, 3), ~u64{0});
+}
+
+TEST_F(ExecutorTest, Logic) {
+  EXPECT_EQ(run_alu(Opcode::kAnd, 0b1100, 0b1010), 0b1000u);
+  EXPECT_EQ(run_alu(Opcode::kOr, 0b1100, 0b1010), 0b1110u);
+  EXPECT_EQ(run_alu(Opcode::kXor, 0b1100, 0b1010), 0b0110u);
+}
+
+TEST_F(ExecutorTest, ShiftsMaskTo6Bits) {
+  EXPECT_EQ(run_alu(Opcode::kSll, 1, 63), u64{1} << 63);
+  EXPECT_EQ(run_alu(Opcode::kSll, 1, 64), 1u);  // shift amount & 63
+  EXPECT_EQ(run_alu(Opcode::kSrl, u64{1} << 63, 63), 1u);
+  EXPECT_EQ(run_alu(Opcode::kSra, static_cast<u64>(-8), 1),
+            static_cast<u64>(-4));
+  EXPECT_EQ(run_alu(Opcode::kSrai, static_cast<u64>(-1), 0, 63),
+            static_cast<u64>(-1));
+}
+
+TEST_F(ExecutorTest, Comparisons) {
+  EXPECT_EQ(run_alu(Opcode::kSlt, static_cast<u64>(-1), 0), 1u);
+  EXPECT_EQ(run_alu(Opcode::kSltu, static_cast<u64>(-1), 0), 0u);
+  EXPECT_EQ(run_alu(Opcode::kSlti, static_cast<u64>(-5), 0, -4), 1u);
+  EXPECT_EQ(run_alu(Opcode::kSltiu, 3, 0, 4), 1u);
+}
+
+TEST_F(ExecutorTest, MultiplyAndHigh) {
+  EXPECT_EQ(run_alu(Opcode::kMul, 7, 6), 42u);
+  // mulh of two large positives.
+  const u64 a = u64{1} << 40;
+  EXPECT_EQ(run_alu(Opcode::kMulh, a, a), u64{1} << 16);
+  // mulh sign behaviour: (-1) * (1) high part is -1.
+  EXPECT_EQ(run_alu(Opcode::kMulh, static_cast<u64>(-1), 1),
+            static_cast<u64>(-1));
+}
+
+TEST_F(ExecutorTest, DivisionTotalSemantics) {
+  EXPECT_EQ(run_alu(Opcode::kDiv, 42, 5), 8u);
+  EXPECT_EQ(run_alu(Opcode::kDiv, static_cast<u64>(-42), 5),
+            static_cast<u64>(-8));
+  EXPECT_EQ(run_alu(Opcode::kRem, static_cast<u64>(-42), 5),
+            static_cast<u64>(-2));
+  // Division by zero: RISC-V totalized values, no trap.
+  EXPECT_EQ(run_alu(Opcode::kDiv, 42, 0), ~u64{0});
+  EXPECT_EQ(run_alu(Opcode::kDivu, 42, 0), ~u64{0});
+  EXPECT_EQ(run_alu(Opcode::kRem, 42, 0), 42u);
+  // Overflow case INT64_MIN / -1.
+  EXPECT_EQ(run_alu(Opcode::kDiv, static_cast<u64>(INT64_MIN),
+                    static_cast<u64>(-1)),
+            static_cast<u64>(INT64_MIN));
+  EXPECT_EQ(run_alu(Opcode::kRem, static_cast<u64>(INT64_MIN),
+                    static_cast<u64>(-1)),
+            0u);
+  EXPECT_EQ(run_alu(Opcode::kDivu, 100, 7), 14u);
+  EXPECT_EQ(run_alu(Opcode::kRemu, 100, 7), 2u);
+}
+
+TEST_F(ExecutorTest, Lui) {
+  EXPECT_EQ(run_alu(Opcode::kLui, 0, 0, 1), u64{1} << 14);
+  EXPECT_EQ(run_alu(Opcode::kLui, 0, 0, -1), static_cast<u64>(-16384));
+}
+
+TEST_F(ExecutorTest, BranchOutcomes) {
+  auto taken = [&](Opcode op, u64 a, u64 b) {
+    const Instruction inst{op, 0, 1, 2, 4};
+    return compute(inst, a, b, 0x1000).taken;
+  };
+  EXPECT_TRUE(taken(Opcode::kBeq, 5, 5));
+  EXPECT_FALSE(taken(Opcode::kBeq, 5, 6));
+  EXPECT_TRUE(taken(Opcode::kBne, 5, 6));
+  EXPECT_TRUE(taken(Opcode::kBlt, static_cast<u64>(-1), 0));
+  EXPECT_FALSE(taken(Opcode::kBltu, static_cast<u64>(-1), 0));
+  EXPECT_TRUE(taken(Opcode::kBge, 0, 0));
+  EXPECT_TRUE(taken(Opcode::kBgeu, static_cast<u64>(-1), 1));
+}
+
+TEST_F(ExecutorTest, BranchTargetIsInstructionRelative) {
+  const Instruction inst{Opcode::kBeq, 0, 1, 2, -2};
+  const ComputeOut out = compute(inst, 7, 7, 0x1008);
+  EXPECT_TRUE(out.taken);
+  EXPECT_EQ(out.target, 0x1000u);
+}
+
+TEST_F(ExecutorTest, JalLinksAndJumps) {
+  const Instruction inst{Opcode::kJal, 1, 0, 0, 3};
+  const ComputeOut out = compute(inst, 0, 0, 0x1000);
+  EXPECT_TRUE(out.taken);
+  EXPECT_EQ(out.target, 0x100Cu);
+  EXPECT_EQ(out.value, 0x1004u);  // link
+}
+
+TEST_F(ExecutorTest, JalrMasksLowBit) {
+  const Instruction inst{Opcode::kJalr, 0, 5, 0, 1};
+  const ComputeOut out = compute(inst, 0x2000, 0, 0x1000);
+  EXPECT_EQ(out.target, 0x2000u);  // (0x2000+1) & ~1
+}
+
+TEST_F(ExecutorTest, StepUpdatesRegistersAndPc) {
+  state_.pc = 0x1000;
+  state_.set_x(6, 40);
+  state_.set_x(7, 2);
+  const Instruction inst{Opcode::kAdd, 5, 6, 7, 0};
+  const StepOut out = step(&state_, inst, &space_);
+  EXPECT_EQ(state_.x(5), 42u);
+  EXPECT_EQ(state_.pc, 0x1004u);
+  EXPECT_EQ(out.result, 42u);
+  EXPECT_TRUE(out.wrote_reg);
+}
+
+TEST_F(ExecutorTest, ZeroRegisterIgnoresWrites) {
+  state_.pc = 0x1000;
+  const Instruction inst{Opcode::kAddi, 0, 0, 0, 99};
+  step(&state_, inst, &space_);
+  EXPECT_EQ(state_.x(0), 0u);
+}
+
+TEST_F(ExecutorTest, LoadStoreWidths) {
+  state_.pc = 0x1000;
+  state_.set_x(5, 0x100000);  // base
+  state_.set_x(6, 0xDEADBEEFCAFEF00DULL);
+  step(&state_, {Opcode::kSd, 0, 5, 6, 0}, &space_);
+  state_.pc = 0x1000;
+  step(&state_, {Opcode::kLbu, 7, 5, 0, 0}, &space_);
+  EXPECT_EQ(state_.x(7), 0x0Du);
+  state_.pc = 0x1000;
+  step(&state_, {Opcode::kLb, 7, 5, 0, 1}, &space_);
+  EXPECT_EQ(state_.x(7), static_cast<u64>(-16));  // 0xF0 sign-extended
+  state_.pc = 0x1000;
+  step(&state_, {Opcode::kLhu, 7, 5, 0, 0}, &space_);
+  EXPECT_EQ(state_.x(7), 0xF00Du);
+  state_.pc = 0x1000;
+  step(&state_, {Opcode::kLw, 7, 5, 0, 4}, &space_);
+  EXPECT_EQ(state_.x(7), 0xFFFFFFFFDEADBEEFULL);  // sign-extended word
+  state_.pc = 0x1000;
+  step(&state_, {Opcode::kLwu, 7, 5, 0, 4}, &space_);
+  EXPECT_EQ(state_.x(7), 0xDEADBEEFu);
+  state_.pc = 0x1000;
+  step(&state_, {Opcode::kLd, 7, 5, 0, 0}, &space_);
+  EXPECT_EQ(state_.x(7), 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST_F(ExecutorTest, StoreNarrowWidths) {
+  state_.set_x(5, 0x100000);
+  state_.set_x(6, 0xAABBCCDDEEFF1122ULL);
+  state_.pc = 0x1000;
+  step(&state_, {Opcode::kSb, 0, 5, 6, 0}, &space_);
+  EXPECT_EQ(memory_.load(0x100000, 8), 0x22u);  // only one byte written
+  state_.pc = 0x1000;
+  step(&state_, {Opcode::kSh, 0, 5, 6, 2}, &space_);
+  EXPECT_EQ(memory_.load(0x100002, 2), 0x1122u);
+}
+
+TEST_F(ExecutorTest, OutAccumulatesHash) {
+  state_.pc = 0x1000;
+  state_.set_x(5, 123);
+  const u64 hash_before = state_.out_hash;
+  step(&state_, {Opcode::kOut, 0, 5, 0, 0}, &space_);
+  EXPECT_NE(state_.out_hash, hash_before);
+  EXPECT_EQ(state_.out_count, 1u);
+}
+
+TEST_F(ExecutorTest, HaltSetsFlag) {
+  state_.pc = 0x1000;
+  step(&state_, {Opcode::kHalt, 0, 0, 0, 0}, &space_);
+  EXPECT_TRUE(state_.halted);
+}
+
+// --- FP ------------------------------------------------------------------------
+
+TEST_F(ExecutorTest, FpArithmetic) {
+  const u64 two = std::bit_cast<u64>(2.0);
+  const u64 three = std::bit_cast<u64>(3.0);
+  EXPECT_EQ(std::bit_cast<double>(run_alu(Opcode::kFadd, two, three)), 5.0);
+  EXPECT_EQ(std::bit_cast<double>(run_alu(Opcode::kFsub, two, three)), -1.0);
+  EXPECT_EQ(std::bit_cast<double>(run_alu(Opcode::kFmul, two, three)), 6.0);
+  EXPECT_EQ(std::bit_cast<double>(run_alu(Opcode::kFdiv, three, two)), 1.5);
+  EXPECT_EQ(std::bit_cast<double>(
+                run_alu(Opcode::kFsqrt, std::bit_cast<u64>(9.0), 0)),
+            3.0);
+}
+
+TEST_F(ExecutorTest, FpMinMaxNeg) {
+  const u64 two = std::bit_cast<u64>(2.0);
+  const u64 neg3 = std::bit_cast<u64>(-3.0);
+  EXPECT_EQ(std::bit_cast<double>(run_alu(Opcode::kFmin, two, neg3)), -3.0);
+  EXPECT_EQ(std::bit_cast<double>(run_alu(Opcode::kFmax, two, neg3)), 2.0);
+  EXPECT_EQ(std::bit_cast<double>(run_alu(Opcode::kFneg, two, 0)), -2.0);
+}
+
+TEST_F(ExecutorTest, FpCompare) {
+  const u64 one = std::bit_cast<u64>(1.0);
+  const u64 two = std::bit_cast<u64>(2.0);
+  EXPECT_EQ(run_alu(Opcode::kFlt, one, two), 1u);
+  EXPECT_EQ(run_alu(Opcode::kFle, two, two), 1u);
+  EXPECT_EQ(run_alu(Opcode::kFeq, one, two), 0u);
+  // NaN compares false.
+  const u64 nan = std::bit_cast<u64>(std::nan(""));
+  EXPECT_EQ(run_alu(Opcode::kFeq, nan, nan), 0u);
+  EXPECT_EQ(run_alu(Opcode::kFlt, nan, one), 0u);
+}
+
+TEST_F(ExecutorTest, FpConversions) {
+  EXPECT_EQ(std::bit_cast<double>(
+                run_alu(Opcode::kFcvtDL, static_cast<u64>(-7), 0)),
+            -7.0);
+  EXPECT_EQ(run_alu(Opcode::kFcvtLD, std::bit_cast<u64>(-7.9), 0),
+            static_cast<u64>(-7));  // truncation toward zero
+  // Saturation + NaN.
+  EXPECT_EQ(run_alu(Opcode::kFcvtLD, std::bit_cast<u64>(1e30), 0),
+            static_cast<u64>(INT64_MAX));
+  EXPECT_EQ(run_alu(Opcode::kFcvtLD, std::bit_cast<u64>(-1e30), 0),
+            static_cast<u64>(INT64_MIN));
+  EXPECT_EQ(run_alu(Opcode::kFcvtLD, std::bit_cast<u64>(std::nan("")), 0),
+            0u);
+}
+
+TEST_F(ExecutorTest, FpMoves) {
+  const u64 bits = 0x7FF8000000000001ULL;
+  EXPECT_EQ(run_alu(Opcode::kFmvXD, bits, 0), bits);
+  EXPECT_EQ(run_alu(Opcode::kFmvDX, bits, 0), bits);
+}
+
+// Property: compute() is a pure function — same inputs, same outputs —
+// across every opcode. This is the exact property REESE's comparator
+// depends on (P and R recomputations must agree in the fault-free case).
+TEST(ExecutorProperty, ComputeIsDeterministic) {
+  SplitMix64 rng(0xC0FFEE);
+  for (int trial = 0; trial < 20000; ++trial) {
+    Instruction inst;
+    inst.op = static_cast<Opcode>(rng.next_below(kOpcodeCount));
+    inst.rd = static_cast<u8>(rng.next_below(32));
+    inst.rs1 = static_cast<u8>(rng.next_below(32));
+    inst.rs2 = static_cast<u8>(rng.next_below(32));
+    inst.imm = sign_extend(rng.next(), 14);
+    const u64 a = rng.next();
+    const u64 b = rng.next();
+    const Addr pc = 0x1000 + 4 * rng.next_below(1024);
+
+    const ComputeOut first = compute(inst, a, b, pc);
+    const ComputeOut second = compute(inst, a, b, pc);
+    ASSERT_EQ(first.value, second.value);
+    ASSERT_EQ(first.taken, second.taken);
+    ASSERT_EQ(first.target, second.target);
+    ASSERT_EQ(first.addr, second.addr);
+  }
+}
+
+}  // namespace
+}  // namespace reese::isa

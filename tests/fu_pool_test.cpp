@@ -1,0 +1,83 @@
+// Functional-unit pool tests: arbitration, pipelined vs unpipelined issue,
+// utilization accounting, and the op-timing table.
+#include <gtest/gtest.h>
+
+#include "core/fu_pool.h"
+
+namespace reese::core {
+namespace {
+
+TEST(FuPool, CountsMatchConfig) {
+  const CoreConfig config = starting_config();
+  FuPool pool(config);
+  EXPECT_EQ(pool.unit_count(FuKind::kIntAlu), 4u);
+  EXPECT_EQ(pool.unit_count(FuKind::kIntMult), 1u);
+  EXPECT_EQ(pool.unit_count(FuKind::kFpAlu), 4u);
+  EXPECT_EQ(pool.unit_count(FuKind::kFpMult), 1u);
+  EXPECT_EQ(pool.unit_count(FuKind::kMemPort), 2u);
+}
+
+TEST(FuPool, ExhaustsUnitsWithinCycle) {
+  FuPool pool(starting_config());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(pool.try_acquire(FuKind::kIntAlu, 10, 1));
+  }
+  EXPECT_FALSE(pool.try_acquire(FuKind::kIntAlu, 10, 1));
+  // Next cycle they are free again (pipelined, issue latency 1).
+  EXPECT_TRUE(pool.try_acquire(FuKind::kIntAlu, 11, 1));
+}
+
+TEST(FuPool, UnpipelinedBlocksForIssueLatency) {
+  FuPool pool(starting_config());
+  EXPECT_TRUE(pool.try_acquire(FuKind::kIntMult, 0, 20));
+  for (Cycle c = 1; c < 20; ++c) {
+    EXPECT_FALSE(pool.try_acquire(FuKind::kIntMult, c, 1)) << c;
+  }
+  EXPECT_TRUE(pool.try_acquire(FuKind::kIntMult, 20, 1));
+}
+
+TEST(FuPool, CanAcquireHasNoSideEffects) {
+  FuPool pool(starting_config());
+  EXPECT_TRUE(pool.can_acquire(FuKind::kIntMult, 0));
+  EXPECT_TRUE(pool.can_acquire(FuKind::kIntMult, 0));
+  EXPECT_EQ(pool.ops_issued(FuKind::kIntMult), 0u);
+  pool.try_acquire(FuKind::kIntMult, 0, 5);
+  EXPECT_FALSE(pool.can_acquire(FuKind::kIntMult, 2));
+}
+
+TEST(FuPool, UtilizationMath) {
+  FuPool pool(starting_config());
+  // 8 ALU ops over 4 cycles on 4 units: 8 / (4*4) = 50%.
+  for (Cycle c = 0; c < 4; ++c) {
+    pool.try_acquire(FuKind::kIntAlu, c, 1);
+    pool.try_acquire(FuKind::kIntAlu, c, 1);
+  }
+  EXPECT_DOUBLE_EQ(pool.utilization(FuKind::kIntAlu, 4), 0.5);
+  EXPECT_DOUBLE_EQ(pool.utilization(FuKind::kIntAlu, 0), 0.0);
+}
+
+TEST(OpTiming, TableValues) {
+  const CoreConfig config = starting_config();
+  EXPECT_EQ(op_timing(isa::ExecClass::kIntAlu, config).result_latency, 1u);
+  EXPECT_EQ(op_timing(isa::ExecClass::kIntMul, config).result_latency, 3u);
+  EXPECT_EQ(op_timing(isa::ExecClass::kIntMul, config).issue_latency, 1u);
+  EXPECT_EQ(op_timing(isa::ExecClass::kIntDiv, config).result_latency, 20u);
+  EXPECT_EQ(op_timing(isa::ExecClass::kIntDiv, config).issue_latency, 20u);
+  EXPECT_EQ(op_timing(isa::ExecClass::kFpAdd, config).fu, FuKind::kFpAlu);
+  EXPECT_EQ(op_timing(isa::ExecClass::kFpSqrt, config).result_latency, 24u);
+  EXPECT_EQ(op_timing(isa::ExecClass::kLoad, config).fu, FuKind::kMemPort);
+}
+
+TEST(OpTiming, RespectsConfigOverrides) {
+  CoreConfig config = starting_config();
+  config.int_mul_latency = 7;
+  EXPECT_EQ(op_timing(isa::ExecClass::kIntMul, config).result_latency, 7u);
+}
+
+TEST(FuPool, KindNames) {
+  EXPECT_STREQ(fu_kind_name(FuKind::kIntAlu), "int-alu");
+  EXPECT_STREQ(fu_kind_name(FuKind::kMemPort), "mem-port");
+}
+
+}  // namespace
+}  // namespace reese::core

@@ -1,0 +1,177 @@
+// End-to-end smoke tests: small assembly programs must produce identical
+// architectural results on the golden ISS, the baseline pipeline, and the
+// REESE pipeline — and REESE must execute every instruction twice.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "isa/assembler.h"
+#include "isa/iss.h"
+
+namespace reese {
+namespace {
+
+isa::Program assemble_or_die(const char* source) {
+  auto result = isa::assemble(source);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().to_string());
+  return std::move(result).value();
+}
+
+struct RunOutcome {
+  u64 out_hash;
+  u64 out_count;
+  u64 committed;
+  Cycle cycles;
+  u64 mem_hash;
+};
+
+RunOutcome run_pipeline(const isa::Program& program, core::CoreConfig config) {
+  core::Pipeline pipeline(program, config);
+  const core::StopReason reason =
+      pipeline.run(/*commit_target=*/10'000'000, /*cycle_limit=*/10'000'000);
+  EXPECT_EQ(reason, core::StopReason::kHalted);
+  return RunOutcome{pipeline.arch_state().out_hash,
+                    pipeline.arch_state().out_count,
+                    pipeline.stats().committed, pipeline.stats().cycles,
+                    pipeline.memory().content_hash()};
+}
+
+constexpr char kCountdownLoop[] = R"(
+main:
+  li   t0, 1000
+  li   t1, 0
+loop:
+  add  t1, t1, t0
+  addi t0, t0, -1
+  bnez t0, loop
+  out  t1
+  halt
+)";
+
+constexpr char kMemoryKernel[] = R"(
+  .data
+array: .space 800
+  .text
+main:
+  la   s0, array
+  li   t0, 100        # count
+  li   t1, 7
+fill:
+  sd   t1, 0(s0)
+  addi s0, s0, 8
+  addi t1, t1, 13
+  addi t0, t0, -1
+  bnez t0, fill
+  la   s0, array
+  li   t0, 100
+  li   t2, 0
+sum:
+  ld   t3, 0(s0)
+  add  t2, t2, t3
+  addi s0, s0, 8
+  addi t0, t0, -1
+  bnez t0, sum
+  out  t2
+  halt
+)";
+
+constexpr char kCallKernel[] = R"(
+main:
+  li   sp, 0x8000000
+  li   a0, 12
+  call fib
+  out  a0
+  halt
+fib:                    # naive recursive fibonacci
+  li   t0, 2
+  blt  a0, t0, base
+  addi sp, sp, -24
+  sd   ra, 0(sp)
+  sd   a0, 8(sp)
+  addi a0, a0, -1
+  call fib
+  sd   a0, 16(sp)
+  ld   a0, 8(sp)
+  addi a0, a0, -2
+  call fib
+  ld   t1, 16(sp)
+  add  a0, a0, t1
+  ld   ra, 0(sp)
+  addi sp, sp, 24
+  ret
+base:
+  ret
+)";
+
+constexpr char kMulDivKernel[] = R"(
+main:
+  li   t0, 50
+  li   t1, 3
+  li   t2, 1
+  li   t4, 1000003
+loop:
+  mul  t2, t2, t1
+  rem  t2, t2, t4
+  div  t3, t2, t1
+  add  t2, t2, t3
+  addi t0, t0, -1
+  bnez t0, loop
+  out  t2
+  halt
+)";
+
+class SmokeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SmokeTest, BaselineMatchesIss) {
+  const isa::Program program = assemble_or_die(GetParam());
+  isa::Iss iss(program);
+  const isa::IssResult golden = iss.run(10'000'000);
+  ASSERT_TRUE(golden.halted);
+
+  const RunOutcome outcome = run_pipeline(program, core::starting_config());
+  EXPECT_EQ(outcome.out_hash, golden.out_hash);
+  EXPECT_EQ(outcome.out_count, golden.out_count);
+  EXPECT_EQ(outcome.committed, golden.executed_instructions);
+  EXPECT_EQ(outcome.mem_hash, iss.memory().content_hash());
+}
+
+TEST_P(SmokeTest, ReeseMatchesIss) {
+  const isa::Program program = assemble_or_die(GetParam());
+  isa::Iss iss(program);
+  const isa::IssResult golden = iss.run(10'000'000);
+  ASSERT_TRUE(golden.halted);
+
+  const RunOutcome outcome =
+      run_pipeline(program, core::with_reese(core::starting_config()));
+  EXPECT_EQ(outcome.out_hash, golden.out_hash);
+  EXPECT_EQ(outcome.committed, golden.executed_instructions);
+  EXPECT_EQ(outcome.mem_hash, iss.memory().content_hash());
+}
+
+TEST_P(SmokeTest, ReeseExecutesEverythingTwice) {
+  const isa::Program program = assemble_or_die(GetParam());
+  core::Pipeline pipeline(program, core::with_reese(core::starting_config()));
+  ASSERT_EQ(pipeline.run(10'000'000, 10'000'000), core::StopReason::kHalted);
+  const core::CoreStats& stats = pipeline.stats();
+  EXPECT_EQ(stats.comparisons, stats.committed);
+  EXPECT_EQ(stats.committed_r, stats.committed);
+  EXPECT_EQ(stats.errors_detected, 0u);
+  EXPECT_EQ(stats.rqueue_enqueued, stats.committed);
+}
+
+TEST_P(SmokeTest, ReeseIsSlowerOrEqualButNotDoubled) {
+  const isa::Program program = assemble_or_die(GetParam());
+  const RunOutcome baseline = run_pipeline(program, core::starting_config());
+  const RunOutcome reese =
+      run_pipeline(program, core::with_reese(core::starting_config()));
+  EXPECT_GE(reese.cycles * 100, baseline.cycles * 95)
+      << "REESE should not be meaningfully faster than baseline";
+  EXPECT_LE(reese.cycles, baseline.cycles * 2 + 200)
+      << "REESE must cost far less than full re-run";
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, SmokeTest,
+                         ::testing::Values(kCountdownLoop, kMemoryKernel,
+                                           kCallKernel, kMulDivKernel));
+
+}  // namespace
+}  // namespace reese

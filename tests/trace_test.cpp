@@ -1,0 +1,117 @@
+// Pipeline tracer tests: lifecycle events must arrive in a sane order and
+// the timeline must reflect the REESE dual-execution structure.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/trace.h"
+#include "isa/assembler.h"
+
+namespace reese {
+namespace {
+
+isa::Program tiny_program() {
+  auto assembled = isa::assemble(R"(
+main:
+  li   t0, 4
+loop:
+  addi t0, t0, -1
+  bnez t0, loop
+  out  t0
+  halt
+)");
+  EXPECT_TRUE(assembled.ok());
+  return std::move(assembled).value();
+}
+
+TEST(Trace, BaselineLifecycleOrdering) {
+  const isa::Program program = tiny_program();
+  core::TimelineTracer tracer(256);
+  core::Pipeline pipeline(program, core::starting_config());
+  pipeline.set_tracer(&tracer);
+  ASSERT_EQ(pipeline.run(1'000, 100'000), core::StopReason::kHalted);
+
+  ASSERT_GT(tracer.rows().size(), 5u);
+  for (const auto& row : tracer.rows()) {
+    if (row.squashed || row.spec) continue;
+    EXPECT_GT(row.dispatch, 0u);
+    EXPECT_GE(row.issue, row.dispatch);
+    EXPECT_GT(row.complete, row.issue);
+    EXPECT_GT(row.commit, row.complete);
+    // Baseline: no R-stream events.
+    EXPECT_EQ(row.r_issue, 0u);
+    EXPECT_EQ(row.r_complete, 0u);
+  }
+}
+
+TEST(Trace, ReeseLifecycleIncludesRStream) {
+  const isa::Program program = tiny_program();
+  core::TimelineTracer tracer(256);
+  core::Pipeline pipeline(program,
+                          core::with_reese(core::starting_config()));
+  pipeline.set_tracer(&tracer);
+  ASSERT_EQ(pipeline.run(1'000, 100'000), core::StopReason::kHalted);
+
+  usize full_lifecycles = 0;
+  for (const auto& row : tracer.rows()) {
+    if (row.squashed || row.spec) continue;
+    if (row.commit == 0) continue;
+    ++full_lifecycles;
+    EXPECT_GT(row.release, row.issue);
+    EXPECT_GE(row.r_issue, row.release);
+    EXPECT_GT(row.r_complete, row.r_issue);
+    EXPECT_GE(row.commit, row.r_complete);
+  }
+  EXPECT_GT(full_lifecycles, 5u);
+}
+
+TEST(Trace, WrongPathRowsAreMarkedSquashed) {
+  const isa::Program program = tiny_program();
+  core::TimelineTracer tracer(512);
+  core::CoreConfig config = core::starting_config();
+  config.predictor = branch::PredictorKind::kTaken;  // guaranteed mispredicts
+  core::Pipeline pipeline(program, config);
+  pipeline.set_tracer(&tracer);
+  ASSERT_EQ(pipeline.run(1'000, 100'000), core::StopReason::kHalted);
+
+  usize squashed = 0;
+  for (const auto& row : tracer.rows()) {
+    if (row.squashed) {
+      ++squashed;
+      EXPECT_TRUE(row.spec);
+      EXPECT_EQ(row.commit, 0u);
+    }
+  }
+  EXPECT_GT(squashed, 0u);
+}
+
+TEST(Trace, RenderedTableHasHeaderAndRows) {
+  const isa::Program program = tiny_program();
+  core::TimelineTracer tracer(32);
+  core::Pipeline pipeline(program, core::with_reese(core::starting_config()));
+  pipeline.set_tracer(&tracer);
+  pipeline.run(1'000, 100'000);
+  const std::string table = tracer.to_string();
+  EXPECT_NE(table.find("instruction"), std::string::npos);
+  EXPECT_NE(table.find("addi t0, t0, -1"), std::string::npos);
+  EXPECT_NE(table.find("halt"), std::string::npos);
+}
+
+TEST(Trace, CapacityBoundsRows) {
+  const isa::Program program = tiny_program();
+  core::TimelineTracer tracer(4);
+  core::Pipeline pipeline(program, core::starting_config());
+  pipeline.set_tracer(&tracer);
+  pipeline.run(1'000, 100'000);
+  EXPECT_LE(tracer.rows().size(), 4u);
+  EXPECT_GT(tracer.events_seen(), 10u);
+}
+
+TEST(Trace, KindNamesComplete) {
+  EXPECT_STREQ(core::trace_kind_name(core::TraceKind::kDispatch), "dispatch");
+  EXPECT_STREQ(core::trace_kind_name(core::TraceKind::kRComplete),
+               "r-complete");
+  EXPECT_STREQ(core::trace_kind_name(core::TraceKind::kError), "error");
+}
+
+}  // namespace
+}  // namespace reese

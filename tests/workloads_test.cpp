@@ -1,0 +1,113 @@
+// Workload validation: every registered workload must assemble, run to a
+// clean HALT on the golden ISS, publish checksums, be deterministic, and
+// produce identical architectural results on the baseline and REESE
+// pipelines.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "isa/iss.h"
+#include "workloads/workload.h"
+
+namespace reese {
+namespace {
+
+constexpr u64 kIterations = 8;
+constexpr u64 kMaxInstructions = 4'000'000;
+
+workloads::Workload make(const std::string& name, u64 iterations,
+                         u64 seed = 0x5EED5EED) {
+  workloads::WorkloadOptions options;
+  options.iterations = iterations;
+  options.seed = seed;
+  auto result = workloads::make_workload(name, options);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadTest, RunsToHaltOnIss) {
+  const workloads::Workload workload = make(GetParam(), kIterations);
+  isa::Iss iss(workload.program);
+  const isa::IssResult result = iss.run(kMaxInstructions);
+  EXPECT_TRUE(result.halted) << "workload did not HALT (bad_pc="
+                             << result.bad_pc << ", pc=" << result.final_pc
+                             << ")";
+  EXPECT_EQ(result.out_count, kIterations)
+      << "expected one OUT checksum per iteration";
+  EXPECT_GT(result.executed_instructions, 100u * kIterations);
+}
+
+TEST_P(WorkloadTest, IsDeterministic) {
+  const workloads::Workload first = make(GetParam(), kIterations);
+  const workloads::Workload second = make(GetParam(), kIterations);
+  isa::Iss iss_first(first.program);
+  isa::Iss iss_second(second.program);
+  const isa::IssResult a = iss_first.run(kMaxInstructions);
+  const isa::IssResult b = iss_second.run(kMaxInstructions);
+  EXPECT_EQ(a.out_hash, b.out_hash);
+  EXPECT_EQ(a.executed_instructions, b.executed_instructions);
+}
+
+TEST_P(WorkloadTest, SeedChangesData) {
+  // Different seeds must produce different checksums for data-driven
+  // kernels (the fixed ones — pure arithmetic — are exempt).
+  const std::string name = GetParam();
+  if (name == "ilp_chain" || name == "dep_chain" || name == "div_heavy" ||
+      name == "li" || name == "vortex" || name == "mem_stream") {
+    GTEST_SKIP() << "kernel has no seeded data tables";
+  }
+  const workloads::Workload workload_a = make(name, kIterations, 1);
+  const workloads::Workload workload_b = make(name, kIterations, 2);
+  isa::Iss iss_a(workload_a.program);
+  isa::Iss iss_b(workload_b.program);
+  EXPECT_NE(iss_a.run(kMaxInstructions).out_hash,
+            iss_b.run(kMaxInstructions).out_hash);
+}
+
+TEST_P(WorkloadTest, BaselinePipelineMatchesIss) {
+  const workloads::Workload workload = make(GetParam(), kIterations);
+  isa::Iss iss(workload.program);
+  const isa::IssResult golden = iss.run(kMaxInstructions);
+  ASSERT_TRUE(golden.halted);
+
+  core::Pipeline pipeline(workload.program, core::starting_config());
+  ASSERT_EQ(pipeline.run(kMaxInstructions, 8 * kMaxInstructions),
+            core::StopReason::kHalted);
+  EXPECT_EQ(pipeline.arch_state().out_hash, golden.out_hash);
+  EXPECT_EQ(pipeline.stats().committed, golden.executed_instructions);
+  EXPECT_EQ(pipeline.memory().content_hash(), iss.memory().content_hash());
+}
+
+TEST_P(WorkloadTest, ReesePipelineMatchesIss) {
+  const workloads::Workload workload = make(GetParam(), kIterations);
+  isa::Iss iss(workload.program);
+  const isa::IssResult golden = iss.run(kMaxInstructions);
+  ASSERT_TRUE(golden.halted);
+
+  core::Pipeline pipeline(workload.program,
+                          core::with_reese(core::starting_config()));
+  ASSERT_EQ(pipeline.run(kMaxInstructions, 8 * kMaxInstructions),
+            core::StopReason::kHalted);
+  EXPECT_EQ(pipeline.arch_state().out_hash, golden.out_hash);
+  EXPECT_EQ(pipeline.stats().committed, golden.executed_instructions);
+  EXPECT_EQ(pipeline.stats().comparisons, pipeline.stats().committed);
+  EXPECT_EQ(pipeline.stats().errors_detected, 0u);
+}
+
+TEST_P(WorkloadTest, InfiniteVariantKeepsRunning) {
+  const workloads::Workload workload = make(GetParam(), /*iterations=*/0);
+  core::Pipeline pipeline(workload.program, core::starting_config());
+  EXPECT_EQ(pipeline.run(/*commit_target=*/50'000, /*cycle_limit=*/5'000'000),
+            core::StopReason::kCommitTarget);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadTest,
+    ::testing::ValuesIn(workloads::all_workload_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace reese
