@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_area_cost.dir/abl_area_cost.cpp.o"
+  "CMakeFiles/abl_area_cost.dir/abl_area_cost.cpp.o.d"
+  "abl_area_cost"
+  "abl_area_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_area_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

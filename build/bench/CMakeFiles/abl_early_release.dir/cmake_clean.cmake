@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_early_release.dir/abl_early_release.cpp.o"
+  "CMakeFiles/abl_early_release.dir/abl_early_release.cpp.o.d"
+  "abl_early_release"
+  "abl_early_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_early_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

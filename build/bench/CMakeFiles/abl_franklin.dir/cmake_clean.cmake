@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_franklin.dir/abl_franklin.cpp.o"
+  "CMakeFiles/abl_franklin.dir/abl_franklin.cpp.o.d"
+  "abl_franklin"
+  "abl_franklin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_franklin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

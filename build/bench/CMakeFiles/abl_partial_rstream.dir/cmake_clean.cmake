@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_partial_rstream.dir/abl_partial_rstream.cpp.o"
+  "CMakeFiles/abl_partial_rstream.dir/abl_partial_rstream.cpp.o.d"
+  "abl_partial_rstream"
+  "abl_partial_rstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partial_rstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

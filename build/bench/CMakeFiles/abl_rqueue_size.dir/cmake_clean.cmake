@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rqueue_size.dir/abl_rqueue_size.cpp.o"
+  "CMakeFiles/abl_rqueue_size.dir/abl_rqueue_size.cpp.o.d"
+  "abl_rqueue_size"
+  "abl_rqueue_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rqueue_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_separation.dir/abl_separation.cpp.o"
+  "CMakeFiles/abl_separation.dir/abl_separation.cpp.o.d"
+  "abl_separation"
+  "abl_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fp_workloads.dir/ext_fp_workloads.cpp.o"
+  "CMakeFiles/ext_fp_workloads.dir/ext_fp_workloads.cpp.o.d"
+  "ext_fp_workloads"
+  "ext_fp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

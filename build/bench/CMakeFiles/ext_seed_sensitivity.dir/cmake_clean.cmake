@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_seed_sensitivity.dir/ext_seed_sensitivity.cpp.o"
+  "CMakeFiles/ext_seed_sensitivity.dir/ext_seed_sensitivity.cpp.o.d"
+  "ext_seed_sensitivity"
+  "ext_seed_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_seed_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

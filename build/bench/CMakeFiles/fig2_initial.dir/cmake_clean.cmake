@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_initial.dir/fig2_initial.cpp.o"
+  "CMakeFiles/fig2_initial.dir/fig2_initial.cpp.o.d"
+  "fig2_initial"
+  "fig2_initial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_initial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_bigger_ruu.dir/fig3_bigger_ruu.cpp.o"
+  "CMakeFiles/fig3_bigger_ruu.dir/fig3_bigger_ruu.cpp.o.d"
+  "fig3_bigger_ruu"
+  "fig3_bigger_ruu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_bigger_ruu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

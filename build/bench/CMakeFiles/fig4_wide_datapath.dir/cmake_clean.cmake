@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_wide_datapath.dir/fig4_wide_datapath.cpp.o"
+  "CMakeFiles/fig4_wide_datapath.dir/fig4_wide_datapath.cpp.o.d"
+  "fig4_wide_datapath"
+  "fig4_wide_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_wide_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mem_ports.dir/fig5_mem_ports.cpp.o"
+  "CMakeFiles/fig5_mem_ports.dir/fig5_mem_ports.cpp.o.d"
+  "fig5_mem_ports"
+  "fig5_mem_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mem_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_summary.cpp" "bench/CMakeFiles/fig6_summary.dir/fig6_summary.cpp.o" "gcc" "bench/CMakeFiles/fig6_summary.dir/fig6_summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/reese_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/reese_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/reese_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/reese_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/reese_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/reese_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/reese_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reese_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_more_hardware.dir/fig7_more_hardware.cpp.o"
+  "CMakeFiles/fig7_more_hardware.dir/fig7_more_hardware.cpp.o.d"
+  "fig7_more_hardware"
+  "fig7_more_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_more_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

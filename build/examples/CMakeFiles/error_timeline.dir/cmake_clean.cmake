@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_timeline.dir/error_timeline.cpp.o"
+  "CMakeFiles/error_timeline.dir/error_timeline.cpp.o.d"
+  "error_timeline"
+  "error_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reese_cli.dir/reese_cli.cpp.o"
+  "CMakeFiles/reese_cli.dir/reese_cli.cpp.o.d"
+  "reese_cli"
+  "reese_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reese_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spares_explorer.dir/spares_explorer.cpp.o"
+  "CMakeFiles/spares_explorer.dir/spares_explorer.cpp.o.d"
+  "spares_explorer"
+  "spares_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spares_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

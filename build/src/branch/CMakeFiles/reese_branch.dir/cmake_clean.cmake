@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reese_branch.dir/predictor.cpp.o"
+  "CMakeFiles/reese_branch.dir/predictor.cpp.o.d"
+  "libreese_branch.a"
+  "libreese_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reese_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

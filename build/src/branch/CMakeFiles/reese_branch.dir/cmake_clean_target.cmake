@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreese_branch.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reese_common.dir/error.cpp.o"
+  "CMakeFiles/reese_common.dir/error.cpp.o.d"
+  "CMakeFiles/reese_common.dir/flags.cpp.o"
+  "CMakeFiles/reese_common.dir/flags.cpp.o.d"
+  "CMakeFiles/reese_common.dir/rng.cpp.o"
+  "CMakeFiles/reese_common.dir/rng.cpp.o.d"
+  "CMakeFiles/reese_common.dir/stats.cpp.o"
+  "CMakeFiles/reese_common.dir/stats.cpp.o.d"
+  "CMakeFiles/reese_common.dir/strutil.cpp.o"
+  "CMakeFiles/reese_common.dir/strutil.cpp.o.d"
+  "libreese_common.a"
+  "libreese_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reese_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

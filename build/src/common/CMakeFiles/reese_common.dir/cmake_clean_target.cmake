@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreese_common.a"
+)

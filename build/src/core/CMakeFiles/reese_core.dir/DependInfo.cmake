@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area.cpp" "src/core/CMakeFiles/reese_core.dir/area.cpp.o" "gcc" "src/core/CMakeFiles/reese_core.dir/area.cpp.o.d"
+  "/root/repo/src/core/franklin.cpp" "src/core/CMakeFiles/reese_core.dir/franklin.cpp.o" "gcc" "src/core/CMakeFiles/reese_core.dir/franklin.cpp.o.d"
+  "/root/repo/src/core/fu_pool.cpp" "src/core/CMakeFiles/reese_core.dir/fu_pool.cpp.o" "gcc" "src/core/CMakeFiles/reese_core.dir/fu_pool.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/reese_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/reese_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/reese.cpp" "src/core/CMakeFiles/reese_core.dir/reese.cpp.o" "gcc" "src/core/CMakeFiles/reese_core.dir/reese.cpp.o.d"
+  "/root/repo/src/core/rstream.cpp" "src/core/CMakeFiles/reese_core.dir/rstream.cpp.o" "gcc" "src/core/CMakeFiles/reese_core.dir/rstream.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/reese_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/reese_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reese_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/reese_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/reese_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/reese_branch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reese_core.dir/area.cpp.o"
+  "CMakeFiles/reese_core.dir/area.cpp.o.d"
+  "CMakeFiles/reese_core.dir/franklin.cpp.o"
+  "CMakeFiles/reese_core.dir/franklin.cpp.o.d"
+  "CMakeFiles/reese_core.dir/fu_pool.cpp.o"
+  "CMakeFiles/reese_core.dir/fu_pool.cpp.o.d"
+  "CMakeFiles/reese_core.dir/pipeline.cpp.o"
+  "CMakeFiles/reese_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/reese_core.dir/reese.cpp.o"
+  "CMakeFiles/reese_core.dir/reese.cpp.o.d"
+  "CMakeFiles/reese_core.dir/rstream.cpp.o"
+  "CMakeFiles/reese_core.dir/rstream.cpp.o.d"
+  "CMakeFiles/reese_core.dir/trace.cpp.o"
+  "CMakeFiles/reese_core.dir/trace.cpp.o.d"
+  "libreese_core.a"
+  "libreese_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reese_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reese_faults.dir/injector.cpp.o"
+  "CMakeFiles/reese_faults.dir/injector.cpp.o.d"
+  "libreese_faults.a"
+  "libreese_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reese_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cpp" "src/isa/CMakeFiles/reese_isa.dir/assembler.cpp.o" "gcc" "src/isa/CMakeFiles/reese_isa.dir/assembler.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/isa/CMakeFiles/reese_isa.dir/encoding.cpp.o" "gcc" "src/isa/CMakeFiles/reese_isa.dir/encoding.cpp.o.d"
+  "/root/repo/src/isa/executor.cpp" "src/isa/CMakeFiles/reese_isa.dir/executor.cpp.o" "gcc" "src/isa/CMakeFiles/reese_isa.dir/executor.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/isa/CMakeFiles/reese_isa.dir/instruction.cpp.o" "gcc" "src/isa/CMakeFiles/reese_isa.dir/instruction.cpp.o.d"
+  "/root/repo/src/isa/iss.cpp" "src/isa/CMakeFiles/reese_isa.dir/iss.cpp.o" "gcc" "src/isa/CMakeFiles/reese_isa.dir/iss.cpp.o.d"
+  "/root/repo/src/isa/opcode.cpp" "src/isa/CMakeFiles/reese_isa.dir/opcode.cpp.o" "gcc" "src/isa/CMakeFiles/reese_isa.dir/opcode.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/isa/CMakeFiles/reese_isa.dir/program.cpp.o" "gcc" "src/isa/CMakeFiles/reese_isa.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reese_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/reese_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reese_isa.dir/assembler.cpp.o"
+  "CMakeFiles/reese_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/reese_isa.dir/encoding.cpp.o"
+  "CMakeFiles/reese_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/reese_isa.dir/executor.cpp.o"
+  "CMakeFiles/reese_isa.dir/executor.cpp.o.d"
+  "CMakeFiles/reese_isa.dir/instruction.cpp.o"
+  "CMakeFiles/reese_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/reese_isa.dir/iss.cpp.o"
+  "CMakeFiles/reese_isa.dir/iss.cpp.o.d"
+  "CMakeFiles/reese_isa.dir/opcode.cpp.o"
+  "CMakeFiles/reese_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/reese_isa.dir/program.cpp.o"
+  "CMakeFiles/reese_isa.dir/program.cpp.o.d"
+  "libreese_isa.a"
+  "libreese_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reese_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

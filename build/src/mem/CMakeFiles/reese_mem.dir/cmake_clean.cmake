@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reese_mem.dir/cache.cpp.o"
+  "CMakeFiles/reese_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/reese_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/reese_mem.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/reese_mem.dir/main_memory.cpp.o"
+  "CMakeFiles/reese_mem.dir/main_memory.cpp.o.d"
+  "CMakeFiles/reese_mem.dir/tlb.cpp.o"
+  "CMakeFiles/reese_mem.dir/tlb.cpp.o.d"
+  "libreese_mem.a"
+  "libreese_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reese_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

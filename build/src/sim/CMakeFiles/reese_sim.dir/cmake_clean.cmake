@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reese_sim.dir/experiment.cpp.o"
+  "CMakeFiles/reese_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/reese_sim.dir/simulator.cpp.o"
+  "CMakeFiles/reese_sim.dir/simulator.cpp.o.d"
+  "libreese_sim.a"
+  "libreese_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reese_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/builder.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/builder.cpp.o.d"
+  "/root/repo/src/workloads/extra_spec.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/extra_spec.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/extra_spec.cpp.o.d"
+  "/root/repo/src/workloads/fp_kernels.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/fp_kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/fp_kernels.cpp.o.d"
+  "/root/repo/src/workloads/fuzz.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/fuzz.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/fuzz.cpp.o.d"
+  "/root/repo/src/workloads/gcc_like.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/gcc_like.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/gcc_like.cpp.o.d"
+  "/root/repo/src/workloads/go_like.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/go_like.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/go_like.cpp.o.d"
+  "/root/repo/src/workloads/ijpeg_like.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/ijpeg_like.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/ijpeg_like.cpp.o.d"
+  "/root/repo/src/workloads/li_like.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/li_like.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/li_like.cpp.o.d"
+  "/root/repo/src/workloads/micro.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/micro.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/micro.cpp.o.d"
+  "/root/repo/src/workloads/perl_like.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/perl_like.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/perl_like.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/vortex_like.cpp" "src/workloads/CMakeFiles/reese_workloads.dir/vortex_like.cpp.o" "gcc" "src/workloads/CMakeFiles/reese_workloads.dir/vortex_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reese_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/reese_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/reese_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

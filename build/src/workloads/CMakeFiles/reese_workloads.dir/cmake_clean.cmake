@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reese_workloads.dir/builder.cpp.o"
+  "CMakeFiles/reese_workloads.dir/builder.cpp.o.d"
+  "CMakeFiles/reese_workloads.dir/extra_spec.cpp.o"
+  "CMakeFiles/reese_workloads.dir/extra_spec.cpp.o.d"
+  "CMakeFiles/reese_workloads.dir/fp_kernels.cpp.o"
+  "CMakeFiles/reese_workloads.dir/fp_kernels.cpp.o.d"
+  "CMakeFiles/reese_workloads.dir/fuzz.cpp.o"
+  "CMakeFiles/reese_workloads.dir/fuzz.cpp.o.d"
+  "CMakeFiles/reese_workloads.dir/gcc_like.cpp.o"
+  "CMakeFiles/reese_workloads.dir/gcc_like.cpp.o.d"
+  "CMakeFiles/reese_workloads.dir/go_like.cpp.o"
+  "CMakeFiles/reese_workloads.dir/go_like.cpp.o.d"
+  "CMakeFiles/reese_workloads.dir/ijpeg_like.cpp.o"
+  "CMakeFiles/reese_workloads.dir/ijpeg_like.cpp.o.d"
+  "CMakeFiles/reese_workloads.dir/li_like.cpp.o"
+  "CMakeFiles/reese_workloads.dir/li_like.cpp.o.d"
+  "CMakeFiles/reese_workloads.dir/micro.cpp.o"
+  "CMakeFiles/reese_workloads.dir/micro.cpp.o.d"
+  "CMakeFiles/reese_workloads.dir/perl_like.cpp.o"
+  "CMakeFiles/reese_workloads.dir/perl_like.cpp.o.d"
+  "CMakeFiles/reese_workloads.dir/registry.cpp.o"
+  "CMakeFiles/reese_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/reese_workloads.dir/vortex_like.cpp.o"
+  "CMakeFiles/reese_workloads.dir/vortex_like.cpp.o.d"
+  "libreese_workloads.a"
+  "libreese_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reese_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

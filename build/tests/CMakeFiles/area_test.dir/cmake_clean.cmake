@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_test.dir/area_test.cpp.o"
+  "CMakeFiles/area_test.dir/area_test.cpp.o.d"
+  "area_test"
+  "area_test.pdb"
+  "area_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

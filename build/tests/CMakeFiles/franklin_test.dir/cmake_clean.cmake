@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/franklin_test.dir/franklin_test.cpp.o"
+  "CMakeFiles/franklin_test.dir/franklin_test.cpp.o.d"
+  "franklin_test"
+  "franklin_test.pdb"
+  "franklin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/franklin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fu_pool_test.dir/fu_pool_test.cpp.o"
+  "CMakeFiles/fu_pool_test.dir/fu_pool_test.cpp.o.d"
+  "fu_pool_test"
+  "fu_pool_test.pdb"
+  "fu_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fu_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_behavior_test.dir/pipeline_behavior_test.cpp.o"
+  "CMakeFiles/pipeline_behavior_test.dir/pipeline_behavior_test.cpp.o.d"
+  "pipeline_behavior_test"
+  "pipeline_behavior_test.pdb"
+  "pipeline_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

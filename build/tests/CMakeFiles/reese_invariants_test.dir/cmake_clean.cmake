@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reese_invariants_test.dir/reese_invariants_test.cpp.o"
+  "CMakeFiles/reese_invariants_test.dir/reese_invariants_test.cpp.o.d"
+  "reese_invariants_test"
+  "reese_invariants_test.pdb"
+  "reese_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reese_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

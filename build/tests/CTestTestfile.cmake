@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/iss_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/branch_test[1]_include.cmake")
+include("/root/repo/build/tests/fu_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/reese_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/franklin_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/area_test[1]_include.cmake")
+include("/root/repo/build/tests/core_structs_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_differential_test[1]_include.cmake")
