@@ -6,7 +6,9 @@
 // Runs the program on the golden ISS and (optionally, -pipeline 1, the
 // default) on the cycle-accurate pipeline, printing OUT values, the final
 // checksum and timing statistics. With -trace 1 every ISS instruction is
-// disassembled as it executes (first 200 shown).
+// disassembled as it executes (first 200 shown). With -prelint 1 the
+// program is statically checked first (see tools/srv_lint.cpp) and
+// error-severity findings abort the run.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -17,6 +19,7 @@
 #include "isa/assembler.h"
 #include "isa/executor.h"
 #include "isa/iss.h"
+#include "sim/prelint.h"
 
 using namespace reese;
 
@@ -49,6 +52,20 @@ int main(int argc, char** argv) {
   std::printf("assembled %zu instructions, %zu data bytes, entry 0x%llx\n",
               program.code.size(), program.data.size(),
               static_cast<unsigned long long>(program.entry));
+
+  if (flags.get_bool("prelint", false)) {
+    const sim::PrelintResult lint = sim::prelint_program(program);
+    if (!lint.diagnostics.empty()) {
+      std::fprintf(stderr, "%s",
+                   render_diagnostics(lint.diagnostics, DiagFormat::kText,
+                                      flags.positional()[0])
+                       .c_str());
+    }
+    if (!lint.ok) {
+      std::fprintf(stderr, "prelint: refusing to run a malformed program\n");
+      return 1;
+    }
+  }
 
   const bool trace = flags.get_bool("trace", false);
   const u64 max_instructions = flags.get_u64("instr", 10'000'000);

@@ -21,11 +21,14 @@
 //   -pred NAME         nottaken|taken|btfn|bimodal|gshare|local|tournament
 //   -seed N            workload data seed
 //   -fault_rate F      inject faults at rate F per instruction
+//   -prelint 0|1       statically lint the workload program before running;
+//                      refuse to start on error-severity findings
 #include <cstdio>
 #include <cstring>
 
 #include "common/flags.h"
 #include "faults/injector.h"
+#include "sim/prelint.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
 
@@ -114,6 +117,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s (try -list)\n",
                  workload.error().to_string().c_str());
     return 2;
+  }
+
+  if (flags.get_bool("prelint", false)) {
+    const sim::PrelintResult lint =
+        sim::prelint_program(workload.value().program);
+    if (!lint.diagnostics.empty()) {
+      std::fprintf(stderr, "%s",
+                   render_diagnostics(lint.diagnostics, DiagFormat::kText,
+                                      workload.value().name)
+                       .c_str());
+    }
+    if (!lint.ok) {
+      std::fprintf(stderr,
+                   "prelint: refusing to simulate a malformed program\n");
+      return 1;
+    }
   }
 
   faults::InjectorConfig fault_config;

@@ -1,0 +1,89 @@
+// Generic worklist dataflow engine over the basic-block CFG.
+//
+// A problem supplies a per-block state type plus three operations:
+//   boundary(block)       state at the entry (forward) / at an exit block
+//                         (backward) — the block is passed so backward
+//                         problems can distinguish HALT exits from indirect
+//                         jumps whose continuation is unknown
+//   top()                 the "no information yet" initial interior state
+//   merge(a, b)           lattice meet at control-flow joins
+//   transfer(block, in)   flow one block's instructions over the state
+// The engine iterates blocks with a FIFO worklist until the per-block
+// IN states stop changing and returns them; a pass then re-walks each
+// block from its fixed-point IN state to anchor findings to instructions.
+//
+// States must be comparable (==) and cheap to copy; the passes use
+// std::bitset register sets (use-before-def, liveness) and small constant
+// vectors (the static address check). Termination is the problem author's
+// responsibility: merge/transfer must be monotone over a finite lattice.
+// The engine also hard-caps block processings as a backstop against a
+// non-monotone problem. The cap is sized well above the true worst case
+// for the register lattices used here (every block state can strictly
+// change at most 64 times — one per bit / per register level — and each
+// change re-enqueues at most the block's neighbours, so processings are
+// bounded by ~129*blocks), which no well-formed problem exceeds.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace reese::analysis {
+
+enum class Direction : u8 { kForward, kBackward };
+
+/// Fixed-point IN states (forward: state before block.first; backward:
+/// state after block.last), indexed by block.
+template <typename Problem>
+std::vector<typename Problem::State> solve_dataflow(const Cfg& cfg,
+                                                    Direction direction,
+                                                    const Problem& problem) {
+  using State = typename Problem::State;
+  const usize n = cfg.block_count();
+  std::vector<State> in(n, problem.top());
+  if (n == 0) return in;
+
+  // Seed boundary states. Backward problems treat every exit block (halt,
+  // fall-off-end, wild edge, or simply no successors) as a boundary.
+  const bool forward = direction == Direction::kForward;
+  auto edges_in = [&](const BasicBlock& b) -> const std::vector<u32>& {
+    return forward ? b.preds : b.succs;
+  };
+
+  std::deque<u32> worklist;
+  std::vector<bool> queued(n, false);
+  auto enqueue = [&](u32 b) {
+    if (!queued[b]) {
+      queued[b] = true;
+      worklist.push_back(b);
+    }
+  };
+  for (u32 b = 0; b < n; ++b) enqueue(b);
+
+  const usize max_iterations = 512 * n + 64;
+  usize iterations = 0;
+  while (!worklist.empty() && iterations++ < max_iterations) {
+    const u32 b = worklist.front();
+    worklist.pop_front();
+    queued[b] = false;
+    const BasicBlock& block = cfg.block(b);
+
+    State merged = problem.top();
+    const bool is_boundary =
+        forward ? b == cfg.entry_block()
+                : block.succs.empty() || block.has_halt ||
+                      block.falls_off_end || block.has_wild_edge;
+    if (is_boundary) merged = problem.boundary(block);
+    for (u32 other : edges_in(block)) {
+      merged = problem.merge(merged, problem.transfer(cfg.block(other),
+                                                      in[other]));
+    }
+    if (merged == in[b]) continue;
+    in[b] = merged;
+    for (u32 other : forward ? block.succs : block.preds) enqueue(other);
+  }
+  return in;
+}
+
+}  // namespace reese::analysis

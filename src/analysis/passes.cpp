@@ -1,0 +1,468 @@
+#include "analysis/passes.h"
+
+#include <algorithm>
+#include <bitset>
+
+#include "analysis/dataflow.h"
+#include "common/strutil.h"
+#include "isa/executor.h"
+
+namespace reese::analysis {
+namespace {
+
+using RegSet = std::bitset<isa::kFlatRegCount>;
+
+std::string reg_name(isa::RegRef reg) {
+  return std::string(isa::flat_reg_name(reg.flat()));
+}
+
+void emit(std::vector<Diagnostic>* out, Severity severity, Addr pc,
+          std::string_view pass, std::string message) {
+  out->push_back(Diagnostic{severity, pc, std::string(pass),
+                            std::move(message)});
+}
+
+// --- branch-target: wild/misaligned control transfers -----------------------
+
+void pass_branch_target(const Cfg& cfg, std::vector<Diagnostic>* out) {
+  constexpr std::string_view kPass = "branch-target";
+  const isa::Program& program = cfg.program();
+  if (!program.contains_pc(program.entry)) {
+    emit(out, Severity::kError, program.entry, kPass,
+         format("entry point 0x%llx is outside the text segment "
+                "[0x%llx, 0x%llx)",
+                static_cast<unsigned long long>(program.entry),
+                static_cast<unsigned long long>(program.code_base),
+                static_cast<unsigned long long>(program.end_pc())));
+  }
+  for (usize i = 0; i < program.code.size(); ++i) {
+    const Addr pc = cfg.pc_of(i);
+    const auto target = isa::static_target(program.code[i], pc);
+    if (!target || program.contains_pc(*target)) continue;
+    const bool inside =
+        *target >= program.code_base && *target < program.end_pc();
+    emit(out, Severity::kError, pc, kPass,
+         format("%s target 0x%llx %s",
+                std::string(program.code[i].info().mnemonic).c_str(),
+                static_cast<unsigned long long>(*target),
+                inside ? "is mid-instruction (not 4-byte aligned)"
+                       : "is outside the text segment"));
+  }
+  for (const BasicBlock& block : cfg.blocks()) {
+    if (block.falls_off_end) {
+      emit(out, Severity::kError, cfg.pc_of(block.last), kPass,
+           "control falls off the end of the text segment "
+           "(no HALT or transfer)");
+    }
+  }
+}
+
+// --- use-before-def: forward must-analysis of definitely-assigned regs -----
+
+struct DefinedProblem {
+  using State = RegSet;
+  const Cfg* cfg;
+
+  State top() const { return State().set(); }  // all defined (merge identity)
+  State boundary(const BasicBlock&) const {
+    // At entry only x0 (hardwired), sp and gp (set up by the loader/ISS)
+    // carry meaningful values; everything else is formally unassigned.
+    State s;
+    s.set(isa::RegRef{isa::kZeroReg, false}.flat());
+    s.set(isa::RegRef{isa::kSpReg, false}.flat());
+    s.set(isa::RegRef{isa::kGpReg, false}.flat());
+    return s;
+  }
+  State merge(const State& a, const State& b) const { return a & b; }
+  State transfer(const BasicBlock& block, State s) const {
+    for (usize i = block.first; i <= block.last; ++i) {
+      const isa::DefUse du = isa::def_use(cfg->inst(i));
+      for (u8 d = 0; d < du.def_count; ++d) s.set(du.defs[d].flat());
+    }
+    return s;
+  }
+};
+
+void pass_use_before_def(const Cfg& cfg, std::vector<Diagnostic>* out) {
+  constexpr std::string_view kPass = "use-before-def";
+  const DefinedProblem problem{&cfg};
+  const auto in = solve_dataflow(cfg, Direction::kForward, problem);
+  const std::vector<bool> reach = cfg.reachable();
+  for (const BasicBlock& block : cfg.blocks()) {
+    if (!reach[block.index]) continue;  // reported by `unreachable` instead
+    RegSet defined = in[block.index];
+    for (usize i = block.first; i <= block.last; ++i) {
+      const isa::DefUse du = isa::def_use(cfg.inst(i));
+      for (u8 u = 0; u < du.use_count; ++u) {
+        const isa::RegRef reg = du.uses[u];
+        if (!reg.fp && reg.index == isa::kZeroReg) continue;
+        if (!defined.test(reg.flat())) {
+          emit(out, Severity::kWarning, cfg.pc_of(i), kPass,
+               format("register %s may be read before any definition "
+                      "reaches this instruction",
+                      reg_name(reg).c_str()));
+        }
+      }
+      for (u8 d = 0; d < du.def_count; ++d) defined.set(du.defs[d].flat());
+    }
+  }
+}
+
+// --- unreachable: blocks with no path from the entry point -----------------
+
+void pass_unreachable(const Cfg& cfg, std::vector<Diagnostic>* out) {
+  constexpr std::string_view kPass = "unreachable";
+  const std::vector<bool> reach = cfg.reachable();
+  for (const BasicBlock& block : cfg.blocks()) {
+    if (reach[block.index]) continue;
+    emit(out, Severity::kWarning, cfg.pc_of(block.first), kPass,
+         format("basic block of %zu instruction(s) is unreachable from the "
+                "entry point",
+                block.size()));
+  }
+}
+
+// --- static-mem: constant-propagated load/store address checks -------------
+
+struct ConstVal {
+  enum Kind : u8 { kUndef, kConst, kNac } kind = kUndef;
+  u64 value = 0;
+
+  bool operator==(const ConstVal&) const = default;
+  static ConstVal undef() { return {}; }
+  static ConstVal of(u64 v) { return {kConst, v}; }
+  static ConstVal nac() { return {kNac, 0}; }
+};
+
+ConstVal merge_const(ConstVal a, ConstVal b) {
+  if (a.kind == ConstVal::kUndef) return b;
+  if (b.kind == ConstVal::kUndef) return a;
+  if (a.kind == ConstVal::kConst && b.kind == ConstVal::kConst &&
+      a.value == b.value) {
+    return a;
+  }
+  return ConstVal::nac();
+}
+
+/// Integer-register constant state. FP values are not tracked (addresses
+/// are integer arithmetic); any FP-sourced integer def is non-constant.
+struct ConstState {
+  std::vector<ConstVal> regs;  // kIntRegCount entries
+
+  bool operator==(const ConstState&) const = default;
+};
+
+/// Flow one instruction over the constant state. Returns the effective
+/// address when `inst` is a load/store with a statically-known base.
+std::optional<Addr> eval_const(const isa::Instruction& inst, Addr pc,
+                               ConstState* s) {
+  const isa::OpInfo& info = inst.info();
+  auto get = [&](u8 index) -> ConstVal {
+    return index == isa::kZeroReg ? ConstVal::of(0) : s->regs[index];
+  };
+  std::optional<Addr> ea;
+  const bool rs1_const =
+      !info.reads_rs1 || info.is_fp_rs1 || get(inst.rs1).kind == ConstVal::kConst;
+  const bool rs2_const =
+      !info.reads_rs2 || info.is_fp_rs2 || get(inst.rs2).kind == ConstVal::kConst;
+  const bool int_inputs_known = rs1_const && rs2_const &&
+                                !(info.reads_rs1 && info.is_fp_rs1) &&
+                                !(info.reads_rs2 && info.is_fp_rs2);
+  if (info.mem_bytes > 0 && !info.is_fp_rs1 &&
+      get(inst.rs1).kind == ConstVal::kConst) {
+    ea = isa::compute(inst, get(inst.rs1).value, 0, pc).addr;
+  }
+  if (info.writes_rd && !info.is_fp_rd) {
+    ConstVal rd = ConstVal::nac();
+    if (int_inputs_known && info.mem_bytes == 0) {
+      // Pure computation (ALU / LUI / jump link value): reuse the single
+      // definition of SRV semantics.
+      const u64 a = info.reads_rs1 ? get(inst.rs1).value : 0;
+      const u64 b = info.reads_rs2 ? get(inst.rs2).value : 0;
+      rd = ConstVal::of(isa::compute(inst, a, b, pc).value);
+    }
+    if (inst.rd != isa::kZeroReg) s->regs[inst.rd] = rd;
+  }
+  return ea;
+}
+
+struct ConstProblem {
+  using State = ConstState;
+  const Cfg* cfg;
+
+  State top() const {
+    return State{std::vector<ConstVal>(isa::kIntRegCount, ConstVal::undef())};
+  }
+  State boundary(const BasicBlock&) const {
+    State s{std::vector<ConstVal>(isa::kIntRegCount, ConstVal::nac())};
+    s.regs[isa::kZeroReg] = ConstVal::of(0);
+    return s;
+  }
+  State merge(const State& a, const State& b) const {
+    State s = a;
+    for (usize r = 0; r < isa::kIntRegCount; ++r) {
+      s.regs[r] = merge_const(a.regs[r], b.regs[r]);
+    }
+    return s;
+  }
+  State transfer(const BasicBlock& block, State s) const {
+    for (usize i = block.first; i <= block.last; ++i) {
+      eval_const(cfg->inst(i), cfg->pc_of(i), &s);
+    }
+    return s;
+  }
+};
+
+void pass_static_mem(const Cfg& cfg, std::vector<Diagnostic>* out) {
+  constexpr std::string_view kPass = "static-mem";
+  const isa::Program& program = cfg.program();
+  const ConstProblem problem{&cfg};
+  const auto in = solve_dataflow(cfg, Direction::kForward, problem);
+  const std::vector<bool> reach = cfg.reachable();
+  for (const BasicBlock& block : cfg.blocks()) {
+    if (!reach[block.index]) continue;
+    ConstState state = in[block.index];
+    // Unvisited (top) states can only appear on unreachable blocks, which
+    // are skipped above; reachable INs are fully merged.
+    for (usize i = block.first; i <= block.last; ++i) {
+      const isa::Instruction& inst = cfg.inst(i);
+      const std::optional<Addr> ea = eval_const(inst, cfg.pc_of(i), &state);
+      if (!ea) continue;
+      const u8 bytes = inst.info().mem_bytes;
+      const Addr addr = *ea;
+      const Addr pc = cfg.pc_of(i);
+      const std::string mnemonic(inst.info().mnemonic);
+      if (bytes > 1 && addr % bytes != 0) {
+        emit(out, Severity::kError, pc, kPass,
+             format("%s accesses 0x%llx, misaligned for a %u-byte access",
+                    mnemonic.c_str(), static_cast<unsigned long long>(addr),
+                    bytes));
+      }
+      if (static_cast<i64>(addr) < 0 || addr + bytes <= program.code_base) {
+        emit(out, Severity::kError, pc, kPass,
+             format("%s accesses 0x%llx, below the program image (wild or "
+                    "null-like address)",
+                    mnemonic.c_str(), static_cast<unsigned long long>(addr)));
+      } else if (addr < program.end_pc() && addr + bytes > program.code_base) {
+        emit(out, Severity::kWarning, pc, kPass,
+             format("%s accesses 0x%llx inside the text segment",
+                    mnemonic.c_str(), static_cast<unsigned long long>(addr)));
+      } else if (addr + bytes > isa::kDefaultStackTop &&
+                 program.data_base < isa::kDefaultStackTop) {
+        emit(out, Severity::kWarning, pc, kPass,
+             format("%s accesses 0x%llx above the stack top 0x%llx",
+                    mnemonic.c_str(), static_cast<unsigned long long>(addr),
+                    static_cast<unsigned long long>(
+                        Addr{isa::kDefaultStackTop})));
+      }
+    }
+  }
+}
+
+// --- dead-store: backward liveness ------------------------------------------
+
+struct LivenessProblem {
+  using State = RegSet;
+  const Cfg* cfg;
+
+  State top() const { return State(); }  // nothing live (merge identity)
+  State boundary(const BasicBlock& block) const {
+    // After HALT (or running off the end) nothing is live. After an
+    // indirect jump or a wild edge the continuation is unknown, so every
+    // register must be assumed live.
+    if (block.has_indirect || block.has_wild_edge) return State().set();
+    return State();
+  }
+  State merge(const State& a, const State& b) const { return a | b; }
+  /// `s` is the live set AFTER the block; returns the live set before it.
+  State transfer(const BasicBlock& block, State s) const {
+    for (usize i = block.last + 1; i-- > block.first;) {
+      const isa::DefUse du = isa::def_use(cfg->inst(i));
+      for (u8 d = 0; d < du.def_count; ++d) s.reset(du.defs[d].flat());
+      for (u8 u = 0; u < du.use_count; ++u) s.set(du.uses[u].flat());
+    }
+    return s;
+  }
+};
+
+void pass_dead_store(const Cfg& cfg, std::vector<Diagnostic>* out) {
+  constexpr std::string_view kPass = "dead-store";
+  const LivenessProblem problem{&cfg};
+  const auto out_state = solve_dataflow(cfg, Direction::kBackward, problem);
+  const std::vector<bool> reach = cfg.reachable();
+  // Walk each block backward from its fixed-point OUT state; report in
+  // program order afterwards (run_lint sorts by pc).
+  for (const BasicBlock& block : cfg.blocks()) {
+    if (!reach[block.index]) continue;
+    RegSet live = out_state[block.index];
+    for (usize i = block.last + 1; i-- > block.first;) {
+      const isa::DefUse du = isa::def_use(cfg.inst(i));
+      for (u8 d = 0; d < du.def_count; ++d) {
+        const isa::RegRef reg = du.defs[d];
+        // Writes to x0 are deliberate discards (plain `j` is jal x0, ...).
+        if (!reg.fp && reg.index == isa::kZeroReg) continue;
+        if (!live.test(reg.flat())) {
+          emit(out, Severity::kWarning, cfg.pc_of(i), kPass,
+               format("value written to %s is never read (dead store)",
+                      reg_name(reg).c_str()));
+        }
+        live.reset(reg.flat());
+      }
+      for (u8 u = 0; u < du.use_count; ++u) live.set(du.uses[u].flat());
+    }
+  }
+}
+
+// --- no-exit-loop: CFG cycles that can never leave --------------------------
+
+/// Iterative Tarjan SCC. Returns the SCC id of every block.
+std::vector<u32> strongly_connected_components(const Cfg& cfg, u32* scc_count) {
+  const usize n = cfg.block_count();
+  constexpr u32 kUnvisited = ~u32{0};
+  std::vector<u32> index(n, kUnvisited), lowlink(n, 0), scc(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<u32> stack;
+  u32 next_index = 0, sccs = 0;
+
+  struct Frame {
+    u32 block;
+    usize next_succ;
+  };
+  for (u32 root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> frames = {{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const u32 b = frame.block;
+      if (frame.next_succ < cfg.block(b).succs.size()) {
+        const u32 succ = cfg.block(b).succs[frame.next_succ++];
+        if (index[succ] == kUnvisited) {
+          index[succ] = lowlink[succ] = next_index++;
+          stack.push_back(succ);
+          on_stack[succ] = true;
+          frames.push_back({succ, 0});
+        } else if (on_stack[succ]) {
+          lowlink[b] = std::min(lowlink[b], index[succ]);
+        }
+      } else {
+        if (lowlink[b] == index[b]) {
+          u32 member;
+          do {
+            member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            scc[member] = sccs;
+          } while (member != b);
+          ++sccs;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().block] =
+              std::min(lowlink[frames.back().block], lowlink[b]);
+        }
+      }
+    }
+  }
+  *scc_count = sccs;
+  return scc;
+}
+
+void pass_no_exit_loop(const Cfg& cfg, std::vector<Diagnostic>* out) {
+  constexpr std::string_view kPass = "no-exit-loop";
+  if (cfg.block_count() == 0) return;
+  u32 scc_count = 0;
+  const std::vector<u32> scc = strongly_connected_components(cfg, &scc_count);
+
+  struct SccInfo {
+    usize blocks = 0;
+    bool has_self_edge = false;
+    bool can_leave = false;  // exit edge, halt, indirect, or wild edge
+    usize first_inst = ~usize{0};
+  };
+  std::vector<SccInfo> info(scc_count);
+  for (const BasicBlock& block : cfg.blocks()) {
+    SccInfo& s = info[scc[block.index]];
+    ++s.blocks;
+    s.first_inst = std::min(s.first_inst, block.first);
+    if (block.has_halt || block.has_indirect || block.has_wild_edge ||
+        block.falls_off_end) {
+      s.can_leave = true;
+    }
+    for (u32 succ : block.succs) {
+      if (scc[succ] != scc[block.index]) s.can_leave = true;
+      if (succ == block.index) s.has_self_edge = true;
+    }
+  }
+  for (const SccInfo& s : info) {
+    // A single block with no self-edge is not a loop.
+    if (s.blocks == 1 && !s.has_self_edge) continue;
+    if (s.can_leave) continue;
+    emit(out, Severity::kWarning, cfg.pc_of(s.first_inst), kPass,
+         format("loop of %zu basic block(s) has no exit edge or HALT "
+                "(runs forever)",
+                s.blocks));
+  }
+}
+
+// --- registry ---------------------------------------------------------------
+
+const std::vector<PassInfo> kPasses = {
+    {"branch-target",
+     "control transfers that leave the text segment or split instructions",
+     pass_branch_target},
+    {"static-mem",
+     "misaligned or out-of-image memory accesses at statically-known "
+     "addresses",
+     pass_static_mem},
+    {"use-before-def", "registers read before any definition reaches them",
+     pass_use_before_def},
+    {"unreachable", "basic blocks with no path from the entry point",
+     pass_unreachable},
+    {"dead-store", "register writes whose value is never read",
+     pass_dead_store},
+    {"no-exit-loop", "CFG cycles with no exit edge, HALT, or indirect jump",
+     pass_no_exit_loop},
+};
+
+}  // namespace
+
+const std::vector<PassInfo>& all_passes() { return kPasses; }
+
+const PassInfo* find_pass(std::string_view name) {
+  for (const PassInfo& pass : kPasses) {
+    if (pass.name == name) return &pass;
+  }
+  return nullptr;
+}
+
+std::vector<Diagnostic> run_lint(const Cfg& cfg, const LintOptions& options) {
+  std::vector<Diagnostic> diags;
+  for (const PassInfo& pass : kPasses) {
+    if (!options.passes.empty() &&
+        std::find(options.passes.begin(), options.passes.end(), pass.name) ==
+            options.passes.end()) {
+      continue;
+    }
+    pass.run(cfg, &diags);
+  }
+  std::erase_if(diags, [&](const Diagnostic& d) {
+    return static_cast<u8>(d.severity) < static_cast<u8>(options.min_severity);
+  });
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.pc != b.pc) return a.pc < b.pc;
+                     return a.pass < b.pass;
+                   });
+  return diags;
+}
+
+std::vector<Diagnostic> run_lint(const isa::Program& program,
+                                 const LintOptions& options) {
+  const Cfg cfg(program);
+  return run_lint(cfg, options);
+}
+
+}  // namespace reese::analysis

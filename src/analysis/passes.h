@@ -1,0 +1,63 @@
+// The srv-lint pass registry.
+//
+// Each pass walks the CFG (plus dataflow fixed points where needed) and
+// appends structured Diagnostics. Registered passes:
+//
+//   name            severity  finding
+//   --------------  --------  -------------------------------------------
+//   branch-target   error     branch/JAL target outside the text segment
+//                             or mid-instruction; control falling off the
+//                             end of the text segment; bad entry point
+//   static-mem      error/    statically-known load/store address that is
+//                   warning   misaligned (error) or outside any plausible
+//                             data region (error below text, warning for
+//                             text-segment or no-man's-land hits)
+//   use-before-def  warning   register read on some path before any
+//                             definition reaches it
+//   unreachable     warning   basic block unreachable from the entry point
+//   dead-store      warning   register written but never read afterwards
+//                             (overwritten or program exits first)
+//   no-exit-loop    warning   loop (CFG cycle) with no exit edge, HALT, or
+//                             indirect jump that could leave it
+//
+// Error-severity findings are what `--prelint` refuses to run; warnings are
+// advisory (several workloads intentionally loop forever, for instance).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "common/diag.h"
+
+namespace reese::analysis {
+
+using PassFn = void (*)(const Cfg& cfg, std::vector<Diagnostic>* out);
+
+struct PassInfo {
+  std::string_view name;
+  std::string_view description;
+  PassFn run;
+};
+
+/// Every registered pass, in canonical execution order.
+const std::vector<PassInfo>& all_passes();
+
+/// Lookup by registry name; nullptr if unknown.
+const PassInfo* find_pass(std::string_view name);
+
+struct LintOptions {
+  /// Drop findings below this severity.
+  Severity min_severity = Severity::kNote;
+  /// Run only these passes (registry names); empty = all. Unknown names
+  /// are ignored here — CLI-level validation happens in srv-lint.
+  std::vector<std::string> passes;
+};
+
+/// Run the selected passes over a prebuilt CFG / a program (building the
+/// CFG internally). Diagnostics come back sorted by pc, then pass name.
+std::vector<Diagnostic> run_lint(const Cfg& cfg, const LintOptions& options = {});
+std::vector<Diagnostic> run_lint(const isa::Program& program,
+                                 const LintOptions& options = {});
+
+}  // namespace reese::analysis

@@ -104,4 +104,31 @@ std::string disassemble(const Instruction& inst) {
   return m;
 }
 
+std::string_view flat_reg_name(u8 flat) {
+  assert(flat < kFlatRegCount);
+  return flat < kIntRegCount ? int_reg_name(flat)
+                             : fp_reg_name(static_cast<u8>(flat - kIntRegCount));
+}
+
+DefUse def_use(const Instruction& inst) {
+  const OpInfo& info = inst.info();
+  DefUse du;
+  if (info.reads_rs1) du.uses[du.use_count++] = RegRef{inst.rs1, info.is_fp_rs1};
+  if (info.reads_rs2) du.uses[du.use_count++] = RegRef{inst.rs2, info.is_fp_rs2};
+  if (info.writes_rd) du.defs[du.def_count++] = RegRef{inst.rd, info.is_fp_rd};
+  return du;
+}
+
+std::optional<Addr> static_target(const Instruction& inst, Addr pc) {
+  if (is_cond_branch(inst.op) || inst.op == Opcode::kJal) {
+    // Branch/JAL immediates are in instruction words (see Instruction docs).
+    return static_cast<Addr>(static_cast<i64>(pc) + 4 * inst.imm);
+  }
+  return std::nullopt;
+}
+
+bool falls_through(Opcode op) {
+  return op != Opcode::kJal && op != Opcode::kJalr && op != Opcode::kHalt;
+}
+
 }  // namespace reese::isa

@@ -1,6 +1,9 @@
-// Decoded instruction representation and register names.
+// Decoded instruction representation, register names, and static
+// instruction metadata (def/use sets, control-transfer targets) consumed by
+// the program-analysis layer (src/analysis).
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "common/types.h"
@@ -34,6 +37,45 @@ struct Instruction {
 
 /// "add x5, x6, x7" style disassembly (ABI register names).
 std::string disassemble(const Instruction& inst);
+
+// --- static instruction metadata (src/analysis consumes these) --------------
+
+/// A register operand: index within its file, plus which file. Int x0 is a
+/// real RegRef here; callers that care about its hardwired-zero semantics
+/// (def/use analyses) filter it themselves.
+struct RegRef {
+  u8 index = 0;
+  bool fp = false;
+
+  bool operator==(const RegRef&) const = default;
+  /// Dense index over both files: int regs 0..31, FP regs 32..63.
+  u8 flat() const { return static_cast<u8>(index + (fp ? kIntRegCount : 0)); }
+};
+
+constexpr usize kFlatRegCount = kIntRegCount + kFpRegCount;
+
+/// ABI/canonical name for a flat register index (see RegRef::flat()).
+std::string_view flat_reg_name(u8 flat);
+
+/// Registers statically read and written by one instruction, derived from
+/// its OpInfo row. At most two uses (rs1, rs2) and one def (rd).
+struct DefUse {
+  RegRef uses[2];
+  u8 use_count = 0;
+  RegRef defs[1];
+  u8 def_count = 0;
+};
+
+DefUse def_use(const Instruction& inst);
+
+/// Statically-known control-transfer target of the instruction at `pc`:
+/// branches and JAL are PC-relative (target = pc + 4*imm); JALR is dynamic
+/// (rs1 + imm) and non-control ops transfer nowhere — both yield nullopt.
+std::optional<Addr> static_target(const Instruction& inst, Addr pc);
+
+/// Whether execution can continue at pc+4 after this instruction:
+/// false for unconditional transfers (JAL, JALR) and HALT.
+bool falls_through(Opcode op);
 
 /// Register name ("x7"/ABI alias) -> index; returns -1 if unknown.
 /// `fp` selects the FP register namespace (f0..f31, fa0.., ft0.., fs0..).

@@ -1,0 +1,14 @@
+#include "sim/prelint.h"
+
+#include "analysis/passes.h"
+
+namespace reese::sim {
+
+PrelintResult prelint_program(const isa::Program& program) {
+  PrelintResult result;
+  result.diagnostics = analysis::run_lint(program);
+  result.ok = count_severity(result.diagnostics, Severity::kError) == 0;
+  return result;
+}
+
+}  // namespace reese::sim

@@ -1,0 +1,28 @@
+// Pre-run static checking of a program about to be simulated.
+//
+// `--prelint`/`-prelint 1` on the CLIs runs every srv-lint pass over the
+// workload's program image before the first simulated cycle. Error-severity
+// findings (wild branch targets, control running off the text segment,
+// misaligned statically-known accesses) mean the program is malformed and
+// would otherwise surface as a confusing mid-simulation divergence; the
+// simulator refuses to start. Warnings are reported but do not block — the
+// SPEC-like workloads intentionally loop forever, for example.
+#pragma once
+
+#include <vector>
+
+#include "common/diag.h"
+#include "isa/program.h"
+
+namespace reese::sim {
+
+struct PrelintResult {
+  std::vector<Diagnostic> diagnostics;
+  /// False iff any finding is error severity; the caller must not start
+  /// simulation in that case.
+  bool ok = true;
+};
+
+PrelintResult prelint_program(const isa::Program& program);
+
+}  // namespace reese::sim

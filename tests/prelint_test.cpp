@@ -1,0 +1,95 @@
+// Tests for the sim-layer prelint gate: a malformed program is refused,
+// every shipped example program and every registered workload is accepted.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "isa/assembler.h"
+#include "sim/prelint.h"
+#include "workloads/workload.h"
+
+namespace reese::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+isa::Program assemble_file(const fs::path& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  auto assembled = isa::assemble(buffer.str());
+  EXPECT_TRUE(assembled.ok())
+      << path << ": "
+      << (assembled.ok() ? "" : assembled.error().to_string());
+  return std::move(assembled).value();
+}
+
+TEST(Prelint, RejectsMalformedProgram) {
+  // Branch to absolute 0x0 (outside the text segment) and control running
+  // off the end: two hard errors.
+  auto assembled = isa::assemble(R"(
+  .text
+main:
+  li   t0, 1
+  beq  t0, t0, 0x0
+  li   t1, 2
+)");
+  ASSERT_TRUE(assembled.ok());
+  const PrelintResult result = prelint_program(assembled.value());
+  EXPECT_FALSE(result.ok);
+  EXPECT_GE(count_severity(result.diagnostics, Severity::kError), 2u);
+}
+
+TEST(Prelint, AcceptsCleanProgramWithWarnings) {
+  // A dead store is only a warning: reported but not blocking.
+  auto assembled = isa::assemble(R"(
+  .text
+main:
+  li   t0, 1
+  li   t0, 2
+  out  t0
+  halt
+)");
+  ASSERT_TRUE(assembled.ok());
+  const PrelintResult result = prelint_program(assembled.value());
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(count_severity(result.diagnostics, Severity::kError), 0u);
+  EXPECT_GE(count_severity(result.diagnostics, Severity::kWarning), 1u);
+}
+
+TEST(Prelint, AcceptsEveryExampleProgram) {
+  const fs::path root = fs::path(REESE_SOURCE_DIR) / "examples";
+  usize checked = 0;
+  for (const char* sub : {"asm", "srv"}) {
+    for (const auto& entry : fs::directory_iterator(root / sub)) {
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".s" && ext != ".srv") continue;
+      const isa::Program program = assemble_file(entry.path());
+      const PrelintResult result = prelint_program(program);
+      EXPECT_TRUE(result.ok) << entry.path() << ":\n"
+                             << render_diagnostics(result.diagnostics,
+                                                   DiagFormat::kText,
+                                                   entry.path().string());
+      ++checked;
+    }
+  }
+  // fib.s + hello_sum.s + the three .srv programs, at minimum.
+  EXPECT_GE(checked, 5u);
+}
+
+TEST(Prelint, AcceptsEveryRegisteredWorkload) {
+  for (const std::string& name : workloads::all_workload_names()) {
+    auto workload = workloads::make_workload(name);
+    ASSERT_TRUE(workload.ok()) << name;
+    const PrelintResult result = prelint_program(workload.value().program);
+    EXPECT_TRUE(result.ok)
+        << name << ":\n"
+        << render_diagnostics(result.diagnostics, DiagFormat::kText, name);
+  }
+}
+
+}  // namespace
+}  // namespace reese::sim

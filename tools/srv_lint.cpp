@@ -1,0 +1,136 @@
+// srv-lint: static CFG/dataflow analyzer for SRV assembly programs.
+//
+//   $ ./build/tools/srv-lint examples/srv/sum_array.srv
+//   $ ./build/tools/srv-lint --format=json examples/asm/fib.s
+//   $ ./build/tools/srv-lint --pass=branch-target,static-mem prog.srv
+//   $ ./build/tools/srv-lint --list-passes
+//
+// Assembles each input file and runs the src/analysis pass registry over
+// the decoded image. Flags:
+//   --format=text|json      output format (default text)
+//   --pass=NAME[,NAME...]   run only the named passes (default: all)
+//   --min-severity=SEV      note|warning|error; drop findings below SEV
+//   --werror                treat warnings as errors for the exit status
+//   --list-passes           print the registry and exit
+//
+// Exit status: 0 = clean (notes/warnings allowed unless --werror),
+// 1 = at least one error-severity finding (or a file failed to assemble),
+// 2 = usage error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/passes.h"
+#include "common/diag.h"
+#include "common/flags.h"
+#include "common/strutil.h"
+#include "isa/assembler.h"
+
+using namespace reese;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: srv-lint [--format=text|json] [--pass=NAME[,...]]\n"
+               "                [--min-severity=note|warning|error] "
+               "[--werror]\n"
+               "                [--list-passes] file.srv [file2.srv ...]\n");
+  return 2;
+}
+
+bool parse_severity(const std::string& name, Severity* out) {
+  if (name == "note") *out = Severity::kNote;
+  else if (name == "warning") *out = Severity::kWarning;
+  else if (name == "error") *out = Severity::kError;
+  else return false;
+  return true;
+}
+
+/// Lint one file; appends its findings (assembly failures become a
+/// diagnostic from a pseudo-pass "assemble"). Returns false on I/O error.
+bool lint_file(const std::string& path, const analysis::LintOptions& options,
+               std::vector<Diagnostic>* diags) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "srv-lint: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  auto assembled = isa::assemble(buffer.str());
+  if (!assembled.ok()) {
+    diags->push_back(Diagnostic{
+        Severity::kError, 0, "assemble",
+        format("line %d: %s", assembled.error().line,
+               assembled.error().message.c_str())});
+    return true;
+  }
+  std::vector<Diagnostic> found =
+      analysis::run_lint(assembled.value(), options);
+  diags->insert(diags->end(), std::make_move_iterator(found.begin()),
+                std::make_move_iterator(found.end()));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  if (auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.error().to_string().c_str());
+    return usage();
+  }
+
+  if (flags.get_bool("list-passes", false)) {
+    std::printf("registered passes:\n");
+    for (const analysis::PassInfo& pass : analysis::all_passes()) {
+      std::printf("  %-16.*s %.*s\n", static_cast<int>(pass.name.size()),
+                  pass.name.data(), static_cast<int>(pass.description.size()),
+                  pass.description.data());
+    }
+    return 0;
+  }
+  if (flags.positional().empty()) return usage();
+
+  const std::string format_name = flags.get_string("format", "text");
+  if (format_name != "text" && format_name != "json") return usage();
+  const DiagFormat format =
+      format_name == "json" ? DiagFormat::kJson : DiagFormat::kText;
+
+  analysis::LintOptions options;
+  if (flags.has("min-severity") &&
+      !parse_severity(flags.get_string("min-severity", ""),
+                      &options.min_severity)) {
+    return usage();
+  }
+  if (flags.has("pass")) {
+    for (std::string_view name : split(flags.get_string("pass", ""), ',')) {
+      if (!analysis::find_pass(name)) {
+        std::fprintf(stderr, "srv-lint: unknown pass '%.*s' (--list-passes)\n",
+                     static_cast<int>(name.size()), name.data());
+        return 2;
+      }
+      options.passes.emplace_back(name);
+    }
+  }
+
+  bool io_error = false;
+  usize errors = 0;
+  usize warnings = 0;
+  for (const std::string& path : flags.positional()) {
+    std::vector<Diagnostic> diags;
+    if (!lint_file(path, options, &diags)) {
+      io_error = true;
+      continue;
+    }
+    errors += count_severity(diags, Severity::kError);
+    warnings += count_severity(diags, Severity::kWarning);
+    std::fputs(render_diagnostics(diags, format, path).c_str(), stdout);
+  }
+  if (io_error) return 2;
+  if (errors > 0) return 1;
+  if (warnings > 0 && flags.get_bool("werror", false)) return 1;
+  return 0;
+}
