@@ -15,7 +15,8 @@
 
 #include "sim/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
+  reese::sim::parse_jobs_flag(argc, argv);
   reese::sim::ExperimentSpec spec;
   spec.title = "Figure 2: initial comparison between REESE and baseline "
                "(starting configuration)";

@@ -35,7 +35,8 @@ core::CoreConfig variation(int which) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  reese::sim::parse_jobs_flag(argc, argv);
   const std::vector<std::string> variations = {"None", "RUU,LSQ 2X", "Ex.Q 2X",
                                                "MemPorts"};
   std::printf("Figure 6: summary of results (average IPC per hardware "

@@ -46,7 +46,8 @@ core::CoreConfig config_for(const Point& point) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  reese::sim::parse_jobs_flag(argc, argv);
   const std::vector<Point> points = {
       {"RUU=64", 64, false},
       {"RUU=64+FUs", 64, true},

@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace reese {
+
+u32 resolve_job_count(u32 requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("REESE_JOBS")) {
+    const long value = std::atol(env);
+    if (value > 0) return static_cast<u32>(value);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(u32 workers) {
+  const u32 resolved = resolve_job_count(workers);
+  threads_.reserve(resolved - 1);
+  for (u32 i = 0; i + 1 < resolved; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::parallel_for(usize count,
+                              const std::function<void(usize)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    // Single-worker pool: plain sequential loop, no synchronization.
+    for (usize i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    next_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    total_ = count;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  run_share();  // the calling thread is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] {
+    return done_.load(std::memory_order_acquire) == total_ && active_ == 0;
+  });
+  fn_ = nullptr;
+}
+
+void ThreadPool::run_share() {
+  const std::function<void(usize)>& fn = *fn_;
+  const usize total = total_;
+  while (true) {
+    const usize index = next_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= total) return;
+    fn(index);
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  u64 seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      ++active_;
+    }
+    run_share();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace reese

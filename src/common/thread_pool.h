@@ -1,0 +1,69 @@
+// A small fixed-size thread pool with an index-claiming parallel_for.
+//
+// Built for the experiment grid runner: a batch of independent, similarly
+// sized jobs (one simulation per (workload, model, seed) cell) is fanned
+// across hardware threads. Work distribution is dynamic — every worker
+// (including the calling thread) claims the next unstarted index from one
+// atomic counter, so a worker that finishes early immediately steals from
+// the remaining tail instead of idling behind a static partition.
+//
+// Determinism contract: parallel_for imposes no ordering on job execution,
+// so jobs must not share mutable state; each writes only its own result
+// slot. Under that contract the results are bit-identical to a sequential
+// loop regardless of worker count (see tests/experiment_parallel_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace reese {
+
+/// Resolve a worker-count request: any positive `requested` wins; 0 means
+/// auto — $REESE_JOBS if set and positive, else hardware_concurrency().
+/// Always at least 1.
+u32 resolve_job_count(u32 requested);
+
+class ThreadPool {
+ public:
+  /// `workers` is the total parallelism including the calling thread, so
+  /// the pool spawns `workers - 1` threads; 1 means "run everything inline"
+  /// (no threads at all). 0 resolves via resolve_job_count.
+  explicit ThreadPool(u32 workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (spawned threads + the calling thread).
+  u32 worker_count() const { return static_cast<u32>(threads_.size()) + 1; }
+
+  /// Run fn(0) .. fn(count - 1), each exactly once, across the pool and the
+  /// calling thread; returns when all have finished. Not reentrant and not
+  /// thread-safe — one batch at a time, driven from the owning thread.
+  void parallel_for(usize count, const std::function<void(usize)>& fn);
+
+ private:
+  void run_share();
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;   ///< signals workers: new batch / stop
+  std::condition_variable done_cv_;   ///< signals the caller: batch drained
+  const std::function<void(usize)>* fn_ = nullptr;
+  std::atomic<usize> next_{0};
+  std::atomic<usize> done_{0};
+  usize total_ = 0;
+  u64 generation_ = 0;  ///< bumped per batch so workers wake exactly once
+  u32 active_ = 0;      ///< pool workers currently inside run_share
+  bool stop_ = false;
+};
+
+}  // namespace reese

@@ -18,34 +18,6 @@ const char* fu_kind_name(FuKind kind) {
   return "?";
 }
 
-OpTiming op_timing(isa::ExecClass exec_class, const CoreConfig& config) {
-  using isa::ExecClass;
-  switch (exec_class) {
-    case ExecClass::kIntAlu:
-      return {FuKind::kIntAlu, 1, 1};
-    case ExecClass::kIntMul:
-      return {FuKind::kIntMult, config.int_mul_latency, 1};
-    case ExecClass::kIntDiv:
-      return {FuKind::kIntMult, config.int_div_latency,
-              config.int_div_latency};
-    case ExecClass::kFpAdd:
-      return {FuKind::kFpAlu, config.fp_add_latency, 1};
-    case ExecClass::kFpMul:
-      return {FuKind::kFpMult, config.fp_mul_latency, 1};
-    case ExecClass::kFpDiv:
-      return {FuKind::kFpMult, config.fp_div_latency, config.fp_div_latency};
-    case ExecClass::kFpSqrt:
-      return {FuKind::kFpMult, config.fp_sqrt_latency,
-              config.fp_sqrt_latency};
-    case ExecClass::kLoad:
-      return {FuKind::kMemPort, 1, 1};  // + cache latency, added by caller
-    case ExecClass::kStore:
-    case ExecClass::kNone:
-      return {FuKind::kIntAlu, 1, 1};  // see pipeline.cpp for store handling
-  }
-  return {FuKind::kIntAlu, 1, 1};
-}
-
 FuPool::FuPool(const CoreConfig& config) {
   auto init = [this](FuKind kind, u32 count) {
     next_free_[static_cast<usize>(kind)].assign(count, 0);
@@ -55,26 +27,6 @@ FuPool::FuPool(const CoreConfig& config) {
   init(FuKind::kFpAlu, config.fp_alu_count);
   init(FuKind::kFpMult, config.fp_mult_count);
   init(FuKind::kMemPort, config.mem_port_count);
-}
-
-bool FuPool::try_acquire(FuKind kind, Cycle now, u32 issue_latency) {
-  assert(issue_latency >= 1);
-  std::vector<Cycle>& units = next_free_[static_cast<usize>(kind)];
-  for (Cycle& next_free : units) {
-    if (next_free <= now) {
-      next_free = now + issue_latency;
-      ++ops_issued_[static_cast<usize>(kind)];
-      return true;
-    }
-  }
-  return false;
-}
-
-bool FuPool::can_acquire(FuKind kind, Cycle now) const {
-  for (Cycle next_free : next_free_[static_cast<usize>(kind)]) {
-    if (next_free <= now) return true;
-  }
-  return false;
 }
 
 double FuPool::utilization(FuKind kind, Cycle cycles) const {

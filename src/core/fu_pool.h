@@ -32,7 +32,36 @@ struct OpTiming {
 /// Map an exec class to its unit + latencies under `config`. kLoad returns
 /// the port requirements only — cache latency is added by the caller.
 /// kStore/kNone map to a 1-cycle IntALU-free completion (see pipeline.cpp).
-OpTiming op_timing(isa::ExecClass exec_class, const CoreConfig& config);
+/// Inline: evaluated per issue attempt, several times per simulated
+/// instruction.
+inline OpTiming op_timing(isa::ExecClass exec_class,
+                          const CoreConfig& config) {
+  using isa::ExecClass;
+  switch (exec_class) {
+    case ExecClass::kIntAlu:
+      return {FuKind::kIntAlu, 1, 1};
+    case ExecClass::kIntMul:
+      return {FuKind::kIntMult, config.int_mul_latency, 1};
+    case ExecClass::kIntDiv:
+      return {FuKind::kIntMult, config.int_div_latency,
+              config.int_div_latency};
+    case ExecClass::kFpAdd:
+      return {FuKind::kFpAlu, config.fp_add_latency, 1};
+    case ExecClass::kFpMul:
+      return {FuKind::kFpMult, config.fp_mul_latency, 1};
+    case ExecClass::kFpDiv:
+      return {FuKind::kFpMult, config.fp_div_latency, config.fp_div_latency};
+    case ExecClass::kFpSqrt:
+      return {FuKind::kFpMult, config.fp_sqrt_latency,
+              config.fp_sqrt_latency};
+    case ExecClass::kLoad:
+      return {FuKind::kMemPort, 1, 1};  // + cache latency, added by caller
+    case ExecClass::kStore:
+    case ExecClass::kNone:
+      return {FuKind::kIntAlu, 1, 1};  // see pipeline.cpp for store handling
+  }
+  return {FuKind::kIntAlu, 1, 1};
+}
 
 class FuPool {
  public:
@@ -40,11 +69,26 @@ class FuPool {
 
   /// Try to claim a unit of `kind` at cycle `now` for `issue_latency`
   /// cycles. Returns false if every unit of that kind is busy.
-  bool try_acquire(FuKind kind, Cycle now, u32 issue_latency);
+  bool try_acquire(FuKind kind, Cycle now, u32 issue_latency) {
+    std::vector<Cycle>& units = next_free_[static_cast<usize>(kind)];
+    for (Cycle& next_free : units) {
+      if (next_free <= now) {
+        next_free = now + issue_latency;
+        ++ops_issued_[static_cast<usize>(kind)];
+        return true;
+      }
+    }
+    return false;
+  }
 
   /// True if a unit of `kind` could be claimed at `now` (no side effects).
   /// Used to check multi-resource operations before claiming anything.
-  bool can_acquire(FuKind kind, Cycle now) const;
+  bool can_acquire(FuKind kind, Cycle now) const {
+    for (Cycle next_free : next_free_[static_cast<usize>(kind)]) {
+      if (next_free <= now) return true;
+    }
+    return false;
+  }
 
   u32 unit_count(FuKind kind) const {
     return static_cast<u32>(next_free_[static_cast<usize>(kind)].size());

@@ -83,7 +83,10 @@ Pipeline::Pipeline(const isa::Program& program, const CoreConfig& config)
   front_state_.set_x(isa::kSpReg, isa::kDefaultStackTop);
   front_state_.set_x(isa::kGpReg, program_.data_base);
   fetch_pc_ = program_.entry;
-  ifq_.reserve(config_.ifq_size);
+  ifq_.init(config_.ifq_size);
+  code_ = program_.code.data();
+  code_base_ = program_.code_base;
+  code_count_ = program_.code.size();
 }
 
 Pipeline::~Pipeline() = default;
@@ -207,8 +210,8 @@ void Pipeline::stage_fetch() {
     FetchedInst fetched;
     fetched.pc = fetch_pc_;
     fetched.predicted_next = fetch_pc_ + 4;
-    if (program_.contains_pc(fetch_pc_)) {
-      fetched.inst = program_.at(fetch_pc_);
+    if (const isa::Instruction* decoded = decoded_at(fetch_pc_)) {
+      fetched.inst = *decoded;
     } else {
       // Wrong-path fetch beyond the text segment: fabricate a bubble.
       fetched.inst = isa::Instruction{};  // NOP
@@ -297,7 +300,7 @@ void Pipeline::stage_dispatch() {
     }
 
     if (!spec_mode_) {
-      if (fetched.is_pad || !program_.contains_pc(fetched.pc)) {
+      if (fetched.is_pad || decoded_at(fetched.pc) == nullptr) {
         // The true path left the text segment: a program bug, not a
         // misprediction. Stop the machine.
         bad_pc_ = true;
@@ -311,10 +314,7 @@ void Pipeline::stage_dispatch() {
     const u32 slot_index = (ruu_head_ + ruu_count_) % config_.ruu_size;
     ++ruu_count_;
     RuuEntry& entry = ruu_[slot_index];
-    const u32 next_gen = entry.gen + 1;
-    entry = RuuEntry{};
-    entry.valid = true;
-    entry.gen = next_gen;
+    entry.reset_for_dispatch(entry.gen + 1);
     entry.inst = fetched.inst;
     entry.pc = fetched.pc;
     // Sequence numbers count *true-path* instructions only, so they are
@@ -362,7 +362,7 @@ void Pipeline::stage_dispatch() {
       return;
     }
 
-    ifq_.erase(ifq_.begin());
+    ifq_.pop_front();
   }
 }
 
@@ -486,48 +486,45 @@ void Pipeline::stage_issue() {
 // ---------------------------------------------------------------------------
 
 void Pipeline::schedule_p_event(Cycle when, RuuRef ref) {
-  p_events_[when].push_back(ref);
+  p_events_.schedule(when, now_, ref);
 }
 
 void Pipeline::schedule_r_event(Cycle when, u64 entry_id) {
-  r_events_[when].push_back(entry_id);
+  r_events_.schedule(when, now_, entry_id);
 }
 
 void Pipeline::stage_writeback() {
   // Recycle scheduler-window slots whose R instructions have cleared the
-  // compare stage (all entries due at or before this cycle).
-  while (!r_release_at_.empty() && r_release_at_.begin()->first <= now_) {
-    assert(r_inflight_ >= r_release_at_.begin()->second);
-    r_inflight_ -= r_release_at_.begin()->second;
-    r_release_at_.erase(r_release_at_.begin());
+  // compare stage this cycle.
+  {
+    std::vector<u32> releases = r_release_at_.take(now_);
+    for (u32 count : releases) {
+      assert(r_inflight_ >= count);
+      r_inflight_ -= count;
+    }
+    r_release_at_.recycle(std::move(releases));
   }
 
-  auto p_it = p_events_.find(now_);
-  if (p_it != p_events_.end()) {
-    // Copy: recovery during completion may not touch the list again, but
-    // keep iteration robust against future modification.
-    const std::vector<RuuRef> refs = std::move(p_it->second);
-    p_events_.erase(p_it);
-    for (const RuuRef& ref : refs) {
-      if (!ref_alive(ref)) continue;  // squashed in the meantime
-      if (franklin_mode()) {
-        if (!ruu_[ref.slot].first_done) {
-          franklin_first_completion(ref.slot);
-        } else {
-          franklin_second_completion(ref.slot);
-        }
+  // Moved out of the queue: recovery during completion may not touch the
+  // list again, but keep iteration robust against future modification.
+  std::vector<RuuRef> refs = p_events_.take(now_);
+  for (const RuuRef& ref : refs) {
+    if (!ref_alive(ref)) continue;  // squashed in the meantime
+    if (franklin_mode()) {
+      if (!ruu_[ref.slot].first_done) {
+        franklin_first_completion(ref.slot);
       } else {
-        complete_entry(ref.slot);
+        franklin_second_completion(ref.slot);
       }
+    } else {
+      complete_entry(ref.slot);
     }
   }
+  p_events_.recycle(std::move(refs));
 
-  auto r_it = r_events_.find(now_);
-  if (r_it != r_events_.end()) {
-    const std::vector<u64> ids = std::move(r_it->second);
-    r_events_.erase(r_it);
-    for (u64 id : ids) reese_complete(id);
-  }
+  std::vector<u64> ids = r_events_.take(now_);
+  for (u64 id : ids) reese_complete(id);
+  r_events_.recycle(std::move(ids));
 }
 
 void Pipeline::complete_entry(u32 slot_index) {

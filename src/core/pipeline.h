@@ -26,13 +26,13 @@
 // back in cycle N can feed a dependent issue in cycle N.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "branch/predictor.h"
 #include "core/config.h"
+#include "core/event_queue.h"
 #include "core/fault_hook.h"
 #include "core/fu_pool.h"
 #include "core/rstream.h"
@@ -166,6 +166,47 @@ class Pipeline {
     bool deps_ready() const { return dep_ready[0] && dep_ready[1]; }
     bool is_load() const { return isa::is_load(inst.op); }
     bool is_store() const { return isa::is_store(inst.op); }
+
+    /// Re-arm a recycled slot for a new dispatch without freeing the
+    /// consumers vector's capacity (the one heap block in the entry —
+    /// assigning `RuuEntry{}` would reallocate it on every dispatch).
+    void reset_for_dispatch(u32 new_gen) {
+      consumers.clear();
+      std::vector<Consumer> kept = std::move(consumers);
+      *this = RuuEntry{};
+      consumers = std::move(kept);
+      valid = true;
+      gen = new_gen;
+    }
+  };
+
+  /// Fixed-capacity FIFO for the fetch queue. The previous std::vector IFQ
+  /// paid an O(n) element shift per dispatched instruction
+  /// (`erase(begin())`); this ring pops the head in O(1) and never
+  /// reallocates after construction.
+  class FetchRing {
+   public:
+    void init(u32 capacity) { ring_.resize(capacity); }
+    bool empty() const { return count_ == 0; }
+    usize size() const { return count_; }
+    FetchedInst& front() { return ring_[head_]; }
+    void push_back(const FetchedInst& fetched) {
+      ring_[(head_ + count_) % ring_.size()] = fetched;
+      ++count_;
+    }
+    void pop_front() {
+      head_ = (head_ + 1) % ring_.size();
+      --count_;
+    }
+    void clear() {
+      head_ = 0;
+      count_ = 0;
+    }
+
+   private:
+    std::vector<FetchedInst> ring_;
+    u32 head_ = 0;
+    u32 count_ = 0;
   };
 
   // --- per-stage helpers (pipeline.cpp) -----------------------------------
@@ -302,7 +343,21 @@ class Pipeline {
   // Fetch.
   Addr fetch_pc_;
   Cycle fetch_stall_until_ = 0;
-  std::vector<FetchedInst> ifq_;  ///< FIFO, front = oldest
+  FetchRing ifq_;  ///< FIFO, front = oldest
+
+  // Decoded-text fast path: the program's instructions are pre-decoded at
+  // load; fetch reads them through this cached pointer/bounds pair instead
+  // of re-walking Program::contains_pc + Program::at per instruction.
+  const isa::Instruction* code_ = nullptr;
+  Addr code_base_ = 0;
+  usize code_count_ = 0;
+
+  /// contains_pc + at() in one bounds check against the cached text span.
+  const isa::Instruction* decoded_at(Addr pc) const {
+    const Addr offset = pc - code_base_;
+    if ((offset & 3) != 0 || (offset >> 2) >= code_count_) return nullptr;
+    return code_ + (offset >> 2);
+  }
 
   // RUU ring buffer.
   std::vector<RuuEntry> ruu_;
@@ -320,16 +375,17 @@ class Pipeline {
   std::vector<RuuRef> cv_;
   std::vector<RuuRef> spec_cv_;
 
-  // Writeback event queues.
-  std::map<Cycle, std::vector<RuuRef>> p_events_;
-  std::map<Cycle, std::vector<u64>> r_events_;
+  // Writeback event queues (calendar queues indexed by cycle delta; see
+  // event_queue.h for why these are not std::map).
+  CalendarQueue<RuuRef> p_events_;
+  CalendarQueue<u64> r_events_;
 
   // REESE.
   RStreamQueue rqueue_;
   u64 reexec_counter_ = 0;  ///< rotates over reexec_interval
   u32 r_inflight_ = 0;      ///< R instructions currently occupying
                             ///< scheduler-window capacity
-  std::map<Cycle, u32> r_release_at_;  ///< deferred r_inflight_ releases
+  CalendarQueue<u32> r_release_at_;  ///< deferred r_inflight_ releases
 
   // Run control.
   Cycle now_ = 0;

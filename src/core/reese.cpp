@@ -204,7 +204,7 @@ void Pipeline::reese_complete(u64 entry_id) {
   // The R instruction holds its scheduler-window slot through the
   // writeback and comparison stages before it is recycled.
   if (config_.reese.window_sharing) {
-    ++r_release_at_[now_ + config_.reese.compare_stage_cycles];
+    r_release_at_.schedule(now_ + config_.reese.compare_stage_cycles, now_, 1u);
   }
   ++stats_.committed_r;
   ++stats_.comparisons;

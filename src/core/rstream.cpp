@@ -4,21 +4,24 @@
 
 namespace reese::core {
 
-u64 RStreamQueue::push(REntry entry) {
+u64 RStreamQueue::push(const REntry& entry) {
   assert(!full());
-  entry.id = next_id_++;
-  entries_.push_back(entry);
-  return entries_.back().id;
+  REntry& slot = entries_[(head_ + count_) % entries_.size()];
+  slot = entry;
+  slot.id = next_id_++;
+  ++count_;
+  return slot.id;
 }
 
 REntry& RStreamQueue::by_id(u64 id) {
-  assert(!entries_.empty());
-  const u64 front_id = entries_.front().id;
+  assert(count_ > 0);
+  const u64 front_id = front().id;
   assert(id >= front_id);
   const usize index = static_cast<usize>(id - front_id);
-  assert(index < entries_.size());
-  assert(entries_[index].id == id);
-  return entries_[index];
+  assert(index < count_);
+  REntry& entry = at(index);
+  assert(entry.id == id);
+  return entry;
 }
 
 }  // namespace reese::core

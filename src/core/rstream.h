@@ -8,7 +8,8 @@
 // commit (architecturally) from the head in program order.
 #pragma once
 
-#include <deque>
+#include <algorithm>
+#include <vector>
 
 #include "common/types.h"
 #include "isa/instruction.h"
@@ -53,30 +54,43 @@ struct REntry {
   Cycle fault_cycle = 0;
 };
 
+/// Fixed-capacity ring: the capacity is a hardware parameter known at
+/// construction, so the previous std::deque (a chunked allocator paying a
+/// heap block every few pushes) is replaced by one flat REntry array that
+/// never allocates after construction. REntry is trivially copyable, so
+/// pushes are plain stores.
 class RStreamQueue {
  public:
-  explicit RStreamQueue(u32 capacity) : capacity_(capacity) {}
+  explicit RStreamQueue(u32 capacity)
+      : entries_(std::max<u32>(capacity, 1)), capacity_(capacity) {}
 
-  bool full() const { return entries_.size() >= capacity_; }
-  bool empty() const { return entries_.empty(); }
-  usize size() const { return entries_.size(); }
+  bool full() const { return count_ >= capacity_; }
+  bool empty() const { return count_ == 0; }
+  usize size() const { return count_; }
   u32 capacity() const { return capacity_; }
 
   /// Enqueue at the tail; returns the entry's stable id. Caller must check
   /// full() first.
-  u64 push(REntry entry);
+  u64 push(const REntry& entry);
 
-  REntry& front() { return entries_.front(); }
-  void pop_front() { entries_.pop_front(); }
+  REntry& front() { return entries_[head_]; }
+  void pop_front() {
+    head_ = (head_ + 1) % entries_.size();
+    --count_;
+  }
 
-  /// Entry by stable id; must still be in the queue.
+  /// Entry by stable id; must still be in the queue. Ids are assigned
+  /// consecutively at push and the queue is FIFO, so the id's distance from
+  /// the head id is its ring offset — O(1), no search.
   REntry& by_id(u64 id);
 
-  /// Program-order access for the in-order R issue scan.
-  REntry& at(usize index) { return entries_[index]; }
+  /// Program-order access for the in-order R issue scan (0 = head).
+  REntry& at(usize index) { return entries_[(head_ + index) % entries_.size()]; }
 
  private:
-  std::deque<REntry> entries_;
+  std::vector<REntry> entries_;
+  u32 head_ = 0;
+  u32 count_ = 0;
   u32 capacity_;
   u64 next_id_ = 1;
 };

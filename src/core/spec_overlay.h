@@ -5,9 +5,18 @@
 // pollute the caches realistically. Those instructions must not disturb the
 // true architectural memory, so their stores land in this overlay and their
 // loads read through it. Recovery simply discards the overlay.
+//
+// The overlay lives on the dispatch hot path (every wrong-path load probes
+// it), and a wrong-path episode dirties at most a few dozen bytes before
+// recovery. A std::unordered_map paid a node allocation per dirty byte and
+// re-bucketed on clear(); this open-addressed table keeps a small flat
+// power-of-two array of (addr, value) slots, probes linearly, never erases
+// individual entries, and clear() just resets the occupancy flags — no
+// allocation at steady state.
 #pragma once
 
-#include <unordered_map>
+#include <cassert>
+#include <vector>
 
 #include "isa/arch_state.h"
 
@@ -15,7 +24,9 @@ namespace reese::core {
 
 class SpecOverlay final : public isa::DataSpace {
  public:
-  explicit SpecOverlay(mem::MainMemory* backing) : backing_(backing) {}
+  explicit SpecOverlay(mem::MainMemory* backing) : backing_(backing) {
+    rehash(kInitialSlots);
+  }
 
   u64 load(Addr addr, unsigned bytes) override {
     u64 value = 0;
@@ -27,22 +38,77 @@ class SpecOverlay final : public isa::DataSpace {
 
   void store(Addr addr, unsigned bytes, u64 value) override {
     for (unsigned i = 0; i < bytes; ++i) {
-      bytes_[addr + i] = static_cast<u8>(value >> (8 * i));
+      store_byte(addr + i, static_cast<u8>(value >> (8 * i)));
     }
   }
 
-  void clear() { bytes_.clear(); }
-  usize dirty_bytes() const { return bytes_.size(); }
+  void clear() {
+    if (size_ == 0) return;
+    for (Slot& slot : slots_) slot.used = false;
+    size_ = 0;
+  }
+
+  usize dirty_bytes() const { return size_; }
 
  private:
-  u8 load_byte(Addr addr) const {
-    auto it = bytes_.find(addr);
-    if (it != bytes_.end()) return it->second;
+  struct Slot {
+    Addr addr = 0;
+    u8 value = 0;
+    bool used = false;
+  };
+
+  static constexpr usize kInitialSlots = 64;
+
+  static usize hash(Addr addr) {
+    // Fibonacci multiplicative hash; adjacent addresses spread apart.
+    return static_cast<usize>((addr * 0x9E3779B97F4A7C15ull) >> 32);
+  }
+
+  Slot& probe(Addr addr) {
+    usize index = hash(addr) & mask_;
+    while (slots_[index].used && slots_[index].addr != addr) {
+      index = (index + 1) & mask_;
+    }
+    return slots_[index];
+  }
+
+  u8 load_byte(Addr addr) {
+    const Slot& slot = probe(addr);
+    if (slot.used) return slot.value;
     return backing_->load_u8(addr);
   }
 
+  void store_byte(Addr addr, u8 value) {
+    Slot& slot = probe(addr);
+    if (!slot.used) {
+      slot.used = true;
+      slot.addr = addr;
+      ++size_;
+      if (size_ * 4 >= slots_.size() * 3) {  // keep load factor under 3/4
+        rehash(slots_.size() * 2);
+        probe(addr).value = value;
+        return;
+      }
+    }
+    slot.value = value;
+  }
+
+  void rehash(usize new_slot_count) {
+    assert((new_slot_count & (new_slot_count - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slot_count, Slot{});
+    mask_ = new_slot_count - 1;
+    for (const Slot& slot : old) {
+      if (!slot.used) continue;
+      Slot& fresh = probe(slot.addr);
+      fresh = slot;
+    }
+  }
+
   mem::MainMemory* backing_;
-  std::unordered_map<Addr, u8> bytes_;
+  std::vector<Slot> slots_;
+  usize mask_ = 0;
+  usize size_ = 0;
 };
 
 }  // namespace reese::core

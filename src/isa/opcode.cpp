@@ -41,7 +41,11 @@ constexpr OpInfo make_fcmp(std::string_view m) {
                 false, true, true, 0, false};
 }
 
-constexpr OpInfo kOpTable[kOpcodeCount] = {
+}  // namespace
+
+// Constant-initialized (all makers are constexpr); named in opcode.h so the
+// hot-path accessors inline.
+const OpInfo kOpInfoTable[kOpcodeCount] = {
     /* kAdd  */ make_r("add", ExecClass::kIntAlu),
     /* kSub  */ make_r("sub", ExecClass::kIntAlu),
     /* kAnd  */ make_r("and", ExecClass::kIntAlu),
@@ -119,21 +123,6 @@ constexpr OpInfo kOpTable[kOpcodeCount] = {
                        false, false, false, false, 0, false},
 };
 
-}  // namespace
-
-const OpInfo& op_info(Opcode op) {
-  const usize index = static_cast<usize>(op);
-  assert(index < kOpcodeCount);
-  return kOpTable[index];
-}
-
-bool is_load(Opcode op) { return op_info(op).exec_class == ExecClass::kLoad; }
-bool is_store(Opcode op) { return op_info(op).exec_class == ExecClass::kStore; }
-bool is_mem(Opcode op) { return is_load(op) || is_store(op); }
-bool is_cond_branch(Opcode op) { return op_info(op).format == Format::kB; }
-bool is_jump(Opcode op) { return op == Opcode::kJal || op == Opcode::kJalr; }
-bool is_control(Opcode op) { return is_cond_branch(op) || is_jump(op); }
-
 bool is_fp(Opcode op) {
   const OpInfo& info = op_info(op);
   return info.is_fp_rd || info.is_fp_rs1 || info.is_fp_rs2;
@@ -143,7 +132,7 @@ Opcode opcode_from_mnemonic(std::string_view mnemonic) {
   static const std::map<std::string_view, Opcode>* kByName = [] {
     auto* m = new std::map<std::string_view, Opcode>();
     for (usize i = 0; i < kOpcodeCount; ++i) {
-      (*m)[kOpTable[i].mnemonic] = static_cast<Opcode>(i);
+      (*m)[kOpInfoTable[i].mnemonic] = static_cast<Opcode>(i);
     }
     return m;
   }();

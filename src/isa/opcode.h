@@ -95,17 +95,33 @@ struct OpInfo {
   bool load_signed;  // sign-extend loaded value
 };
 
-/// Table lookup; aborts on out-of-range opcode in debug builds.
-const OpInfo& op_info(Opcode op);
+/// The per-opcode property table (defined in opcode.cpp). Exposed so
+/// op_info and the predicates below can inline into callers — the pipeline
+/// queries them several times per simulated instruction, and an opaque
+/// cross-TU call was measurably hot.
+extern const OpInfo kOpInfoTable[kOpcodeCount];
+
+/// Table lookup; op must be a real opcode (< kCount).
+inline const OpInfo& op_info(Opcode op) {
+  return kOpInfoTable[static_cast<usize>(op)];
+}
 
 /// Derived predicates (header-inline for the hot paths).
-bool is_load(Opcode op);
-bool is_store(Opcode op);
-bool is_mem(Opcode op);
-bool is_cond_branch(Opcode op);
-bool is_jump(Opcode op);
+inline bool is_load(Opcode op) {
+  return op_info(op).exec_class == ExecClass::kLoad;
+}
+inline bool is_store(Opcode op) {
+  return op_info(op).exec_class == ExecClass::kStore;
+}
+inline bool is_mem(Opcode op) { return is_load(op) || is_store(op); }
+inline bool is_cond_branch(Opcode op) {
+  return op_info(op).format == Format::kB;
+}
+inline bool is_jump(Opcode op) {
+  return op == Opcode::kJal || op == Opcode::kJalr;
+}
 /// Any control transfer: conditional branch, JAL, JALR.
-bool is_control(Opcode op);
+inline bool is_control(Opcode op) { return is_cond_branch(op) || is_jump(op); }
 bool is_fp(Opcode op);
 
 /// Mnemonic -> opcode; returns kCount if unknown.

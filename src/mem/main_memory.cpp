@@ -16,20 +16,43 @@ MainMemory& MainMemory::operator=(const MainMemory& other) {
   for (const auto& [page_index, page] : other.pages_) {
     pages_.emplace(page_index, std::make_unique<Page>(*page));
   }
+  invalidate_page_cache();
+  return *this;
+}
+
+MainMemory::MainMemory(MainMemory&& other) noexcept
+    : pages_(std::move(other.pages_)) {
+  other.invalidate_page_cache();
+}
+
+MainMemory& MainMemory::operator=(MainMemory&& other) noexcept {
+  if (this == &other) return *this;
+  pages_ = std::move(other.pages_);
+  invalidate_page_cache();
+  other.invalidate_page_cache();
   return *this;
 }
 
 const MainMemory::Page* MainMemory::find_page(Addr addr) const {
-  auto it = pages_.find(addr >> kPageBits);
-  return it == pages_.end() ? nullptr : it->second.get();
+  const u64 index = addr >> kPageBits;
+  if (index == cached_index_) return cached_page_;
+  auto it = pages_.find(index);
+  if (it == pages_.end()) return nullptr;
+  cached_index_ = index;
+  cached_page_ = it->second.get();
+  return cached_page_;
 }
 
 MainMemory::Page& MainMemory::touch_page(Addr addr) {
-  auto& slot = pages_[addr >> kPageBits];
+  const u64 index = addr >> kPageBits;
+  if (index == cached_index_) return *cached_page_;
+  auto& slot = pages_[index];
   if (!slot) {
     slot = std::make_unique<Page>();
     slot->fill(0);
   }
+  cached_index_ = index;
+  cached_page_ = slot.get();
   return *slot;
 }
 

@@ -22,11 +22,13 @@ class MainMemory {
   MainMemory() = default;
 
   // Deep-copyable: the speculative overlay machinery and tests snapshot
-  // memory images.
+  // memory images. All special members reset the page-pointer cache — a
+  // moved-from map still owns nothing, and a stale cached pointer would
+  // alias a page now owned by another image.
   MainMemory(const MainMemory& other);
   MainMemory& operator=(const MainMemory& other);
-  MainMemory(MainMemory&&) noexcept = default;
-  MainMemory& operator=(MainMemory&&) noexcept = default;
+  MainMemory(MainMemory&& other) noexcept;
+  MainMemory& operator=(MainMemory&& other) noexcept;
 
   u8 load_u8(Addr addr) const;
   void store_u8(Addr addr, u8 value);
@@ -52,7 +54,22 @@ class MainMemory {
   const Page* find_page(Addr addr) const;
   Page& touch_page(Addr addr);
 
+  void invalidate_page_cache() const {
+    cached_index_ = kNoPage;
+    cached_page_ = nullptr;
+  }
+
   std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+
+  // Last-page pointer cache: workload access streams are strongly
+  // page-local (sequential scans, stack frames, hot loops), so remembering
+  // the last page touched lets the common case skip the unordered_map hash
+  // + probe entirely and index straight into the page's flat byte array.
+  // Not a thread-safety hazard: a MainMemory belongs to exactly one
+  // simulated core (parallel experiment cells each own their image).
+  static constexpr u64 kNoPage = ~u64{0};
+  mutable u64 cached_index_ = kNoPage;
+  mutable Page* cached_page_ = nullptr;
 };
 
 }  // namespace reese::mem

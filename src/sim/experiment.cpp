@@ -5,10 +5,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <future>
-#include <thread>
+#include <cstring>
 
 #include "common/strutil.h"
+#include "common/thread_pool.h"
 #include "sim/simulator.h"
 
 namespace reese::sim {
@@ -134,7 +134,28 @@ void maybe_write_csv(const ExperimentResult& result) {
   std::fclose(file);
 }
 
+u32 g_default_jobs = 0;
+
 }  // namespace
+
+void set_default_jobs(u32 jobs) { g_default_jobs = jobs; }
+
+u32 default_jobs() { return g_default_jobs; }
+
+void parse_jobs_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-jobs") == 0) {
+      if (i + 1 < argc) value = argv[i + 1];
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      value = arg + 7;
+    }
+    if (value == nullptr) continue;
+    const long parsed = std::strtol(value, nullptr, 10);
+    if (parsed > 0) set_default_jobs(static_cast<u32>(parsed));
+  }
+}
 
 ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
   ExperimentSpec spec = spec_in;
@@ -152,11 +173,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
                     std::vector<double>(spec.models.size(), 0.0));
   result.ipc_stdev.assign(spec.workloads.size(),
                           std::vector<double>(spec.models.size(), 0.0));
-  // Per-seed samples: samples[w][m][seed_index].
-  std::vector<std::vector<std::vector<double>>> samples(
+  result.cells.assign(
       spec.workloads.size(),
-      std::vector<std::vector<double>>(spec.models.size(),
-                                       std::vector<double>(seeds.size(), 0.0)));
+      std::vector<std::vector<ExperimentCell>>(
+          spec.models.size(), std::vector<ExperimentCell>(seeds.size())));
 
   struct Job {
     usize workload_index;
@@ -172,58 +192,71 @@ ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
     }
   }
 
-  // Bounded parallelism: each cell is an independent simulation.
-  std::atomic<usize> next_job{0};
-  auto worker = [&] {
-    while (true) {
-      const usize job_index = next_job.fetch_add(1);
-      if (job_index >= jobs.size()) return;
-      const Job job = jobs[job_index];
+  // Each cell is an independent simulation: it builds its own workload,
+  // memory image and pipeline, and writes only its own result.cells slot,
+  // so the matrix is identical no matter how many workers ran it or in
+  // what order cells finished.
+  auto run_cell = [&](usize job_index) {
+    const Job job = jobs[job_index];
 
-      workloads::WorkloadOptions options;
-      options.seed = seeds[job.seed_index];
-      options.iterations = 0;  // run forever; budget bounds the simulation
-      auto workload = workloads::make_workload(spec.workloads[job.workload_index],
-                                               options);
-      if (!workload.ok()) {
-        std::fprintf(stderr, "experiment: %s\n",
-                     workload.error().to_string().c_str());
-        std::exit(1);
-      }
-      Simulator simulator(std::move(workload).value(),
-                          apply_model(spec.base, spec.models[job.model_index]));
-      const SimResult sim_result = simulator.run(spec.instructions);
-      if (sim_result.stop != core::StopReason::kCommitTarget) {
-        std::fprintf(stderr,
-                     "experiment: %s/%s stopped early (%s) after %llu insts\n",
-                     spec.workloads[job.workload_index].c_str(),
-                     model_name(spec.models[job.model_index]),
-                     core::stop_reason_name(sim_result.stop),
-                     static_cast<unsigned long long>(sim_result.committed));
-        std::exit(1);
-      }
-      samples[job.workload_index][job.model_index][job.seed_index] =
-          sim_result.ipc;
+    workloads::WorkloadOptions options;
+    options.seed = seeds[job.seed_index];
+    options.iterations = 0;  // run forever; budget bounds the simulation
+    auto workload = workloads::make_workload(spec.workloads[job.workload_index],
+                                             options);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "experiment: %s\n",
+                   workload.error().to_string().c_str());
+      std::exit(1);
     }
+    Simulator simulator(std::move(workload).value(),
+                        apply_model(spec.base, spec.models[job.model_index]));
+    const SimResult sim_result = simulator.run(spec.instructions);
+    if (sim_result.stop != core::StopReason::kCommitTarget) {
+      std::fprintf(stderr,
+                   "experiment: %s/%s stopped early (%s) after %llu insts, "
+                   "%llu cycles\n",
+                   spec.workloads[job.workload_index].c_str(),
+                   model_name(spec.models[job.model_index]),
+                   core::stop_reason_name(sim_result.stop),
+                   static_cast<unsigned long long>(sim_result.committed),
+                   static_cast<unsigned long long>(sim_result.cycles));
+      if (sim_result.stop == core::StopReason::kCycleLimit) {
+        std::fprintf(stderr,
+                     "experiment: cycle limit hit at cycle %llu — raise it "
+                     "via REESE_SIM_CYCLE_LIMIT\n",
+                     static_cast<unsigned long long>(sim_result.cycles));
+      }
+      std::exit(1);
+    }
+    ExperimentCell& cell =
+        result.cells[job.workload_index][job.model_index][job.seed_index];
+    cell.ipc = sim_result.ipc;
+    cell.cycles = sim_result.cycles;
+    cell.committed = sim_result.committed;
+    cell.stop = sim_result.stop;
   };
 
-  const usize thread_count =
-      std::min<usize>(jobs.size(),
-                      std::max(1u, std::thread::hardware_concurrency()));
-  std::vector<std::thread> threads;
-  for (usize i = 0; i < thread_count; ++i) threads.emplace_back(worker);
-  for (std::thread& thread : threads) thread.join();
+  const u32 workers = resolve_job_count(
+      spec.jobs != 0 ? spec.jobs : g_default_jobs);
+  if (workers <= 1 || jobs.size() <= 1) {
+    // Reference path: plain sequential loop on the calling thread.
+    for (usize i = 0; i < jobs.size(); ++i) run_cell(i);
+  } else {
+    ThreadPool pool(workers);
+    pool.parallel_for(jobs.size(), run_cell);
+  }
 
   for (usize w = 0; w < spec.workloads.size(); ++w) {
     for (usize m = 0; m < spec.models.size(); ++m) {
       double sum = 0.0;
-      for (double sample : samples[w][m]) sum += sample;
+      for (const ExperimentCell& cell : result.cells[w][m]) sum += cell.ipc;
       const double mean = sum / static_cast<double>(seeds.size());
       result.ipc[w][m] = mean;
       if (seeds.size() > 1) {
         double variance = 0.0;
-        for (double sample : samples[w][m]) {
-          variance += (sample - mean) * (sample - mean);
+        for (const ExperimentCell& cell : result.cells[w][m]) {
+          variance += (cell.ipc - mean) * (cell.ipc - mean);
         }
         variance /= static_cast<double>(seeds.size() - 1);
         result.ipc_stdev[w][m] = std::sqrt(variance);

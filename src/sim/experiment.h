@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/pipeline.h"
 #include "workloads/workload.h"
 
 namespace reese::sim {
@@ -44,6 +45,20 @@ struct ExperimentSpec {
   /// once per seed (including `seed`) and the matrix holds the mean, with
   /// the sample standard deviation in ExperimentResult::ipc_stdev.
   std::vector<u64> extra_seeds;
+  /// Worker threads for the grid. 0 = auto: the process-wide default from
+  /// set_default_jobs()/--jobs, else $REESE_JOBS, else hardware
+  /// concurrency. 1 = run every cell inline on the calling thread.
+  u32 jobs = 0;
+};
+
+/// Raw outcome of one grid cell's simulation (one workload/model/seed run).
+struct ExperimentCell {
+  double ipc = 0.0;
+  Cycle cycles = 0;
+  u64 committed = 0;
+  core::StopReason stop = core::StopReason::kCommitTarget;
+
+  bool operator==(const ExperimentCell&) const = default;
 };
 
 struct ExperimentResult {
@@ -52,6 +67,10 @@ struct ExperimentResult {
   std::vector<std::vector<double>> ipc;
   /// Sample standard deviation over seeds (zero when a single seed ran).
   std::vector<std::vector<double>> ipc_stdev;
+  /// Per-cell raw samples: cells[workload_index][model_index][seed_index].
+  /// Deterministic regardless of how many workers ran the grid — the
+  /// parallel-vs-sequential bit-identity test compares these directly.
+  std::vector<std::vector<std::vector<ExperimentCell>>> cells;
 
   /// Arithmetic mean over workloads for one model (the figures' AV bars).
   double average(usize model_index) const;
@@ -68,9 +87,22 @@ struct ExperimentResult {
   std::string csv() const;
 };
 
-/// Run the grid; cells run in parallel across hardware threads. When the
-/// environment variable REESE_CSV_DIR names a directory, the result is
-/// also written there as "<slugified title>.csv".
+/// Run the grid. Independent (workload, model, seed) cells are fanned
+/// across a thread pool (see ExperimentSpec::jobs); every cell owns its
+/// Pipeline/memory/RNG and writes only its own result slot, so the matrix
+/// is bit-identical to a sequential run. When the environment variable
+/// REESE_CSV_DIR names a directory, the result is also written there as
+/// "<slugified title>.csv".
 ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// Process-wide default worker count used when ExperimentSpec::jobs == 0;
+/// 0 restores auto ($REESE_JOBS, else hardware concurrency).
+void set_default_jobs(u32 jobs);
+u32 default_jobs();
+
+/// Scan a bench binary's argv for "--jobs N" / "--jobs=N" / "-jobs N" and
+/// install the value via set_default_jobs. Unrelated arguments are left
+/// for the caller.
+void parse_jobs_flag(int argc, char** argv);
 
 }  // namespace reese::sim

@@ -1,0 +1,67 @@
+// Simulator-throughput measurement: how many simulated instructions the
+// simulator itself retires per wall-clock second (kIPS = thousands of
+// committed instructions per second).
+//
+// Two measurements back the perf-tracking harness (bench/perf_kips):
+//  * per-workload single-thread kIPS — warmup + repeated timed runs of one
+//    Simulator, median over reps (robust to scheduler noise);
+//  * grid wall time — the same small experiment grid run sequentially
+//    (jobs = 1) and with the thread pool, giving the parallel speedup and
+//    re-checking bit-identical results on the way.
+//
+// Reports serialize to JSON (BENCH_perf.json) so tools/bench_diff.py can
+// compare two runs and CI can archive the numbers per commit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace reese::sim {
+
+struct PerfOptions {
+  /// Workloads to time individually; empty = the six spec-like names.
+  std::vector<std::string> workloads;
+  /// Simulated instructions per timed run; 0 = default_instruction_budget().
+  u64 instructions = 0;
+  u32 warmup_reps = 1;   ///< untimed runs before measuring
+  u32 reps = 5;          ///< timed runs; the median is reported
+  /// Worker count for the parallel grid measurement; 0 = auto (see
+  /// ExperimentSpec::jobs).
+  u32 jobs = 0;
+  /// Quick mode (CI): fewer reps and a reduced instruction budget.
+  bool quick = false;
+};
+
+struct WorkloadPerf {
+  std::string workload;
+  double median_kips = 0.0;
+  double min_kips = 0.0;
+  double max_kips = 0.0;
+};
+
+struct PerfReport {
+  PerfOptions options;
+  u64 instructions = 0;           ///< resolved per-run budget
+  std::vector<WorkloadPerf> workloads;
+  double aggregate_kips = 0.0;    ///< median over the workload medians
+
+  // Grid measurement (fig2-style matrix).
+  double grid_seq_seconds = 0.0;
+  double grid_par_seconds = 0.0;
+  u32 grid_jobs = 1;              ///< resolved worker count of the parallel run
+  double grid_speedup = 0.0;      ///< seq / par wall time
+  bool grid_identical = false;    ///< parallel cells == sequential cells
+
+  std::string json() const;
+};
+
+/// Run the measurement suite. Prints progress to stderr.
+PerfReport run_perf(const PerfOptions& options);
+
+/// Write `report.json()` to `path`; returns false (with a message on
+/// stderr) if the file cannot be written.
+bool write_perf_report(const PerfReport& report, const std::string& path);
+
+}  // namespace reese::sim

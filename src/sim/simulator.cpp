@@ -13,11 +13,19 @@ Simulator::Simulator(workloads::Workload workload,
 SimResult Simulator::run(u64 instructions) {
   SimResult result;
   result.workload = workload_.name;
-  result.stop = pipeline_->run(instructions, /*cycle_limit=*/64 * instructions);
+  result.stop = pipeline_->run(instructions, default_cycle_limit(instructions));
   result.ipc = pipeline_->stats().ipc();
   result.cycles = pipeline_->stats().cycles;
   result.committed = pipeline_->stats().committed;
   return result;
+}
+
+Cycle default_cycle_limit(u64 instructions) {
+  if (const char* env = std::getenv("REESE_SIM_CYCLE_LIMIT")) {
+    const long long value = std::atoll(env);
+    if (value > 0) return static_cast<Cycle>(value);
+  }
+  return 64 * instructions;
 }
 
 u64 default_instruction_budget() {

@@ -24,8 +24,9 @@ class Simulator {
   Simulator(workloads::Workload workload, const core::CoreConfig& config);
 
   /// Simulate until `instructions` have committed (cumulative across
-  /// calls). A cycle limit of 64x the budget guards against modelling
-  /// deadlocks.
+  /// calls). A cycle limit (default_cycle_limit) guards against modelling
+  /// deadlocks; when hit, the result carries StopReason::kCycleLimit and
+  /// `cycles` holds the offending cycle count.
   SimResult run(u64 instructions);
 
   core::Pipeline& pipeline() { return *pipeline_; }
@@ -40,5 +41,10 @@ class Simulator {
 /// otherwise 300k (the kernels' IPC converges well before that; the paper
 /// ran 100M on real SPEC binaries).
 u64 default_instruction_budget();
+
+/// Deadlock guard for Simulator::run: $REESE_SIM_CYCLE_LIMIT if set and
+/// positive (an absolute cycle count), otherwise 64x the instruction
+/// budget — generous slack over the worst credible CPI.
+Cycle default_cycle_limit(u64 instructions);
 
 }  // namespace reese::sim

@@ -1,0 +1,196 @@
+// Smoke test for the perf harness: run_perf on a tiny budget completes,
+// the report is structurally sound, and its serialization is valid JSON
+// (checked with a minimal recursive-descent validator — no JSON library
+// in the repo, and the point is exactly that BENCH_perf.json stays
+// machine-readable).
+#include "sim/perf.h"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace reese::sim {
+namespace {
+
+/// Minimal JSON validator: objects, arrays, strings (with escapes),
+/// numbers, true/false/null. Returns true iff `text` is one complete
+/// JSON value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const usize start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* c = word; *c != '\0'; ++c, ++pos_) {
+      if (peek() != *c) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  usize pos_ = 0;
+};
+
+PerfOptions tiny_options() {
+  PerfOptions options;
+  options.workloads = {"li"};
+  options.instructions = 2'000;
+  options.warmup_reps = 0;
+  options.reps = 2;
+  options.quick = true;
+  return options;
+}
+
+TEST(JsonCheckerTest, SanityOnKnownInputs) {
+  EXPECT_TRUE(JsonChecker("{\"a\": [1, 2.5, -3e2, \"x\\\"y\"], "
+                          "\"b\": true}").valid());
+  EXPECT_FALSE(JsonChecker("{\"a\": }").valid());
+  EXPECT_FALSE(JsonChecker("{\"a\": 1,}").valid());
+  EXPECT_FALSE(JsonChecker("[1, 2").valid());
+}
+
+TEST(PerfSmokeTest, RunPerfCompletesAndReportsEveryWorkload) {
+  const PerfReport report = run_perf(tiny_options());
+  EXPECT_EQ(report.instructions, 2'000u);
+  ASSERT_EQ(report.workloads.size(), 1u);
+  EXPECT_EQ(report.workloads[0].workload, "li");
+  EXPECT_GT(report.workloads[0].median_kips, 0.0);
+  EXPECT_LE(report.workloads[0].min_kips, report.workloads[0].median_kips);
+  EXPECT_GE(report.workloads[0].max_kips, report.workloads[0].median_kips);
+  EXPECT_GT(report.aggregate_kips, 0.0);
+  EXPECT_TRUE(report.grid_identical);
+  EXPECT_GE(report.grid_jobs, 1u);
+  EXPECT_GT(report.grid_seq_seconds, 0.0);
+  EXPECT_GT(report.grid_par_seconds, 0.0);
+}
+
+TEST(PerfSmokeTest, ReportSerializesToValidJson) {
+  const PerfReport report = run_perf(tiny_options());
+  const std::string json = report.json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"aggregate_kips\""), std::string::npos);
+  EXPECT_NE(json.find("\"workloads\""), std::string::npos);
+  EXPECT_NE(json.find("\"grid\""), std::string::npos);
+  EXPECT_NE(json.find("\"identical\": true"), std::string::npos);
+}
+
+TEST(PerfSmokeTest, WriteReportRoundTrips) {
+  const PerfReport report = run_perf(tiny_options());
+  const std::string path =
+      testing::TempDir() + "/reese_perf_smoke.json";
+  ASSERT_TRUE(write_perf_report(report, path));
+
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[4096];
+  usize n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(contents, report.json());
+  EXPECT_TRUE(JsonChecker(contents).valid());
+}
+
+TEST(PerfSmokeTest, WriteReportFailsCleanlyOnBadPath) {
+  const PerfReport report = run_perf(tiny_options());
+  EXPECT_FALSE(write_perf_report(report, "/nonexistent-dir/x/y.json"));
+}
+
+}  // namespace
+}  // namespace reese::sim

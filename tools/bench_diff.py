@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json reports from bench/perf_kips.
+
+Usage: bench_diff.py BEFORE.json AFTER.json [--threshold PCT]
+
+Prints a per-workload kIPS table with the relative change, plus the
+aggregate and grid-speedup deltas. Exits 1 when any workload regresses by
+more than --threshold percent (default 10), so CI can optionally gate on
+it; exits 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def pct_change(before, after):
+    if before == 0:
+        return 0.0
+    return 100.0 * (after - before) / before
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    args = parser.parse_args()
+
+    before = load(args.before)
+    after = load(args.after)
+
+    before_kips = {w["workload"]: w["median_kips"]
+                   for w in before.get("workloads", [])}
+    after_kips = {w["workload"]: w["median_kips"]
+                  for w in after.get("workloads", [])}
+
+    if before.get("instructions") != after.get("instructions"):
+        print(f"bench_diff: warning: instruction budgets differ "
+              f"({before.get('instructions')} vs {after.get('instructions')}); "
+              f"kIPS are still comparable but cache behaviour may not be",
+              file=sys.stderr)
+
+    print(f"{'workload':<12}{'before':>12}{'after':>12}{'change':>10}")
+    regressions = []
+    for name in sorted(set(before_kips) | set(after_kips)):
+        b = before_kips.get(name)
+        a = after_kips.get(name)
+        if b is None or a is None:
+            side = "before" if b is None else "after"
+            print(f"{name:<12}{'(missing in ' + side + ')':>34}")
+            continue
+        change = pct_change(b, a)
+        print(f"{name:<12}{b:>12.1f}{a:>12.1f}{change:>+9.1f}%")
+        if change < -args.threshold:
+            regressions.append((name, change))
+
+    b_agg = before.get("aggregate_kips", 0.0)
+    a_agg = after.get("aggregate_kips", 0.0)
+    print(f"{'aggregate':<12}{b_agg:>12.1f}{a_agg:>12.1f}"
+          f"{pct_change(b_agg, a_agg):>+9.1f}%")
+
+    b_grid = before.get("grid", {})
+    a_grid = after.get("grid", {})
+    if b_grid and a_grid:
+        print(f"grid speedup {b_grid.get('speedup', 0):.2f}x "
+              f"({b_grid.get('jobs', '?')} jobs) -> "
+              f"{a_grid.get('speedup', 0):.2f}x "
+              f"({a_grid.get('jobs', '?')} jobs)")
+
+    if regressions:
+        for name, change in regressions:
+            print(f"bench_diff: REGRESSION {name}: {change:+.1f}% "
+                  f"(threshold -{args.threshold}%)", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
