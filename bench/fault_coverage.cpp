@@ -1,72 +1,105 @@
-// Ablation A5: fault-injection coverage campaign.
+// A5: fault-injection coverage campaign, at statistical scale.
 //
 // The paper's claim (§4.2): REESE "detects soft errors that affect
 // instruction results" — arithmetic, logical, effective address and branch
 // resolution. This campaign injects single-bit flips into the stored
 // P-stream results or the R-stream recomputations across all six
-// benchmarks and verifies:
+// benchmarks and verifies, with Wilson 95% confidence bounds:
 //  * REESE detects 100% of injected result faults (either copy);
 //  * the baseline detects none (no comparator);
 //  * detection latency tracks the P->R separation plus queue drain.
+//
+// The default (full) campaign runs ~10⁵ injections fanned across the
+// thread pool: 5 variants x 6 workloads x 12 seed replicas, each cell an
+// independent simulation with a derived seed (sim/campaign.h). Results are
+// written to BENCH_fault.json for tools/bench_diff.py and CI archiving.
+//
+// Usage: fault_coverage [--quick] [--jobs N] [--replicas N]
+//                       [--instructions N] [--rate R] [--seed S]
+//                       [--out PATH]
+//
+//   --quick       CI mode: 1 replica, 20k-instruction cells (≈10³ injections)
+//   --jobs N      worker threads (default: auto; also -jobs/--jobs=/REESE_JOBS)
+//   --out PATH    report path (default: BENCH_fault.json in the CWD)
+//
+// Exit status 1 when a coverage expectation fails (a full-re-execution
+// REESE variant escaped a fault, or the baseline "detected" one).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
-#include "faults/injector.h"
-#include "sim/simulator.h"
-#include "workloads/workload.h"
+#include "sim/campaign.h"
 
 using namespace reese;
 
-namespace {
+int main(int argc, char** argv) {
+  sim::CampaignSpec spec;
+  std::string out_path = "BENCH_fault.json";
 
-void campaign(const char* label, const core::CoreConfig& config,
-              faults::FaultTarget target) {
-  u64 injected = 0;
-  u64 detected = 0;
-  u64 undetected = 0;
-  double latency_sum = 0.0;
-  u64 latency_count = 0;
-  for (const std::string& name : workloads::spec_like_names()) {
-    auto workload = workloads::make_workload(name, {});
-    faults::InjectorConfig fault_config;
-    fault_config.rate = 2e-3;
-    fault_config.target = target;
-    faults::Injector injector(fault_config);
-    sim::Simulator simulator(std::move(workload).value(), config);
-    simulator.pipeline().set_fault_hook(&injector);
-    simulator.run(sim::default_instruction_budget() / 2);
-    injected += injector.injected();
-    detected += injector.detected();
-    undetected += injector.undetected();
-    latency_sum += injector.latency().mean() *
-                   static_cast<double>(injector.latency().count());
-    latency_count += injector.latency().count();
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fault_coverage: %s needs a value\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--quick") == 0) {
+      spec.quick = true;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      spec.jobs = static_cast<u32>(std::atoi(next_value()));
+    } else if (std::strcmp(arg, "--replicas") == 0) {
+      spec.replicas = static_cast<u32>(std::atoi(next_value()));
+    } else if (std::strcmp(arg, "--instructions") == 0) {
+      spec.instructions = static_cast<u64>(std::atoll(next_value()));
+    } else if (std::strcmp(arg, "--rate") == 0) {
+      spec.rate = std::atof(next_value());
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      spec.seed = static_cast<u64>(std::strtoull(next_value(), nullptr, 0));
+    } else if (std::strcmp(arg, "--out") == 0) {
+      out_path = next_value();
+    } else {
+      std::fprintf(stderr, "fault_coverage: unknown argument %s\n", arg);
+      return 2;
+    }
   }
-  std::printf("  %-26s injected %6llu  detected %6llu  escaped %6llu  "
-              "coverage %5.1f%%  mean latency %5.1f cy\n",
-              label, static_cast<unsigned long long>(injected),
-              static_cast<unsigned long long>(detected),
-              static_cast<unsigned long long>(undetected),
-              100.0 * safe_ratio(detected, detected + undetected),
-              latency_count ? latency_sum / static_cast<double>(latency_count)
-                            : 0.0);
-}
 
-}  // namespace
-
-int main() {
   std::printf("A5: fault-injection coverage (single-bit flips on "
               "instruction results)\n");
-  campaign("REESE, P-side flips", core::with_reese(core::starting_config()),
-           faults::FaultTarget::kPResult);
-  campaign("REESE, R-side flips", core::with_reese(core::starting_config()),
-           faults::FaultTarget::kRResult);
-  campaign("REESE, either side", core::with_reese(core::starting_config()),
-           faults::FaultTarget::kEither);
-  campaign("baseline (no comparator)", core::starting_config(),
-           faults::FaultTarget::kEither);
+  const sim::CampaignResult result = sim::run_campaign(spec);
+  std::printf("%s", result.table().c_str());
 
-  core::CoreConfig partial = core::with_reese(core::starting_config());
-  partial.reese.reexec_interval = 2;
-  campaign("REESE, 1-of-2 re-exec", partial, faults::FaultTarget::kEither);
-  return 0;
+  if (!sim::write_campaign_report(result, out_path)) return 1;
+  std::fprintf(stderr, "fault_coverage: wrote %s\n", out_path.c_str());
+
+  // Gate on the paper's claims: full-re-execution REESE catches every
+  // resolved fault, the baseline none. (The 1-of-2 partial variant is
+  // informational — roughly half its faults escape by construction.)
+  bool ok = true;
+  for (usize v = 0; v < result.spec.variants.size(); ++v) {
+    const sim::CampaignVariant& variant = result.spec.variants[v];
+    const sim::CampaignCell total = result.variant_total(v);
+    if (total.duplicate_reports != 0) {
+      std::fprintf(stderr, "fault_coverage: FAIL %s: %llu duplicate reports\n",
+                   variant.label.c_str(),
+                   static_cast<unsigned long long>(total.duplicate_reports));
+      ok = false;
+    }
+    if (variant.expect_full_coverage && total.undetected != 0) {
+      std::fprintf(stderr, "fault_coverage: FAIL %s: %llu escapes\n",
+                   variant.label.c_str(),
+                   static_cast<unsigned long long>(total.undetected));
+      ok = false;
+    }
+    if (variant.expect_zero_coverage && total.detected != 0) {
+      std::fprintf(stderr,
+                   "fault_coverage: FAIL %s: %llu spurious detections\n",
+                   variant.label.c_str(),
+                   static_cast<unsigned long long>(total.detected));
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
 }

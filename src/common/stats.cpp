@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 
 namespace reese {
@@ -9,6 +10,23 @@ namespace reese {
 double safe_ratio(u64 numerator, u64 denominator) {
   if (denominator == 0) return 0.0;
   return static_cast<double>(numerator) / static_cast<double>(denominator);
+}
+
+WilsonInterval wilson_interval(u64 successes, u64 trials, double z) {
+  assert(successes <= trials);
+  if (trials == 0) return {};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  WilsonInterval interval;
+  interval.center = center;
+  interval.lower = std::max(0.0, center - half);
+  interval.upper = std::min(1.0, center + half);
+  return interval;
 }
 
 Histogram::Histogram(u64 bucket_width, usize bucket_count)
@@ -32,7 +50,12 @@ void Histogram::add(u64 sample) {
 
 u64 Histogram::percentile(double fraction) const {
   if (count_ == 0) return 0;
-  const u64 target = static_cast<u64>(fraction * static_cast<double>(count_));
+  // Nearest-rank: the smallest value with at least ⌈fraction·n⌉ samples at
+  // or below it. Truncating here used to drop overflow samples from high
+  // percentiles entirely (p99 of {12, 1000} reported 12).
+  const u64 target = std::max<u64>(
+      1, static_cast<u64>(
+             std::ceil(fraction * static_cast<double>(count_))));
   u64 seen = 0;
   for (usize i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];

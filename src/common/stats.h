@@ -16,6 +16,23 @@ namespace reese {
 /// Ratio helper that is safe for zero denominators.
 double safe_ratio(u64 numerator, u64 denominator);
 
+/// Wilson score confidence interval for a binomial proportion.
+///
+/// The fault campaigns report detection coverage over n injections; the
+/// naive Wald interval collapses to zero width at p̂ = 0 or 1 — exactly the
+/// endpoints a 100%-coverage claim lives at — so coverage claims use the
+/// Wilson score interval instead, which stays honest at the boundaries:
+/// with x = n successes the lower bound is n / (n + z²), not 1.
+struct WilsonInterval {
+  double lower = 0.0;
+  double center = 0.0;  ///< adjusted point estimate (not x/n)
+  double upper = 0.0;
+};
+
+/// Interval for `successes` out of `trials`; `z` is the normal quantile
+/// (1.96 ≈ 95% two-sided). Returns all-zero when trials == 0.
+WilsonInterval wilson_interval(u64 successes, u64 trials, double z = 1.96);
+
 /// A histogram over u64 samples with caller-defined bucket width. Samples
 /// beyond the last bucket accumulate in an overflow bucket. Used for P→R
 /// separation, queue-occupancy and latency distributions.

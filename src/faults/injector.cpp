@@ -5,13 +5,22 @@
 
 namespace reese::faults {
 
+const char* fault_target_name(FaultTarget target) {
+  switch (target) {
+    case FaultTarget::kPResult: return "p";
+    case FaultTarget::kRResult: return "r";
+    case FaultTarget::kEither: return "either";
+  }
+  return "?";
+}
+
 Injector::Injector(const InjectorConfig& config)
     : config_(config), rng_(config.seed) {
   std::sort(config_.schedule.begin(), config_.schedule.end());
 }
 
 core::FaultDecision Injector::on_instruction(InstSeq seq, Cycle now,
-                                             const isa::Instruction&) {
+                                             const isa::Instruction& inst) {
   if (config_.max_faults != 0 && records_.size() >= config_.max_faults) {
     return {};
   }
@@ -38,35 +47,67 @@ core::FaultDecision Injector::on_instruction(InstSeq seq, Cycle now,
   decision.flip_r = !hit_p;
   decision.bit = static_cast<unsigned>(rng_.next_below(64));
 
-  records_.push_back(FaultRecord{seq, now, false, 0});
+  FaultRecord record;
+  record.seq = seq;
+  record.injected_at = now;
+  record.hit_p = hit_p;
+  record.exec_class = inst.info().exec_class;
+  pending_[seq].push_back(records_.size());
+  records_.push_back(record);
   return decision;
 }
 
-FaultRecord* Injector::find(InstSeq seq) {
-  // Faults resolve in near-FIFO order; scan from the tail of the
-  // unresolved region (records are few).
-  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
-    if (it->seq == seq) return &*it;
+FaultRecord* Injector::find_unresolved(InstSeq seq, const Cycle* injected_at) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return nullptr;
+  for (usize index : it->second) {
+    FaultRecord& record = records_[index];
+    if (injected_at == nullptr || record.injected_at == *injected_at) {
+      return &record;
+    }
   }
   return nullptr;
 }
 
+void Injector::unindex(InstSeq seq, usize record_index) {
+  const auto it = pending_.find(seq);
+  assert(it != pending_.end());
+  std::vector<usize>& indices = it->second;
+  indices.erase(std::find(indices.begin(), indices.end(), record_index));
+  if (indices.empty()) pending_.erase(it);
+}
+
 void Injector::on_detected(InstSeq seq, Cycle injected_at, Cycle detected_at) {
-  FaultRecord* record = find(seq);
-  assert(record != nullptr && "detection reported for unknown fault");
-  if (record == nullptr) return;
+  FaultRecord* record = find_unresolved(seq, &injected_at);
+  if (record == nullptr) {
+    // Re-resolution of an already-settled record is an idempotent no-op
+    // (and must never move the counters); a report for a seq that was
+    // never injected at all is a pipeline bug.
+    ++duplicate_reports_;
+    assert(fired_.count(seq) != 0 ||
+           std::any_of(records_.begin(), records_.end(),
+                       [&](const FaultRecord& r) { return r.seq == seq; }));
+    return;
+  }
+  record->resolved = true;
   record->detected = true;
   record->detected_at = detected_at;
+  unindex(seq, static_cast<usize>(record - records_.data()));
   ++detected_;
   latency_.add(detected_at - injected_at);
 }
 
 void Injector::on_undetected(InstSeq seq) {
-  FaultRecord* record = find(seq);
-  // Baseline pipelines report undetected faults they were never told about
-  // injecting... no: on_instruction always precedes. Keep the assert.
-  assert(record != nullptr && "escape reported for unknown fault");
-  if (record == nullptr) return;
+  FaultRecord* record = find_unresolved(seq, nullptr);
+  if (record == nullptr) {
+    ++duplicate_reports_;
+    assert(fired_.count(seq) != 0 ||
+           std::any_of(records_.begin(), records_.end(),
+                       [&](const FaultRecord& r) { return r.seq == seq; }));
+    return;
+  }
+  record->resolved = true;
+  unindex(seq, static_cast<usize>(record - records_.data()));
   ++undetected_;
 }
 

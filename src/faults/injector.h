@@ -10,14 +10,27 @@
 // instruction results" — arithmetic, logical, effective address and branch
 // resolution outcomes. Faults are measurement-only (architectural state is
 // never corrupted); see DESIGN.md.
+//
+// Bookkeeping invariants (the 10⁵-injection campaigns depend on these):
+//  * Records are identified by (seq, injected_at), not seq alone: a
+//    mismatch flush can refetch an instruction under a reused sequence
+//    number, and the two faults must resolve independently.
+//  * Resolution is idempotent. A record resolves exactly once; duplicate
+//    reports never move the detected/undetected counters (they are counted
+//    in duplicate_reports() and, for truly unknown seqs, assert in debug
+//    builds).
+//  * Resolution is O(1): unresolved records are indexed by seq in a hash
+//    map, so campaign cost is linear in injections, not quadratic.
 #pragma once
 
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/fault_hook.h"
+#include "isa/opcode.h"
 
 namespace reese::faults {
 
@@ -27,6 +40,8 @@ enum class FaultTarget : u8 {
   kRResult,  ///< the R-stream recomputation output
   kEither,   ///< 50/50 per fault
 };
+
+const char* fault_target_name(FaultTarget target);
 
 struct InjectorConfig {
   /// Probability of injecting into any given instruction. Typical campaign
@@ -47,6 +62,9 @@ struct InjectorConfig {
 struct FaultRecord {
   InstSeq seq = 0;
   Cycle injected_at = 0;
+  bool hit_p = false;        ///< the flip landed in the P copy
+  isa::ExecClass exec_class = isa::ExecClass::kNone;
+  bool resolved = false;     ///< a detection or an escape has been reported
   bool detected = false;
   Cycle detected_at = 0;
 };
@@ -63,20 +81,33 @@ class Injector final : public core::FaultHook {
   u64 injected() const { return records_.size(); }
   u64 detected() const { return detected_; }
   u64 undetected() const { return undetected_; }
+  /// Faults injected but never resolved (still in flight at end of run).
+  u64 pending() const { return records_.size() - detected_ - undetected_; }
+  /// Resolution reports that found no unresolved record (duplicates).
+  u64 duplicate_reports() const { return duplicate_reports_; }
   /// Detected / resolved; pending (still in flight) faults are excluded.
   double coverage() const;
   const std::vector<FaultRecord>& records() const { return records_; }
   const Histogram& latency() const { return latency_; }
 
  private:
-  FaultRecord* find(InstSeq seq);
+  /// Unresolved record for `seq`; when `injected_at` is non-null it must
+  /// match exactly (detections carry it), otherwise the oldest unresolved
+  /// record with that seq wins (escapes resolve in FIFO order).
+  FaultRecord* find_unresolved(InstSeq seq, const Cycle* injected_at);
+  /// Remove one resolved record index from the pending index.
+  void unindex(InstSeq seq, usize record_index);
 
   InjectorConfig config_;
   SplitMix64 rng_;
   std::set<InstSeq> fired_;  ///< scheduled seqs already injected
   std::vector<FaultRecord> records_;
+  /// seq -> indices into records_ of unresolved faults, oldest first.
+  /// Normally one entry per seq; refetch aliasing can make it several.
+  std::unordered_map<InstSeq, std::vector<usize>> pending_;
   u64 detected_ = 0;
   u64 undetected_ = 0;
+  u64 duplicate_reports_ = 0;
   Histogram latency_{4, 64};
 };
 

@@ -1,0 +1,413 @@
+#include "sim/campaign.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/diag.h"
+#include "common/strutil.h"
+#include "common/thread_pool.h"
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+
+namespace reese::sim {
+
+namespace {
+
+// Latency histogram shape shared with faults::Injector (Histogram{4, 64}).
+constexpr u64 kLatencyBucketWidth = 4;
+constexpr usize kLatencyBucketCount = 64;
+
+void accumulate_stratum(StratumCount* stratum, const faults::FaultRecord& r) {
+  ++stratum->injected;
+  if (!r.resolved) return;
+  if (r.detected) {
+    ++stratum->detected;
+  } else {
+    ++stratum->undetected;
+  }
+}
+
+}  // namespace
+
+const char* exec_class_label(usize class_index) {
+  static const char* kLabels[kExecClassCount] = {
+      "int_alu", "int_mul", "int_div", "fp_add",  "fp_mul",
+      "fp_div",  "fp_sqrt", "load",    "store",   "none"};
+  static_assert(static_cast<usize>(isa::ExecClass::kNone) ==
+                kExecClassCount - 1);
+  return class_index < kExecClassCount ? kLabels[class_index] : "?";
+}
+
+std::vector<CampaignVariant> standard_campaign_variants() {
+  std::vector<CampaignVariant> variants;
+  const core::CoreConfig reese = core::with_reese(core::starting_config());
+
+  CampaignVariant p{"reese_p_flips", reese, faults::FaultTarget::kPResult};
+  p.expect_full_coverage = true;
+  variants.push_back(p);
+
+  CampaignVariant r{"reese_r_flips", reese, faults::FaultTarget::kRResult};
+  r.expect_full_coverage = true;
+  variants.push_back(r);
+
+  CampaignVariant either{"reese_either", reese, faults::FaultTarget::kEither};
+  either.expect_full_coverage = true;
+  variants.push_back(either);
+
+  CampaignVariant baseline{"baseline", core::starting_config(),
+                           faults::FaultTarget::kEither};
+  baseline.expect_zero_coverage = true;
+  variants.push_back(baseline);
+
+  core::CoreConfig partial_config = reese;
+  partial_config.reese.reexec_interval = 2;
+  CampaignVariant partial{"reese_1of2", partial_config,
+                          faults::FaultTarget::kEither};
+  variants.push_back(partial);
+
+  return variants;
+}
+
+u64 derive_cell_seed(u64 campaign_seed, usize variant_index,
+                     usize workload_index, usize replica) {
+  // Chain one SplitMix64 step per component: each index perturbs the state
+  // through the full avalanche, so neighbouring cells get unrelated
+  // streams. The +1 offsets keep index 0 from degenerating into a no-op.
+  u64 state = campaign_seed;
+  for (u64 component :
+       {static_cast<u64>(variant_index) + 1,
+        static_cast<u64>(workload_index) + 1, static_cast<u64>(replica) + 1}) {
+    SplitMix64 rng(state ^ component * 0x9E3779B97F4A7C15ULL);
+    state = rng.next();
+  }
+  return state;
+}
+
+void CampaignCell::merge(const CampaignCell& other) {
+  injected += other.injected;
+  detected += other.detected;
+  undetected += other.undetected;
+  pending += other.pending;
+  duplicate_reports += other.duplicate_reports;
+  committed += other.committed;
+  cycles += other.cycles;
+
+  latency_sum += other.latency_sum;
+  if (other.latency_count > 0) {
+    latency_min = latency_count == 0 ? other.latency_min
+                                     : std::min(latency_min, other.latency_min);
+    latency_max = std::max(latency_max, other.latency_max);
+  }
+  latency_count += other.latency_count;
+  latency_overflow += other.latency_overflow;
+  if (latency_buckets.empty()) {
+    latency_buckets = other.latency_buckets;
+  } else if (!other.latency_buckets.empty()) {
+    assert(latency_buckets.size() == other.latency_buckets.size());
+    for (usize i = 0; i < latency_buckets.size(); ++i) {
+      latency_buckets[i] += other.latency_buckets[i];
+    }
+  }
+
+  for (usize c = 0; c < kExecClassCount; ++c) {
+    by_class[c].injected += other.by_class[c].injected;
+    by_class[c].detected += other.by_class[c].detected;
+    by_class[c].undetected += other.by_class[c].undetected;
+  }
+  for (auto [mine, theirs] :
+       {std::pair{&p_side, &other.p_side}, std::pair{&r_side, &other.r_side}}) {
+    mine->injected += theirs->injected;
+    mine->detected += theirs->detected;
+    mine->undetected += theirs->undetected;
+  }
+}
+
+CampaignCell CampaignResult::variant_total(usize variant_index) const {
+  CampaignCell total;
+  for (const auto& replicas : matrix.cells[variant_index]) {
+    for (const CampaignCell& cell : replicas) total.merge(cell);
+  }
+  return total;
+}
+
+CampaignCell CampaignResult::workload_total(usize variant_index,
+                                            usize workload_index) const {
+  CampaignCell total;
+  for (const CampaignCell& cell : matrix.cells[variant_index][workload_index]) {
+    total.merge(cell);
+  }
+  return total;
+}
+
+u64 CampaignResult::total_injections() const {
+  u64 total = 0;
+  for (usize v = 0; v < matrix.cells.size(); ++v) {
+    total += variant_total(v).injected;
+  }
+  return total;
+}
+
+u64 CampaignResult::latency_percentile(const CampaignCell& cell,
+                                       double fraction) {
+  if (cell.latency_count == 0) return 0;
+  // Nearest-rank, matching Histogram::percentile: samples in the overflow
+  // bucket clamp the percentile to latency_max instead of vanishing.
+  const u64 target = std::max<u64>(
+      1, static_cast<u64>(std::ceil(
+             fraction * static_cast<double>(cell.latency_count))));
+  u64 seen = 0;
+  for (usize i = 0; i < cell.latency_buckets.size(); ++i) {
+    seen += cell.latency_buckets[i];
+    if (seen >= target) return (i + 1) * kLatencyBucketWidth - 1;
+  }
+  return cell.latency_max;
+}
+
+std::string CampaignResult::table() const {
+  std::string out =
+      format("Fault campaign: %llu injections over %zu variants x %zu "
+             "workloads x %u replicas (%llu instr/cell, rate %.0e, seed "
+             "0x%llx)\n",
+             static_cast<unsigned long long>(total_injections()),
+             spec.variants.size(), spec.workloads.size(), spec.replicas,
+             static_cast<unsigned long long>(spec.instructions), spec.rate,
+             static_cast<unsigned long long>(spec.seed));
+  out += format("  %-16s %9s %9s %8s %8s  %8s  %-17s %8s %6s\n", "variant",
+                "injected", "detected", "escaped", "pending", "coverage",
+                "wilson95", "mean lat", "p95");
+  for (usize v = 0; v < spec.variants.size(); ++v) {
+    const CampaignCell total = variant_total(v);
+    const WilsonInterval ci = wilson_interval(total.detected, total.resolved());
+    out += format(
+        "  %-16s %9llu %9llu %8llu %8llu  %7.3f%%  [%6.3f%%,%7.3f%%] "
+        "%7.1fcy %5llu\n",
+        spec.variants[v].label.c_str(),
+        static_cast<unsigned long long>(total.injected),
+        static_cast<unsigned long long>(total.detected),
+        static_cast<unsigned long long>(total.undetected),
+        static_cast<unsigned long long>(total.pending),
+        100.0 * total.coverage(), 100.0 * ci.lower, 100.0 * ci.upper,
+        safe_ratio(total.latency_sum, total.latency_count),
+        static_cast<unsigned long long>(latency_percentile(total, 0.95)));
+  }
+  return out;
+}
+
+std::string CampaignResult::json() const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"reese-fault-campaign-v1\",\n";
+  out += format("  \"seed\": %llu,\n",
+                static_cast<unsigned long long>(spec.seed));
+  out += format("  \"instructions\": %llu,\n",
+                static_cast<unsigned long long>(spec.instructions));
+  out += format("  \"replicas\": %u,\n", spec.replicas);
+  out += format("  \"rate\": %g,\n", spec.rate);
+  out += format("  \"quick\": %s,\n", spec.quick ? "true" : "false");
+  out += format("  \"total_injections\": %llu,\n",
+                static_cast<unsigned long long>(total_injections()));
+  out += "  \"variants\": [\n";
+  for (usize v = 0; v < spec.variants.size(); ++v) {
+    const CampaignVariant& variant = spec.variants[v];
+    const CampaignCell total = variant_total(v);
+    const WilsonInterval ci = wilson_interval(total.detected, total.resolved());
+    out += "    {\n";
+    out += format("      \"label\": \"%s\",\n",
+                  json_escape(variant.label).c_str());
+    out += format("      \"target\": \"%s\",\n",
+                  faults::fault_target_name(variant.target));
+    out += format("      \"expect_full_coverage\": %s,\n",
+                  variant.expect_full_coverage ? "true" : "false");
+    out += format("      \"expect_zero_coverage\": %s,\n",
+                  variant.expect_zero_coverage ? "true" : "false");
+    out += format("      \"injected\": %llu,\n",
+                  static_cast<unsigned long long>(total.injected));
+    out += format("      \"detected\": %llu,\n",
+                  static_cast<unsigned long long>(total.detected));
+    out += format("      \"undetected\": %llu,\n",
+                  static_cast<unsigned long long>(total.undetected));
+    out += format("      \"pending\": %llu,\n",
+                  static_cast<unsigned long long>(total.pending));
+    out += format("      \"coverage\": %.6f,\n", total.coverage());
+    out += format("      \"wilson_lower\": %.6f,\n", ci.lower);
+    out += format("      \"wilson_upper\": %.6f,\n", ci.upper);
+    out += format("      \"mean_latency\": %.3f,\n",
+                  safe_ratio(total.latency_sum, total.latency_count));
+    out += format("      \"p95_latency\": %llu,\n",
+                  static_cast<unsigned long long>(
+                      latency_percentile(total, 0.95)));
+    out += format("      \"max_latency\": %llu,\n",
+                  static_cast<unsigned long long>(total.latency_max));
+    out += "      \"by_class\": [\n";
+    bool first = true;
+    for (usize c = 0; c < kExecClassCount; ++c) {
+      const StratumCount& stratum = total.by_class[c];
+      if (stratum.injected == 0) continue;
+      out += format("        %s{\"class\": \"%s\", \"injected\": %llu, "
+                    "\"detected\": %llu, \"undetected\": %llu}",
+                    first ? "" : ",", exec_class_label(c),
+                    static_cast<unsigned long long>(stratum.injected),
+                    static_cast<unsigned long long>(stratum.detected),
+                    static_cast<unsigned long long>(stratum.undetected));
+      out += "\n";
+      first = false;
+    }
+    out += "      ],\n";
+    out += "      \"by_side\": {\n";
+    out += format("        \"p\": {\"injected\": %llu, \"detected\": %llu, "
+                  "\"undetected\": %llu},\n",
+                  static_cast<unsigned long long>(total.p_side.injected),
+                  static_cast<unsigned long long>(total.p_side.detected),
+                  static_cast<unsigned long long>(total.p_side.undetected));
+    out += format("        \"r\": {\"injected\": %llu, \"detected\": %llu, "
+                  "\"undetected\": %llu}\n",
+                  static_cast<unsigned long long>(total.r_side.injected),
+                  static_cast<unsigned long long>(total.r_side.detected),
+                  static_cast<unsigned long long>(total.r_side.undetected));
+    out += "      },\n";
+    out += "      \"workloads\": [\n";
+    for (usize w = 0; w < spec.workloads.size(); ++w) {
+      const CampaignCell wl = workload_total(v, w);
+      out += format("        {\"workload\": \"%s\", \"injected\": %llu, "
+                    "\"detected\": %llu, \"undetected\": %llu, "
+                    "\"coverage\": %.6f}%s\n",
+                    json_escape(spec.workloads[w]).c_str(),
+                    static_cast<unsigned long long>(wl.injected),
+                    static_cast<unsigned long long>(wl.detected),
+                    static_cast<unsigned long long>(wl.undetected),
+                    wl.coverage(), w + 1 < spec.workloads.size() ? "," : "");
+    }
+    out += "      ]\n";
+    out += format("    }%s\n", v + 1 < spec.variants.size() ? "," : "");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec_in) {
+  CampaignSpec spec = spec_in;
+  if (spec.variants.empty()) spec.variants = standard_campaign_variants();
+  if (spec.workloads.empty()) spec.workloads = workloads::spec_like_names();
+  if (spec.quick) spec.replicas = 1;
+  if (spec.replicas == 0) spec.replicas = 1;
+  if (spec.instructions == 0) spec.instructions = spec.quick ? 20'000 : 60'000;
+
+  CampaignResult result;
+  result.spec = spec;
+  result.matrix.cells.assign(
+      spec.variants.size(),
+      std::vector<std::vector<CampaignCell>>(
+          spec.workloads.size(), std::vector<CampaignCell>(spec.replicas)));
+
+  struct Job {
+    usize variant_index;
+    usize workload_index;
+    usize replica;
+  };
+  std::vector<Job> jobs;
+  for (usize v = 0; v < spec.variants.size(); ++v) {
+    for (usize w = 0; w < spec.workloads.size(); ++w) {
+      for (usize r = 0; r < spec.replicas; ++r) jobs.push_back({v, w, r});
+    }
+  }
+
+  // Each cell is one independent simulation with its own workload image,
+  // pipeline and injector, all seeded from derive_cell_seed alone; it
+  // writes only its own matrix slot, so the matrix is bit-identical no
+  // matter how many workers ran it.
+  auto run_cell = [&](usize job_index) {
+    const Job job = jobs[job_index];
+    const CampaignVariant& variant = spec.variants[job.variant_index];
+    const u64 cell_seed = derive_cell_seed(spec.seed, job.variant_index,
+                                           job.workload_index, job.replica);
+
+    workloads::WorkloadOptions options;
+    // Distinct data per replica: the fault stream should sample results
+    // across data-dependent paths, not replay one execution twelve times.
+    options.seed = SplitMix64(cell_seed).next();
+    options.iterations = 0;
+    auto workload =
+        workloads::make_workload(spec.workloads[job.workload_index], options);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "campaign: %s\n",
+                   workload.error().to_string().c_str());
+      std::exit(1);
+    }
+
+    faults::InjectorConfig fault_config;
+    fault_config.rate = spec.rate;
+    fault_config.target = variant.target;
+    fault_config.seed = cell_seed;
+    faults::Injector injector(fault_config);
+
+    Simulator simulator(std::move(workload).value(), variant.config);
+    simulator.pipeline().set_fault_hook(&injector);
+    const SimResult sim_result = simulator.run(spec.instructions);
+    if (sim_result.stop != core::StopReason::kCommitTarget) {
+      std::fprintf(stderr,
+                   "campaign: %s/%s stopped early (%s) after %llu insts\n",
+                   spec.workloads[job.workload_index].c_str(),
+                   variant.label.c_str(),
+                   core::stop_reason_name(sim_result.stop),
+                   static_cast<unsigned long long>(sim_result.committed));
+      std::exit(1);
+    }
+
+    CampaignCell& cell = result.matrix.cells[job.variant_index]
+                             [job.workload_index][job.replica];
+    cell.injected = injector.injected();
+    cell.detected = injector.detected();
+    cell.undetected = injector.undetected();
+    cell.pending = injector.pending();
+    cell.duplicate_reports = injector.duplicate_reports();
+    cell.committed = sim_result.committed;
+    cell.cycles = sim_result.cycles;
+
+    const Histogram& latency = injector.latency();
+    cell.latency_sum = latency.sum();
+    cell.latency_count = latency.count();
+    cell.latency_min = latency.min();
+    cell.latency_max = latency.max();
+    cell.latency_overflow = latency.overflow();
+    cell.latency_buckets = latency.buckets();
+    assert(cell.latency_buckets.size() == kLatencyBucketCount);
+    assert(latency.bucket_width() == kLatencyBucketWidth);
+
+    for (const faults::FaultRecord& record : injector.records()) {
+      const usize class_index = static_cast<usize>(record.exec_class);
+      assert(class_index < kExecClassCount);
+      accumulate_stratum(&cell.by_class[class_index], record);
+      accumulate_stratum(record.hit_p ? &cell.p_side : &cell.r_side, record);
+    }
+  };
+
+  const u32 workers =
+      resolve_job_count(spec.jobs != 0 ? spec.jobs : default_jobs());
+  if (workers <= 1 || jobs.size() <= 1) {
+    // Reference path: plain sequential loop on the calling thread.
+    for (usize i = 0; i < jobs.size(); ++i) run_cell(i);
+  } else {
+    ThreadPool pool(workers);
+    pool.parallel_for(jobs.size(), run_cell);
+  }
+
+  return result;
+}
+
+bool write_campaign_report(const CampaignResult& result,
+                           const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "campaign: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = result.json();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace reese::sim

@@ -1,0 +1,149 @@
+// Fault-injection campaign runner: the robustness analogue of the
+// experiment grid (sim/experiment.h) and the perf harness (sim/perf.h).
+//
+// A campaign fans (variant × workload × seed-replica) cells across the
+// thread pool. Every cell is one independent simulation: it builds its own
+// workload image, pipeline and Injector from a per-cell seed derived with
+// SplitMix64 from (campaign seed, variant index, workload index, replica),
+// and writes only its own CampaignMatrix slot — so the aggregated matrix is
+// bit-identical no matter how many workers ran it (the same determinism
+// contract as run_experiment).
+//
+// The paper's §4.2 claim is "100% detection of soft errors affecting
+// instruction results". A claim at the boundary of a proportion needs a
+// confidence interval that behaves there, so coverage is reported with
+// Wilson-score 95% bounds (common/stats.h) over ~10⁵ injections, stratified
+// per variant, per workload, per execution class and per fault side.
+// Results serialize to BENCH_fault.json for tools/bench_diff.py and CI
+// archiving. See DESIGN.md §10.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "faults/injector.h"
+
+namespace reese::sim {
+
+/// One row of the campaign: a pipeline configuration plus a fault target.
+struct CampaignVariant {
+  std::string label;
+  core::CoreConfig config;
+  faults::FaultTarget target = faults::FaultTarget::kEither;
+  /// Full re-execution REESE: every resolved fault must be detected.
+  bool expect_full_coverage = false;
+  /// Baseline (no comparator): every resolved fault must escape.
+  bool expect_zero_coverage = false;
+};
+
+/// The A5 bench's five standard rows: REESE with P-side, R-side and
+/// either-side flips, the baseline, and REESE with 1-of-2 re-execution.
+std::vector<CampaignVariant> standard_campaign_variants();
+
+struct CampaignSpec {
+  std::vector<CampaignVariant> variants;  ///< empty = the standard five
+  std::vector<std::string> workloads;     ///< empty = the six spec-like names
+  /// Independent seed replicas per (variant, workload) cell. The default
+  /// full campaign (12 × 5 × 6 cells × rate × instructions) lands at
+  /// ~10⁵ total injections.
+  u32 replicas = 12;
+  u64 instructions = 0;   ///< per-cell budget; 0 = 60k (quick: 20k)
+  double rate = 5e-3;     ///< per-instruction injection probability
+  u64 seed = 0xFA17C0DE;  ///< campaign master seed
+  /// Worker threads; 0 = auto (same resolution as ExperimentSpec::jobs).
+  u32 jobs = 0;
+  /// CI mode: one replica on a reduced budget, ≈10³ injections total.
+  bool quick = false;
+};
+
+/// Per-stratum injection counts (a stratum = exec class or fault side).
+struct StratumCount {
+  u64 injected = 0;
+  u64 detected = 0;
+  u64 undetected = 0;
+
+  bool operator==(const StratumCount&) const = default;
+};
+
+/// Number of isa::ExecClass values (strata in CampaignCell::by_class).
+inline constexpr usize kExecClassCount = 10;
+const char* exec_class_label(usize class_index);
+
+/// Raw outcome of one (variant, workload, replica) cell. Everything needed
+/// for campaign-level aggregation is carried here in integer form so cells
+/// merge exactly and compare bit-identically across worker counts.
+struct CampaignCell {
+  u64 injected = 0;
+  u64 detected = 0;
+  u64 undetected = 0;
+  u64 pending = 0;            ///< injected but unresolved at budget end
+  u64 duplicate_reports = 0;  ///< must stay 0; see Injector
+  u64 committed = 0;
+  Cycle cycles = 0;
+
+  // Detection-latency distribution, mergeable across cells: the Injector's
+  // Histogram{4,64} finite buckets plus its clamped overflow bucket.
+  u64 latency_sum = 0;
+  u64 latency_count = 0;
+  u64 latency_min = 0;
+  u64 latency_max = 0;
+  u64 latency_overflow = 0;
+  std::vector<u64> latency_buckets;
+
+  std::array<StratumCount, kExecClassCount> by_class{};
+  StratumCount p_side;  ///< flips that landed in the stored P result
+  StratumCount r_side;  ///< flips that landed in the R recomputation
+
+  u64 resolved() const { return detected + undetected; }
+  double coverage() const { return safe_ratio(detected, resolved()); }
+  /// Accumulate another cell (aggregation helper).
+  void merge(const CampaignCell& other);
+
+  bool operator==(const CampaignCell&) const = default;
+};
+
+/// The aggregation target: cells[variant][workload][replica]. Compared
+/// directly by the --jobs bit-identity test.
+struct CampaignMatrix {
+  std::vector<std::vector<std::vector<CampaignCell>>> cells;
+
+  bool operator==(const CampaignMatrix&) const = default;
+};
+
+struct CampaignResult {
+  CampaignSpec spec;  ///< with defaults resolved (budget, lists, replicas)
+  CampaignMatrix matrix;
+
+  /// Merged counts for one variant across workloads and replicas.
+  CampaignCell variant_total(usize variant_index) const;
+  /// Merged counts for one (variant, workload) across replicas.
+  CampaignCell workload_total(usize variant_index, usize workload_index) const;
+  u64 total_injections() const;
+
+  /// Approximate percentile from a merged latency distribution.
+  static u64 latency_percentile(const CampaignCell& cell, double fraction);
+
+  /// Human-readable per-variant coverage table with Wilson 95% bounds.
+  std::string table() const;
+  /// Machine-readable report (BENCH_fault.json schema v1).
+  std::string json() const;
+};
+
+/// Derive one cell's injector seed. Exposed for tests: the derivation must
+/// give distinct streams per cell and stay stable across PRs (BENCH_fault
+/// comparability).
+u64 derive_cell_seed(u64 campaign_seed, usize variant_index,
+                     usize workload_index, usize replica);
+
+/// Run the campaign across the thread pool (spec.jobs; same worker
+/// resolution and sequential jobs==1 reference path as run_experiment).
+CampaignResult run_campaign(const CampaignSpec& spec);
+
+/// Write `result.json()` to `path`; returns false (with a message on
+/// stderr) if the file cannot be written.
+bool write_campaign_report(const CampaignResult& result,
+                           const std::string& path);
+
+}  // namespace reese::sim

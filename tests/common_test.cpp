@@ -431,5 +431,51 @@ TEST(Error, ResultHoldsError) {
   EXPECT_EQ(r.error().message, "no");
 }
 
+TEST(Wilson, ZeroTrialsIsAllZero) {
+  const WilsonInterval ci = wilson_interval(0, 0);
+  EXPECT_EQ(ci.lower, 0.0);
+  EXPECT_EQ(ci.center, 0.0);
+  EXPECT_EQ(ci.upper, 0.0);
+}
+
+TEST(Wilson, FullSuccessLowerBoundIsNotOne) {
+  // At p̂ = 1 the Wald interval collapses to [1, 1]; Wilson's lower bound
+  // is n / (n + z²) — the honesty property the coverage claims rely on.
+  const double z = 1.96;
+  const WilsonInterval ci = wilson_interval(100, 100, z);
+  EXPECT_NEAR(ci.lower, 100.0 / (100.0 + z * z), 1e-12);
+  EXPECT_NEAR(ci.upper, 1.0, 1e-12);
+  EXPECT_LT(ci.lower, 1.0);
+}
+
+TEST(Wilson, LowerBoundTightensWithSampleSize) {
+  EXPECT_LT(wilson_interval(100, 100).lower, wilson_interval(1000, 1000).lower);
+  EXPECT_LT(wilson_interval(1000, 1000).lower,
+            wilson_interval(100'000, 100'000).lower);
+  // The campaign acceptance bar: 10⁵ all-detected injections put the 95%
+  // lower bound far above 99.9%.
+  EXPECT_GT(wilson_interval(100'000, 100'000).lower, 0.999);
+  // ...and ~4k is the minimum that clears it.
+  EXPECT_GT(wilson_interval(4'000, 4'000).lower, 0.999);
+  EXPECT_LT(wilson_interval(3'000, 3'000).lower, 0.999);
+}
+
+TEST(Wilson, ZeroSuccessesMirrorsFullSuccesses) {
+  const WilsonInterval none = wilson_interval(0, 500);
+  const WilsonInterval all = wilson_interval(500, 500);
+  EXPECT_NEAR(none.lower, 0.0, 1e-12);
+  EXPECT_NEAR(none.upper, 1.0 - all.lower, 1e-9);
+  EXPECT_GT(none.upper, 0.0);
+}
+
+TEST(Wilson, IntervalContainsPointEstimate) {
+  const WilsonInterval ci = wilson_interval(37, 120);
+  const double p = 37.0 / 120.0;
+  EXPECT_LT(ci.lower, p);
+  EXPECT_GT(ci.upper, p);
+  EXPECT_GT(ci.lower, 0.0);
+  EXPECT_LT(ci.upper, 1.0);
+}
+
 }  // namespace
 }  // namespace reese

@@ -1,0 +1,299 @@
+// Injector bookkeeping regressions and the campaign runner.
+//
+// The 10⁵-injection campaigns depend on three injector invariants that
+// used to be broken: records are identified by (seq, injected_at) rather
+// than seq alone (refetch aliasing), resolution is idempotent (no double
+// counting), and resolution is O(1) (no quadratic campaign cost). The
+// campaign runner itself must produce a bit-identical matrix regardless
+// of worker count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/pipeline.h"
+#include "faults/injector.h"
+#include "json_checker.h"
+#include "sim/campaign.h"
+#include "workloads/workload.h"
+
+namespace reese {
+namespace {
+
+// --- record identity across refetch aliasing ---------------------------------
+
+TEST(Injector, AliasedSeqsResolveIndependently) {
+  // A mismatch flush can refetch an instruction under a reused sequence
+  // number: the injector then holds two live records for one seq. Each
+  // must resolve independently, with detections matched by injected_at.
+  faults::InjectorConfig config;
+  config.rate = 1.0;
+  faults::Injector injector(config);
+  isa::Instruction nop;
+  injector.on_instruction(5, 10, nop);  // first fetch of seq 5
+  injector.on_instruction(5, 50, nop);  // refetch after the flush
+  ASSERT_EQ(injector.injected(), 2u);
+
+  // The *second* record is detected; the first escapes. Before keying by
+  // (seq, injected_at) both reports landed on the latest record.
+  injector.on_detected(5, 50, 60);
+  injector.on_undetected(5);
+
+  EXPECT_EQ(injector.detected(), 1u);
+  EXPECT_EQ(injector.undetected(), 1u);
+  EXPECT_EQ(injector.pending(), 0u);
+  EXPECT_EQ(injector.duplicate_reports(), 0u);
+
+  const std::vector<faults::FaultRecord>& records = injector.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].injected_at, 10u);
+  EXPECT_TRUE(records[0].resolved);
+  EXPECT_FALSE(records[0].detected);
+  EXPECT_EQ(records[1].injected_at, 50u);
+  EXPECT_TRUE(records[1].resolved);
+  EXPECT_TRUE(records[1].detected);
+  EXPECT_EQ(records[1].detected_at, 60u);
+
+  // Latency is attributed to the record that was actually detected.
+  EXPECT_EQ(injector.latency().count(), 1u);
+  EXPECT_DOUBLE_EQ(injector.latency().mean(), 10.0);
+}
+
+TEST(Injector, EscapesResolveOldestAliasFirst) {
+  faults::InjectorConfig config;
+  config.rate = 1.0;
+  faults::Injector injector(config);
+  isa::Instruction nop;
+  injector.on_instruction(9, 100, nop);
+  injector.on_instruction(9, 200, nop);
+  injector.on_undetected(9);  // FIFO: settles the cycle-100 record
+  EXPECT_TRUE(injector.records()[0].resolved);
+  EXPECT_FALSE(injector.records()[1].resolved);
+  EXPECT_EQ(injector.pending(), 1u);
+}
+
+// --- idempotent resolution ----------------------------------------------------
+
+TEST(Injector, DoubleResolutionIsIdempotent) {
+  faults::InjectorConfig config;
+  config.rate = 1.0;
+  faults::Injector injector(config);
+  isa::Instruction nop;
+  injector.on_instruction(7, 3, nop);
+
+  injector.on_detected(7, 3, 9);
+  injector.on_detected(7, 3, 9);   // duplicate detection report
+  injector.on_undetected(7);       // conflicting duplicate report
+
+  EXPECT_EQ(injector.detected(), 1u);
+  EXPECT_EQ(injector.undetected(), 0u);
+  EXPECT_EQ(injector.duplicate_reports(), 2u);
+  EXPECT_EQ(injector.latency().count(), 1u);
+  EXPECT_NEAR(injector.coverage(), 1.0, 1e-12);
+}
+
+// --- latency histogram bounds -------------------------------------------------
+
+TEST(Injector, LatencyPastHistogramRangeClampsToOverflow) {
+  // The injector's Histogram{4, 64} covers latencies up to 256 cycles; a
+  // long flush-drain latency must clamp into the overflow bucket, not
+  // vanish from count/mean/max.
+  faults::InjectorConfig config;
+  config.rate = 1.0;
+  faults::Injector injector(config);
+  isa::Instruction nop;
+  injector.on_instruction(1, 0, nop);
+  injector.on_instruction(2, 0, nop);
+  injector.on_detected(1, 0, 12);     // in range
+  injector.on_detected(2, 0, 1000);   // past the last bucket
+
+  const Histogram& latency = injector.latency();
+  EXPECT_EQ(latency.count(), 2u);
+  EXPECT_EQ(latency.overflow(), 1u);
+  EXPECT_EQ(latency.max(), 1000u);
+  EXPECT_EQ(latency.min(), 12u);
+  EXPECT_DOUBLE_EQ(latency.mean(), 506.0);
+  EXPECT_EQ(latency.percentile(0.99), 1000u);
+}
+
+// --- resolution cost ----------------------------------------------------------
+
+TEST(Injector, FifoResolutionOfLargeBacklogIsFast) {
+  // 20k pending faults resolved oldest-first: the old reverse linear scan
+  // made this quadratic (~2·10⁸ record visits); the pending index makes it
+  // linear. The assertions only check the accounting — the speed shows up
+  // as this test not timing out.
+  constexpr InstSeq kCount = 20'000;
+  faults::InjectorConfig config;
+  config.rate = 1.0;
+  faults::Injector injector(config);
+  isa::Instruction nop;
+  for (InstSeq seq = 1; seq <= kCount; ++seq) {
+    injector.on_instruction(seq, seq, nop);
+  }
+  for (InstSeq seq = 1; seq <= kCount; ++seq) {
+    if (seq % 2 == 0) {
+      injector.on_detected(seq, seq, seq + 8);
+    } else {
+      injector.on_undetected(seq);
+    }
+  }
+  EXPECT_EQ(injector.detected(), kCount / 2);
+  EXPECT_EQ(injector.undetected(), kCount / 2);
+  EXPECT_EQ(injector.pending(), 0u);
+  EXPECT_EQ(injector.duplicate_reports(), 0u);
+}
+
+// --- end-to-end bookkeeping through the pipeline ------------------------------
+
+TEST(FaultPipeline, HeavyCampaignBookkeepingStaysConsistent) {
+  // Dense faults through the REESE pipeline: every detection triggers the
+  // mismatch-flush recovery path, and the accounting must still close —
+  // every record resolved at most once, no duplicates, coverage complete.
+  workloads::WorkloadOptions options;
+  auto made = workloads::make_workload("go", options);
+  ASSERT_TRUE(made.ok());
+  const workloads::Workload workload = std::move(made).value();
+
+  faults::InjectorConfig config;
+  config.rate = 5e-3;
+  faults::Injector injector(config);
+  core::Pipeline pipeline(workload.program,
+                          core::with_reese(core::starting_config()));
+  pipeline.set_fault_hook(&injector);
+  pipeline.run(50'000, 5'000'000);
+
+  ASSERT_GT(injector.injected(), 100u);
+  EXPECT_EQ(injector.duplicate_reports(), 0u);
+  EXPECT_EQ(injector.undetected(), 0u);
+  EXPECT_EQ(injector.detected() + injector.pending(), injector.injected());
+
+  u64 resolved = 0;
+  for (const faults::FaultRecord& record : injector.records()) {
+    if (!record.resolved) continue;
+    ++resolved;
+    EXPECT_TRUE(record.detected);
+    EXPECT_GE(record.detected_at, record.injected_at);
+  }
+  EXPECT_EQ(resolved, injector.detected());
+}
+
+// --- campaign runner ----------------------------------------------------------
+
+sim::CampaignSpec tiny_campaign() {
+  sim::CampaignSpec spec;
+  spec.workloads = {"li", "go"};
+  spec.replicas = 2;
+  spec.instructions = 5'000;
+  spec.rate = 5e-3;
+  return spec;
+}
+
+TEST(Campaign, MatrixIsBitIdenticalAcrossJobCounts) {
+  sim::CampaignSpec spec = tiny_campaign();
+  spec.jobs = 1;
+  const sim::CampaignResult sequential = sim::run_campaign(spec);
+  spec.jobs = 2;
+  const sim::CampaignResult two_jobs = sim::run_campaign(spec);
+  spec.jobs = 0;  // auto: hardware concurrency (or $REESE_JOBS)
+  const sim::CampaignResult hardware = sim::run_campaign(spec);
+
+  EXPECT_GT(sequential.total_injections(), 0u);
+  EXPECT_TRUE(sequential.matrix == two_jobs.matrix);
+  EXPECT_TRUE(sequential.matrix == hardware.matrix);
+}
+
+TEST(Campaign, DerivedSeedsAreDistinctPerCell) {
+  std::set<u64> seeds;
+  for (usize v = 0; v < 5; ++v) {
+    for (usize w = 0; w < 6; ++w) {
+      for (usize r = 0; r < 12; ++r) {
+        seeds.insert(sim::derive_cell_seed(0xFA17C0DE, v, w, r));
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 5u * 6u * 12u);
+  // Stable across PRs: BENCH_fault.json comparability depends on it.
+  EXPECT_EQ(sim::derive_cell_seed(0xFA17C0DE, 0, 0, 0),
+            sim::derive_cell_seed(0xFA17C0DE, 0, 0, 0));
+  EXPECT_NE(sim::derive_cell_seed(1, 0, 0, 0),
+            sim::derive_cell_seed(2, 0, 0, 0));
+}
+
+TEST(Campaign, StandardVariantsMeetCoverageExpectations) {
+  sim::CampaignSpec spec = tiny_campaign();
+  const sim::CampaignResult result = sim::run_campaign(spec);
+  ASSERT_EQ(result.spec.variants.size(), 5u);
+  for (usize v = 0; v < result.spec.variants.size(); ++v) {
+    const sim::CampaignVariant& variant = result.spec.variants[v];
+    const sim::CampaignCell total = result.variant_total(v);
+    EXPECT_GT(total.injected, 0u) << variant.label;
+    EXPECT_EQ(total.duplicate_reports, 0u) << variant.label;
+    if (variant.expect_full_coverage) {
+      EXPECT_EQ(total.undetected, 0u) << variant.label;
+    }
+    if (variant.expect_zero_coverage) {
+      EXPECT_EQ(total.detected, 0u) << variant.label;
+    }
+  }
+}
+
+TEST(Campaign, StrataSumToTotals) {
+  const sim::CampaignResult result = sim::run_campaign(tiny_campaign());
+  for (usize v = 0; v < result.spec.variants.size(); ++v) {
+    const sim::CampaignCell total = result.variant_total(v);
+    u64 class_injected = 0, class_detected = 0, class_undetected = 0;
+    for (const sim::StratumCount& stratum : total.by_class) {
+      class_injected += stratum.injected;
+      class_detected += stratum.detected;
+      class_undetected += stratum.undetected;
+    }
+    EXPECT_EQ(class_injected, total.injected);
+    EXPECT_EQ(class_detected, total.detected);
+    EXPECT_EQ(class_undetected, total.undetected);
+    EXPECT_EQ(total.p_side.injected + total.r_side.injected, total.injected);
+    EXPECT_EQ(total.p_side.detected + total.r_side.detected, total.detected);
+  }
+}
+
+TEST(Campaign, ReportSerializesToValidJson) {
+  const sim::CampaignResult result = sim::run_campaign(tiny_campaign());
+  const std::string json = result.json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"schema\": \"reese-fault-campaign-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total_injections\""), std::string::npos);
+  EXPECT_NE(json.find("\"wilson_lower\""), std::string::npos);
+  EXPECT_NE(json.find("\"by_class\""), std::string::npos);
+
+  const std::string path = testing::TempDir() + "/reese_fault_campaign.json";
+  ASSERT_TRUE(sim::write_campaign_report(result, path));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[4096];
+  usize n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, json);
+}
+
+TEST(Campaign, QuickModeUsesOneReplicaAndReducedBudget) {
+  sim::CampaignSpec spec = tiny_campaign();
+  spec.quick = true;
+  spec.instructions = 2'000;
+  const sim::CampaignResult result = sim::run_campaign(spec);
+  EXPECT_EQ(result.spec.replicas, 1u);
+  for (const auto& variant_cells : result.matrix.cells) {
+    for (const auto& replicas : variant_cells) {
+      EXPECT_EQ(replicas.size(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reese

@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_perf.json reports from bench/perf_kips.
+"""Compare two benchmark reports produced by this repo's harnesses.
 
 Usage: bench_diff.py BEFORE.json AFTER.json [--threshold PCT]
 
-Prints a per-workload kIPS table with the relative change, plus the
-aggregate and grid-speedup deltas. Exits 1 when any workload regresses by
-more than --threshold percent (default 10), so CI can optionally gate on
-it; exits 2 on malformed input.
+Auto-detects the report kind:
+  * BENCH_perf.json (bench/perf_kips): per-workload kIPS table with the
+    relative change, plus aggregate and grid-speedup deltas. Exits 1 when
+    any workload regresses by more than --threshold percent (default 10).
+  * BENCH_fault.json (bench/fault_coverage, schema
+    reese-fault-campaign-v1): per-variant coverage with Wilson bounds.
+    Exits 1 when any variant's coverage drops by more than --threshold
+    percentage points, or a full-coverage variant gains escapes.
+
+Exits 2 on malformed or mismatched input.
 """
 
 import argparse
@@ -29,17 +35,17 @@ def pct_change(before, after):
     return 100.0 * (after - before) / before
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("before")
-    parser.add_argument("after")
-    parser.add_argument("--threshold", type=float, default=10.0,
-                        help="regression threshold in percent (default 10)")
-    args = parser.parse_args()
+def report_kind(report):
+    if not isinstance(report, dict):
+        return "unknown"
+    if report.get("schema") == "reese-fault-campaign-v1":
+        return "fault"
+    if "aggregate_kips" in report or "workloads" in report:
+        return "perf"
+    return "unknown"
 
-    before = load(args.before)
-    after = load(args.after)
 
+def diff_perf(before, after, threshold):
     before_kips = {w["workload"]: w["median_kips"]
                    for w in before.get("workloads", [])}
     after_kips = {w["workload"]: w["median_kips"]
@@ -62,7 +68,7 @@ def main():
             continue
         change = pct_change(b, a)
         print(f"{name:<12}{b:>12.1f}{a:>12.1f}{change:>+9.1f}%")
-        if change < -args.threshold:
+        if change < -threshold:
             regressions.append((name, change))
 
     b_agg = before.get("aggregate_kips", 0.0)
@@ -78,11 +84,76 @@ def main():
               f"{a_grid.get('speedup', 0):.2f}x "
               f"({a_grid.get('jobs', '?')} jobs)")
 
-    if regressions:
-        for name, change in regressions:
-            print(f"bench_diff: REGRESSION {name}: {change:+.1f}% "
-                  f"(threshold -{args.threshold}%)", file=sys.stderr)
-        sys.exit(1)
+    for name, change in regressions:
+        print(f"bench_diff: REGRESSION {name}: {change:+.1f}% "
+              f"(threshold -{threshold}%)", file=sys.stderr)
+    return 1 if regressions else 0
+
+
+def diff_fault(before, after, threshold):
+    before_variants = {v["label"]: v for v in before.get("variants", [])}
+    after_variants = {v["label"]: v for v in after.get("variants", [])}
+
+    for key in ("instructions", "replicas", "rate", "seed"):
+        if before.get(key) != after.get(key):
+            print(f"bench_diff: warning: campaign {key} differs "
+                  f"({before.get(key)} vs {after.get(key)}); coverage is "
+                  f"still comparable but injection streams are not",
+                  file=sys.stderr)
+
+    print(f"total injections {before.get('total_injections', 0)} -> "
+          f"{after.get('total_injections', 0)}")
+    print(f"{'variant':<16}{'cov before':>12}{'cov after':>12}{'change':>9}"
+          f"{'wilson lo':>11}{'escapes':>9}")
+    regressions = []
+    for name in sorted(set(before_variants) | set(after_variants)):
+        b = before_variants.get(name)
+        a = after_variants.get(name)
+        if b is None or a is None:
+            side = "before" if b is None else "after"
+            print(f"{name:<16}{'(missing in ' + side + ')':>33}")
+            continue
+        b_cov = 100.0 * b.get("coverage", 0.0)
+        a_cov = 100.0 * a.get("coverage", 0.0)
+        delta = a_cov - b_cov
+        print(f"{name:<16}{b_cov:>11.3f}%{a_cov:>11.3f}%{delta:>+8.3f}%"
+              f"{100.0 * a.get('wilson_lower', 0.0):>10.3f}%"
+              f"{a.get('undetected', 0):>9}")
+        if delta < -threshold:
+            regressions.append((name, f"coverage {delta:+.3f}pp "
+                                      f"(threshold -{threshold}pp)"))
+        if (a.get("expect_full_coverage") and a.get("undetected", 0) > 0
+                and b.get("undetected", 0) == 0):
+            regressions.append((name, f"{a['undetected']} new escapes in a "
+                                      f"full-coverage variant"))
+
+    for name, why in regressions:
+        print(f"bench_diff: REGRESSION {name}: {why}", file=sys.stderr)
+    return 1 if regressions else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold: percent kIPS drop (perf) "
+                             "or coverage percentage points (fault); "
+                             "default 10")
+    args = parser.parse_args()
+
+    before = load(args.before)
+    after = load(args.after)
+
+    kinds = (report_kind(before), report_kind(after))
+    if kinds[0] != kinds[1] or kinds[0] == "unknown":
+        print(f"bench_diff: cannot compare report kinds {kinds[0]} vs "
+              f"{kinds[1]}", file=sys.stderr)
+        sys.exit(2)
+
+    if kinds[0] == "fault":
+        sys.exit(diff_fault(before, after, args.threshold))
+    sys.exit(diff_perf(before, after, args.threshold))
 
 
 if __name__ == "__main__":
