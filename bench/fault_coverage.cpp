@@ -29,6 +29,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "sim/campaign.h"
 
 using namespace reese;
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(arg, "--quick") == 0) {
       spec.quick = true;
     } else if (std::strcmp(arg, "--jobs") == 0) {
-      spec.jobs = static_cast<u32>(std::atoi(next_value()));
+      spec.jobs = sanitize_job_count(std::strtol(next_value(), nullptr, 10));
     } else if (std::strcmp(arg, "--replicas") == 0) {
       spec.replicas = static_cast<u32>(std::atoi(next_value()));
     } else if (std::strcmp(arg, "--instructions") == 0) {

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "sim/perf.h"
 
 int main(int argc, char** argv) {
@@ -31,7 +32,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(arg, "--quick") == 0) {
       options.quick = true;
     } else if (std::strcmp(arg, "--jobs") == 0) {
-      options.jobs = static_cast<reese::u32>(std::atoi(next_value()));
+      options.jobs =
+          reese::sanitize_job_count(std::strtol(next_value(), nullptr, 10));
     } else if (std::strcmp(arg, "--reps") == 0) {
       options.reps = static_cast<reese::u32>(std::atoi(next_value()));
     } else if (std::strcmp(arg, "--warmup") == 0) {

@@ -1,0 +1,357 @@
+#include "common/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strutil.h"
+
+namespace reese::http {
+
+namespace {
+
+// Untrusted-input bounds: a spec for a full campaign grid is ~1 KiB; a
+// megabyte of headroom is generous without letting a client balloon the
+// server's memory.
+constexpr usize kMaxHeaderBytes = 64 * 1024;
+constexpr usize kMaxBodyBytes = 4 * 1024 * 1024;
+constexpr int kRecvTimeoutSeconds = 10;
+
+void set_recv_timeout(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// Read from `fd` until `terminator` is present in `buffer` (keeps reading
+/// past it into `buffer`; the caller splits). False on EOF/error/overflow.
+bool read_until(int fd, std::string* buffer, const char* terminator,
+                usize max_bytes, usize* terminator_pos) {
+  char chunk[4096];
+  while (true) {
+    const usize found = buffer->find(terminator);
+    if (found != std::string::npos) {
+      *terminator_pos = found;
+      return true;
+    }
+    if (buffer->size() > max_bytes) return false;
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<usize>(n));
+  }
+}
+
+bool read_exact_total(int fd, std::string* buffer, usize total) {
+  char chunk[4096];
+  while (buffer->size() < total) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<usize>(n));
+  }
+  return true;
+}
+
+bool send_all(int fd, std::string_view data) {
+  usize sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<usize>(n);
+  }
+  return true;
+}
+
+void parse_query(std::string_view query_string,
+                 std::map<std::string, std::string>* out) {
+  for (std::string_view pair : split(query_string, '&')) {
+    if (pair.empty()) continue;
+    const usize eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      (*out)[std::string(pair)] = "";
+    } else {
+      (*out)[std::string(pair.substr(0, eq))] =
+          std::string(pair.substr(eq + 1));
+    }
+  }
+}
+
+/// Parse "METHOD /path?query HTTP/1.1" + headers out of `head`. Returns
+/// false on malformed input.
+bool parse_request_head(std::string_view head, Request* request) {
+  const std::vector<std::string_view> lines = split(head, '\n');
+  if (lines.empty()) return false;
+  // Request line (split() leaves the '\r' on each line; trim per line).
+  const std::vector<std::string_view> parts =
+      split_whitespace(trim(lines[0]));
+  if (parts.size() != 3) return false;
+  request->method = std::string(parts[0]);
+  if (!starts_with(parts[2], "HTTP/1.")) return false;
+  std::string_view target = parts[1];
+  const usize question = target.find('?');
+  if (question != std::string_view::npos) {
+    parse_query(target.substr(question + 1), &request->query);
+    target = target.substr(0, question);
+  }
+  request->path = std::string(target);
+  for (usize i = 1; i < lines.size(); ++i) {
+    const std::string_view line = trim(lines[i]);
+    if (line.empty()) continue;
+    const usize colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    request->headers[to_lower(trim(line.substr(0, colon)))] =
+        std::string(trim(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+std::string render_response(const Response& response) {
+  std::string out = format("HTTP/1.1 %d %s\r\n", response.status,
+                           status_reason(response.status));
+  out += format("Content-Type: %s\r\n", response.content_type.c_str());
+  out += format("Content-Length: %zu\r\n", response.body.size());
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+Server::Server(Handler handler) : handler_(std::move(handler)) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool Server::listen(const std::string& host, u16 port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("http: socket");
+    return false;
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "http: bad listen address %s\n", host.c_str());
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::perror("http: bind");
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    std::perror("http: listen");
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    std::perror("http: getsockname");
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+void Server::serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      // The listen socket is gone (request_stop raced the flag, or a real
+      // error); either way the loop cannot make progress.
+      break;
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void Server::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  // Wake a blocked accept(). shutdown() is async-signal-safe; the fd is
+  // closed later by the destructor, not here, so a concurrent accept never
+  // sees the descriptor number reused.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Server::handle_connection(int fd) {
+  set_recv_timeout(fd, kRecvTimeoutSeconds);
+
+  std::string buffer;
+  usize head_end = 0;
+  if (!read_until(fd, &buffer, "\r\n\r\n", kMaxHeaderBytes, &head_end)) {
+    send_all(fd, render_response(
+                     {400, "application/json",
+                      "{\"error\": \"malformed or oversized request head\"}\n"}));
+    return;
+  }
+
+  Request request;
+  if (!parse_request_head(std::string_view(buffer).substr(0, head_end),
+                          &request)) {
+    send_all(fd, render_response({400, "application/json",
+                                  "{\"error\": \"malformed request line\"}\n"}));
+    return;
+  }
+
+  const usize body_start = head_end + 4;
+  usize content_length = 0;
+  if (const auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    i64 parsed = 0;
+    if (!parse_int(it->second, &parsed) || parsed < 0) {
+      send_all(fd, render_response({400, "application/json",
+                                    "{\"error\": \"bad content-length\"}\n"}));
+      return;
+    }
+    content_length = static_cast<usize>(parsed);
+  }
+  if (content_length > kMaxBodyBytes) {
+    send_all(fd, render_response({413, "application/json",
+                                  "{\"error\": \"body too large\"}\n"}));
+    return;
+  }
+  if (!read_exact_total(fd, &buffer, body_start + content_length)) {
+    send_all(fd, render_response({400, "application/json",
+                                  "{\"error\": \"truncated body\"}\n"}));
+    return;
+  }
+  request.body = buffer.substr(body_start, content_length);
+
+  const Response response = handler_(request);
+  send_all(fd, render_response(response));
+}
+
+Response request(const std::string& host, u16 port, const std::string& method,
+                 const std::string& path, const std::string& body) {
+  Response failure;
+  failure.status = 0;
+  failure.content_type = "text/plain";
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    failure.body = format("socket: %s", std::strerror(errno));
+    return failure;
+  }
+  set_recv_timeout(fd, kRecvTimeoutSeconds);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    failure.body = format("bad address %s", host.c_str());
+    return failure;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    failure.body = format("connect %s:%u: %s", host.c_str(), port,
+                          std::strerror(errno));
+    ::close(fd);
+    return failure;
+  }
+
+  std::string wire = format("%s %s HTTP/1.1\r\n", method.c_str(), path.c_str());
+  wire += format("Host: %s:%u\r\n", host.c_str(), port);
+  if (!body.empty()) wire += "Content-Type: application/json\r\n";
+  wire += format("Content-Length: %zu\r\n", body.size());
+  wire += "Connection: close\r\n\r\n";
+  wire += body;
+  if (!send_all(fd, wire)) {
+    ::close(fd);
+    failure.body = "send failed";
+    return failure;
+  }
+
+  std::string buffer;
+  usize head_end = 0;
+  if (!read_until(fd, &buffer, "\r\n\r\n", kMaxHeaderBytes, &head_end)) {
+    ::close(fd);
+    failure.body = "malformed response head";
+    return failure;
+  }
+  const std::string_view head = std::string_view(buffer).substr(0, head_end);
+  const std::vector<std::string_view> lines = split(head, '\n');
+  const std::vector<std::string_view> status_parts =
+      split_whitespace(trim(lines[0]));
+  Response response;
+  i64 status = 0;
+  if (status_parts.size() < 2 || !starts_with(status_parts[0], "HTTP/1.") ||
+      !parse_int(status_parts[1], &status)) {
+    ::close(fd);
+    failure.body = "malformed status line";
+    return failure;
+  }
+  response.status = static_cast<int>(status);
+
+  usize content_length = std::string::npos;
+  for (usize i = 1; i < lines.size(); ++i) {
+    const std::string_view line = trim(lines[i]);
+    const usize colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string key = to_lower(trim(line.substr(0, colon)));
+    const std::string_view value = trim(line.substr(colon + 1));
+    if (key == "content-length") {
+      i64 parsed = 0;
+      if (parse_int(value, &parsed) && parsed >= 0) {
+        content_length = static_cast<usize>(parsed);
+      }
+    } else if (key == "content-type") {
+      response.content_type = std::string(value);
+    }
+  }
+
+  const usize body_start = head_end + 4;
+  if (content_length != std::string::npos) {
+    if (content_length > kMaxBodyBytes ||
+        !read_exact_total(fd, &buffer, body_start + content_length)) {
+      ::close(fd);
+      failure.body = "truncated response body";
+      return failure;
+    }
+    response.body = buffer.substr(body_start, content_length);
+  } else {
+    // No Content-Length: read to EOF (Connection: close).
+    char chunk[4096];
+    ssize_t n = 0;
+    while ((n = recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+      buffer.append(chunk, static_cast<usize>(n));
+    }
+    response.body = buffer.substr(body_start);
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace reese::http

@@ -1,0 +1,92 @@
+// Dependency-free HTTP/1.1 over blocking POSIX sockets: the transport for
+// reesed (tools/reesed.cpp) and reese_client (tools/reese_client.cpp).
+//
+// Scope is deliberately small — exactly what a loopback job service needs:
+//  * Server: bind/listen on an IPv4 address (port 0 = ephemeral), then a
+//    blocking accept loop that reads one request per connection, calls the
+//    handler, writes the response and closes ("Connection: close"
+//    semantics). Requests are parsed into method/path/query/headers/body;
+//    oversized or malformed input is answered with 4xx before the handler
+//    runs. The loop is serial by design: every reesed handler is a
+//    sub-millisecond queue or map operation (simulations run on the job
+//    queue's workers, never on the connection thread), so a second
+//    listener thread would buy nothing but races. A per-connection receive
+//    timeout keeps a stalled client from wedging the listener.
+//  * Client: one-call request() helper that opens a connection, sends a
+//    request, and parses the response — so tests and reese_client never
+//    hand-write HTTP.
+//
+// Server::request_stop() is async-signal-safe (an atomic store plus
+// ::shutdown on the listening socket), which is what lets reesed's SIGTERM
+// handler stop the accept loop and hand control back to main for the
+// drain. See DESIGN.md §11.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace reese::http {
+
+struct Request {
+  std::string method;  ///< "GET", "POST", ... (upper-case as received)
+  std::string path;    ///< decoded path without the query string
+  std::map<std::string, std::string> query;    ///< ?key=value&... pairs
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::string body;
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of status codes the service
+/// emits; "Unknown" otherwise.
+const char* status_reason(int status);
+
+class Server {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+
+  explicit Server(Handler handler);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind and listen. `port` 0 picks an ephemeral port (read it back with
+  /// port()). Returns false with a message on stderr on failure.
+  bool listen(const std::string& host, u16 port);
+
+  /// The bound port (valid after listen()).
+  u16 port() const { return port_; }
+
+  /// Blocking accept loop; returns after request_stop(). Call from the
+  /// thread that should own request handling (reesed's main thread).
+  void serve();
+
+  /// Stop the accept loop from another thread or a signal handler
+  /// (async-signal-safe: atomic store + ::shutdown of the listen socket).
+  void request_stop();
+
+ private:
+  void handle_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  u16 port_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+/// One-shot client: connect to host:port, send `method path` with `body`
+/// (empty = no body), return the parsed response. Transport failures
+/// (connect/timeout/protocol) return status 0 with the error in `body`.
+Response request(const std::string& host, u16 port, const std::string& method,
+                 const std::string& path, const std::string& body = "");
+
+}  // namespace reese::http

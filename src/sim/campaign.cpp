@@ -1,6 +1,7 @@
 #include "sim/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -287,6 +288,27 @@ std::string CampaignResult::json() const {
   return out;
 }
 
+std::string CampaignResult::csv() const {
+  std::string out =
+      "variant,injected,detected,undetected,pending,coverage,wilson_lower,"
+      "wilson_upper,mean_latency,p95_latency\n";
+  for (usize v = 0; v < spec.variants.size(); ++v) {
+    const CampaignCell total = variant_total(v);
+    const WilsonInterval ci = wilson_interval(total.detected, total.resolved());
+    out += format("%s,%llu,%llu,%llu,%llu,%.6f,%.6f,%.6f,%.3f,%llu\n",
+                  spec.variants[v].label.c_str(),
+                  static_cast<unsigned long long>(total.injected),
+                  static_cast<unsigned long long>(total.detected),
+                  static_cast<unsigned long long>(total.undetected),
+                  static_cast<unsigned long long>(total.pending),
+                  total.coverage(), ci.lower, ci.upper,
+                  safe_ratio(total.latency_sum, total.latency_count),
+                  static_cast<unsigned long long>(
+                      latency_percentile(total, 0.95)));
+  }
+  return out;
+}
+
 CampaignResult run_campaign(const CampaignSpec& spec_in) {
   CampaignSpec spec = spec_in;
   if (spec.variants.empty()) spec.variants = standard_campaign_variants();
@@ -318,7 +340,13 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
   // pipeline and injector, all seeded from derive_cell_seed alone; it
   // writes only its own matrix slot, so the matrix is bit-identical no
   // matter how many workers ran it.
+  std::atomic<bool> cancelled{false};
   auto run_cell = [&](usize job_index) {
+    if (spec.cancel &&
+        (cancelled.load(std::memory_order_relaxed) || spec.cancel())) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
     const Job job = jobs[job_index];
     const CampaignVariant& variant = spec.variants[job.variant_index];
     const u64 cell_seed = derive_cell_seed(spec.seed, job.variant_index,
@@ -394,6 +422,7 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
     pool.parallel_for(jobs.size(), run_cell);
   }
 
+  result.cancelled = cancelled.load(std::memory_order_relaxed);
   return result;
 }
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,10 @@ struct CampaignSpec {
   u32 jobs = 0;
   /// CI mode: one replica on a reduced budget, ≈10³ injections total.
   bool quick = false;
+  /// Optional cooperative cancellation, polled once per grid cell (same
+  /// contract as ExperimentSpec::cancel): when it returns true the
+  /// remaining cells are skipped and the result carries `cancelled`.
+  std::function<bool()> cancel;
 };
 
 /// Per-stratum injection counts (a stratum = exec class or fault side).
@@ -115,6 +120,9 @@ struct CampaignMatrix {
 struct CampaignResult {
   CampaignSpec spec;  ///< with defaults resolved (budget, lists, replicas)
   CampaignMatrix matrix;
+  /// True when CampaignSpec::cancel fired before every cell ran; the
+  /// matrix is then incomplete and must not be reported as a result.
+  bool cancelled = false;
 
   /// Merged counts for one variant across workloads and replicas.
   CampaignCell variant_total(usize variant_index) const;
@@ -129,6 +137,10 @@ struct CampaignResult {
   std::string table() const;
   /// Machine-readable report (BENCH_fault.json schema v1).
   std::string json() const;
+  /// Machine-readable CSV, one row per variant:
+  /// variant,injected,detected,undetected,pending,coverage,wilson_lower,
+  /// wilson_upper,mean_latency,p95_latency. The service's text/csv view.
+  std::string csv() const;
 };
 
 /// Derive one cell's injector seed. Exposed for tests: the derivation must

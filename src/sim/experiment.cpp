@@ -1,5 +1,6 @@
 #include "sim/experiment.h"
 
+#include <atomic>
 #include <cassert>
 #include <cctype>
 #include <cmath>
@@ -7,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/diag.h"
 #include "common/strutil.h"
 #include "common/thread_pool.h"
 #include "sim/simulator.h"
@@ -22,6 +24,27 @@ const char* model_name(Model model) {
     case Model::kReese2Alu1Mult: return "R+2ALU+1Mult";
   }
   return "?";
+}
+
+const char* model_slug(Model model) {
+  switch (model) {
+    case Model::kBaseline: return "baseline";
+    case Model::kReese: return "reese";
+    case Model::kReese1Alu: return "reese_1alu";
+    case Model::kReese2Alu: return "reese_2alu";
+    case Model::kReese2Alu1Mult: return "reese_2alu_1mult";
+  }
+  return "?";
+}
+
+bool model_from_slug(const std::string& slug, Model* out) {
+  for (Model model : standard_models()) {
+    if (slug == model_slug(model)) {
+      *out = model;
+      return true;
+    }
+  }
+  return false;
 }
 
 const std::vector<Model>& standard_models() {
@@ -102,6 +125,73 @@ std::string ExperimentResult::csv() const {
   return out;
 }
 
+std::string ExperimentResult::json() const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"reese-experiment-v1\",\n";
+  out += format("  \"title\": \"%s\",\n", json_escape(spec.title).c_str());
+  out += format("  \"instructions\": %llu,\n",
+                static_cast<unsigned long long>(spec.instructions));
+  out += format("  \"seed\": %llu,\n",
+                static_cast<unsigned long long>(spec.seed));
+  out += "  \"extra_seeds\": [";
+  for (usize s = 0; s < spec.extra_seeds.size(); ++s) {
+    out += format("%s%llu", s == 0 ? "" : ", ",
+                  static_cast<unsigned long long>(spec.extra_seeds[s]));
+  }
+  out += "],\n";
+  out += "  \"workloads\": [";
+  for (usize w = 0; w < spec.workloads.size(); ++w) {
+    out += format("%s\"%s\"", w == 0 ? "" : ", ",
+                  json_escape(spec.workloads[w]).c_str());
+  }
+  out += "],\n";
+  out += "  \"models\": [";
+  for (usize m = 0; m < spec.models.size(); ++m) {
+    out += format("%s\"%s\"", m == 0 ? "" : ", ",
+                  model_slug(spec.models[m]));
+  }
+  out += "],\n";
+  const auto append_matrix =
+      [&out](const char* key, const std::vector<std::vector<double>>& matrix) {
+        out += format("  \"%s\": [\n", key);
+        for (usize w = 0; w < matrix.size(); ++w) {
+          out += "    [";
+          for (usize m = 0; m < matrix[w].size(); ++m) {
+            out += format("%s%.6f", m == 0 ? "" : ", ", matrix[w][m]);
+          }
+          out += format("]%s\n", w + 1 < matrix.size() ? "," : "");
+        }
+        out += "  ],\n";
+      };
+  append_matrix("ipc", ipc);
+  append_matrix("ipc_stdev", ipc_stdev);
+  out += "  \"average\": [";
+  for (usize m = 0; m < spec.models.size(); ++m) {
+    out += format("%s%.6f", m == 0 ? "" : ", ", average(m));
+  }
+  out += "],\n";
+  out += "  \"cells\": [\n";
+  for (usize w = 0; w < cells.size(); ++w) {
+    out += "    [\n";
+    for (usize m = 0; m < cells[w].size(); ++m) {
+      out += "      [";
+      for (usize s = 0; s < cells[w][m].size(); ++s) {
+        const ExperimentCell& cell = cells[w][m][s];
+        out += format(
+            "%s{\"ipc\": %.6f, \"cycles\": %llu, \"committed\": %llu}",
+            s == 0 ? "" : ", ", cell.ipc,
+            static_cast<unsigned long long>(cell.cycles),
+            static_cast<unsigned long long>(cell.committed));
+      }
+      out += format("]%s\n", m + 1 < cells[w].size() ? "," : "");
+    }
+    out += format("    ]%s\n", w + 1 < cells.size() ? "," : "");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
 namespace {
 
 /// "Figure 2: initial comparison" -> "figure_2_initial_comparison".
@@ -152,8 +242,11 @@ void parse_jobs_flag(int argc, char** argv) {
       value = arg + 7;
     }
     if (value == nullptr) continue;
-    const long parsed = std::strtol(value, nullptr, 10);
-    if (parsed > 0) set_default_jobs(static_cast<u32>(parsed));
+    // sanitize_job_count turns 0/negative/absurd requests into 0 (auto =
+    // hardware concurrency) with a warning instead of silently ignoring
+    // them — the old behaviour made "--jobs 0" keep whatever default was
+    // installed earlier.
+    set_default_jobs(sanitize_job_count(std::strtol(value, nullptr, 10)));
   }
 }
 
@@ -196,7 +289,13 @@ ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
   // memory image and pipeline, and writes only its own result.cells slot,
   // so the matrix is identical no matter how many workers ran it or in
   // what order cells finished.
+  std::atomic<bool> cancelled{false};
   auto run_cell = [&](usize job_index) {
+    if (spec.cancel &&
+        (cancelled.load(std::memory_order_relaxed) || spec.cancel())) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
     const Job job = jobs[job_index];
 
     workloads::WorkloadOptions options;
@@ -263,6 +362,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
       }
     }
   }
+
+  result.cancelled = cancelled.load(std::memory_order_relaxed);
+  if (result.cancelled) return result;  // incomplete matrix: no CSV export
 
   maybe_write_csv(result);
   return result;

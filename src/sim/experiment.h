@@ -9,6 +9,7 @@
 //   REESE+2 ALU+1 Mult  — plus a spare integer multiplier/divider
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,14 @@ enum class Model : u8 {
 };
 
 const char* model_name(Model model);
+
+/// Stable machine-readable name ("baseline", "reese", "reese_1alu",
+/// "reese_2alu", "reese_2alu_1mult") — the vocabulary of the service's
+/// JSON specs and reports (DESIGN.md §11).
+const char* model_slug(Model model);
+
+/// Inverse of model_slug; false on an unknown name.
+bool model_from_slug(const std::string& slug, Model* out);
 
 /// The paper's five standard bars, in figure order.
 const std::vector<Model>& standard_models();
@@ -49,6 +58,13 @@ struct ExperimentSpec {
   /// set_default_jobs()/--jobs, else $REESE_JOBS, else hardware
   /// concurrency. 1 = run every cell inline on the calling thread.
   u32 jobs = 0;
+  /// Optional cooperative cancellation, polled once per grid cell before
+  /// the cell's simulation starts (cells are sub-second at service
+  /// budgets, so this is the natural preemption granularity). When it
+  /// returns true, the remaining cells are skipped and the result carries
+  /// `cancelled = true` with the untouched cells zero-filled. Used by the
+  /// service's per-job wall-clock timeout and SIGTERM drain.
+  std::function<bool()> cancel;
 };
 
 /// Raw outcome of one grid cell's simulation (one workload/model/seed run).
@@ -71,6 +87,9 @@ struct ExperimentResult {
   /// Deterministic regardless of how many workers ran the grid — the
   /// parallel-vs-sequential bit-identity test compares these directly.
   std::vector<std::vector<std::vector<ExperimentCell>>> cells;
+  /// True when ExperimentSpec::cancel fired before every cell ran; the
+  /// matrix is then incomplete and must not be reported as a result.
+  bool cancelled = false;
 
   /// Arithmetic mean over workloads for one model (the figures' AV bars).
   double average(usize model_index) const;
@@ -85,6 +104,12 @@ struct ExperimentResult {
   /// Machine-readable CSV: workload,model,ipc,ipc_stdev — one row per
   /// cell, ready for plotting.
   std::string csv() const;
+
+  /// Machine-readable report (schema "reese-experiment-v1"): the resolved
+  /// spec, the ipc/ipc_stdev matrices, per-model averages, and the raw
+  /// per-seed cells. Worker count is deliberately omitted — the matrix is
+  /// jobs-invariant, so two runs of the same spec serialize identically.
+  std::string json() const;
 };
 
 /// Run the grid. Independent (workload, model, seed) cells are fanned

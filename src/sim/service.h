@@ -1,0 +1,148 @@
+// reesed's job manager: a long-lived simulation service in front of
+// run_experiment (sim/experiment.h) and run_campaign (sim/campaign.h).
+//
+// The ROADMAP's "serve simulations, not just batch runs" step: instead of
+// one process per figure, a resident daemon accepts JSON specs over HTTP
+// (common/http.h), validates them against the same flag surface the batch
+// CLIs expose, queues them in a bounded FIFO (common/thread_pool.h
+// TaskQueue) and lets clients poll job state and fetch results as JSON or
+// CSV. Simulations run on the queue's worker threads; HTTP handlers only
+// touch the job table, so every request is answered in microseconds no
+// matter how deep the backlog is.
+//
+// Endpoints (all JSON unless noted; see DESIGN.md §11 for full schemas):
+//   POST /v1/experiments        submit an experiment spec      → 202 {id}
+//   POST /v1/campaigns          submit a fault-campaign spec   → 202 {id}
+//   GET  /v1/jobs/<id>          job status                     → 200
+//   GET  /v1/jobs/<id>/result   result; ?format=csv for CSV    → 200/202/408
+//   GET  /v1/healthz            liveness                       → 200
+//   GET  /v1/stats              queue/jobs/throughput counters → 200
+//
+// Job lifecycle: queued → running → {done, timeout, failed}. Robustness is
+// part of the contract:
+//   * a full queue refuses the submit with 429 (backpressure, never
+//     unbounded memory);
+//   * specs are capped (per-cell instruction budget, grid cell count)
+//     at validation time — an over-budget spec is a 400, not a runaway;
+//   * every job carries a wall-clock timeout enforced through the specs'
+//     cooperative cancel hook; an expired job ends in state "timeout" and
+//     its result fetch answers 408;
+//   * drain() blocks until admitted jobs finish (reesed's SIGTERM path).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/http.h"
+#include "common/thread_pool.h"
+#include "sim/campaign.h"
+#include "sim/experiment.h"
+
+namespace reese::sim {
+
+struct ServiceConfig {
+  /// Concurrent jobs (TaskQueue worker threads). Each job additionally
+  /// fans its grid over `grid_jobs` workers, so total simulation threads
+  /// reach workers × grid_jobs; the defaults keep a laptop responsive.
+  u32 workers = 2;
+  /// Jobs allowed to wait in the queue; a submit beyond this is a 429.
+  u32 queue_capacity = 16;
+  /// Default grid worker count per job when a spec omits "jobs"
+  /// (0 = auto: $REESE_JOBS, else hardware concurrency).
+  u32 grid_jobs = 1;
+  /// Per-cell instruction budget cap; a spec above it is a 400.
+  u64 max_instructions = 10'000'000;
+  /// Grid size cap (workloads × models/variants × seeds/replicas).
+  u64 max_cells = 4096;
+  /// Wall-clock timeout applied when a spec omits "timeout_s", and the
+  /// upper bound a spec may request.
+  double default_timeout_s = 300.0;
+  double max_timeout_s = 3600.0;
+};
+
+enum class JobState { kQueued, kRunning, kDone, kTimeout, kFailed };
+
+const char* job_state_name(JobState state);
+
+/// Aggregate counters behind GET /v1/stats.
+struct ServiceStats {
+  usize queue_depth = 0;  ///< waiting (not yet running) jobs
+  u32 running = 0;
+  u64 submitted = 0;
+  u64 completed = 0;
+  u64 timeouts = 0;
+  u64 failed = 0;
+  u64 rejected_queue_full = 0;
+  u64 total_committed = 0;     ///< instructions across finished jobs
+  double total_wall_seconds = 0.0;  ///< execution time across finished jobs
+  /// Cumulative simulation throughput: thousands of committed
+  /// instructions per wall-second of job execution.
+  double kips() const {
+    return total_wall_seconds > 0.0
+               ? total_committed / total_wall_seconds / 1000.0
+               : 0.0;
+  }
+};
+
+class SimulationService {
+ public:
+  explicit SimulationService(const ServiceConfig& config = {});
+  ~SimulationService();
+
+  SimulationService(const SimulationService&) = delete;
+  SimulationService& operator=(const SimulationService&) = delete;
+
+  /// Route one HTTP request. Thread-compatible with the serial
+  /// http::Server loop; internal state is mutex-protected regardless, so
+  /// tests may call it from multiple threads.
+  http::Response handle(const http::Request& request);
+
+  /// Block until every admitted job has finished (SIGTERM drain).
+  void drain();
+
+  ServiceStats stats() const;
+
+ private:
+  struct Job {
+    u64 id = 0;
+    bool is_campaign = false;
+    JobState state = JobState::kQueued;
+    std::string error;  ///< for kFailed
+    double timeout_s = 0.0;
+    std::chrono::steady_clock::time_point submitted_at;
+    double wall_seconds = 0.0;  ///< execution time once finished
+    u64 committed = 0;          ///< instructions, once finished
+    // Exactly one of these is engaged, matching is_campaign.
+    std::optional<ExperimentSpec> experiment_spec;
+    std::optional<CampaignSpec> campaign_spec;
+    std::optional<ExperimentResult> experiment_result;
+    std::optional<CampaignResult> campaign_result;
+  };
+
+  http::Response submit(const http::Request& request, bool is_campaign);
+  http::Response job_status(u64 id);
+  http::Response job_result(u64 id, const http::Request& request);
+  http::Response stats_response();
+  void run_job(u64 id);
+  std::string job_status_json(const Job& job);
+
+  const ServiceConfig config_;
+  mutable std::mutex mutex_;
+  std::map<u64, Job> jobs_;
+  u64 next_id_ = 1;
+  u64 submitted_ = 0;
+  u64 completed_ = 0;
+  u64 timeouts_ = 0;
+  u64 failed_ = 0;
+  u64 rejected_queue_full_ = 0;
+  u64 total_committed_ = 0;
+  double total_wall_seconds_ = 0.0;
+  /// Declared last: its destructor joins the workers before any state
+  /// they touch is torn down.
+  TaskQueue queue_;
+};
+
+}  // namespace reese::sim

@@ -2,15 +2,20 @@
 // helpers, flags and errors.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "common/bitutil.h"
 #include "common/error.h"
 #include "common/flags.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/strutil.h"
+#include "common/thread_pool.h"
 
 namespace reese {
 namespace {
@@ -475,6 +480,116 @@ TEST(Wilson, IntervalContainsPointEstimate) {
   EXPECT_GT(ci.upper, p);
   EXPECT_GT(ci.lower, 0.0);
   EXPECT_LT(ci.upper, 1.0);
+}
+
+// --jobs sanitization: out-of-range requests (the old code cast -3 to
+// ~4 billion and tried to spawn that many threads) fall back to auto (0 =
+// hardware concurrency) instead of being honored or silently ignored.
+TEST(Jobs, SanitizeAcceptsReasonableCounts) {
+  EXPECT_EQ(sanitize_job_count(1), 1u);
+  EXPECT_EQ(sanitize_job_count(7), 7u);
+  EXPECT_EQ(sanitize_job_count(static_cast<i64>(kMaxJobRequest)),
+            kMaxJobRequest);
+}
+
+TEST(Jobs, SanitizeRejectsZeroNegativeAndHuge) {
+  EXPECT_EQ(sanitize_job_count(0), 0u);
+  EXPECT_EQ(sanitize_job_count(-3), 0u);
+  EXPECT_EQ(sanitize_job_count(static_cast<i64>(kMaxJobRequest) + 1), 0u);
+  EXPECT_EQ(sanitize_job_count(1'000'000), 0u);
+}
+
+TEST(Jobs, ResolveNeverReturnsZeroWorkers) {
+  EXPECT_GE(resolve_job_count(0), 1u);
+  EXPECT_EQ(resolve_job_count(3), 3u);
+}
+
+TEST(TaskQueue, RunsAdmittedTasksAndDrains) {
+  std::atomic<int> ran{0};
+  {
+    TaskQueue queue(2, 8);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(queue.try_enqueue([&ran] { ++ran; }));
+    }
+    queue.drain();
+    EXPECT_EQ(ran.load(), 8);
+    EXPECT_EQ(queue.queued(), 0u);
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(TaskQueue, RejectsBeyondCapacityWhileWorkerIsBusy) {
+  std::mutex gate;
+  gate.lock();  // hold the single worker inside the first task
+  TaskQueue queue(1, 1);
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(queue.try_enqueue([&] {
+    started.store(true);
+    std::lock_guard<std::mutex> wait(gate);
+  }));
+  while (!started.load()) std::this_thread::yield();
+  // Worker busy: one waiting slot admits, the next submit is refused.
+  EXPECT_TRUE(queue.try_enqueue([] {}));
+  EXPECT_FALSE(queue.try_enqueue([] {}));
+  EXPECT_EQ(queue.queued(), 1u);
+  gate.unlock();
+  queue.drain();
+  EXPECT_EQ(queue.queued(), 0u);
+  EXPECT_EQ(queue.running(), 0u);
+}
+
+TEST(TaskQueue, DestructorFinishesAdmittedWork) {
+  std::atomic<int> ran{0};
+  {
+    TaskQueue queue(1, 16);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(queue.try_enqueue([&ran] { ++ran; }));
+    }
+  }  // destructor drains before joining
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(Json, ParsesScalarsAndStructure) {
+  const Result<json::Value> parsed = json::parse_json(
+      R"({"a": 1, "b": -2.5, "c": [true, false, null], "d": "x\nA"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const json::Value& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  ASSERT_NE(root.find("a"), nullptr);
+  EXPECT_TRUE(root.find("a")->is_integer);
+  EXPECT_EQ(root.find("a")->uint_value, 1u);
+  EXPECT_DOUBLE_EQ(root.find("b")->number, -2.5);
+  ASSERT_TRUE(root.find("c")->is_array());
+  EXPECT_EQ(root.find("c")->array.size(), 3u);
+  EXPECT_TRUE(root.find("c")->array[2].is_null());
+  EXPECT_EQ(root.find("d")->string, "x\nA");
+}
+
+TEST(Json, PreservesFullU64Seeds) {
+  // 0xFA17C0DE-style campaign seeds and anything above 2^53 must survive
+  // the round trip exactly — a double would round them.
+  const Result<json::Value> parsed =
+      json::parse_json(R"({"seed": 18446744073709551615})");
+  ASSERT_TRUE(parsed.ok());
+  const json::Value* seed = parsed.value().find("seed");
+  ASSERT_NE(seed, nullptr);
+  EXPECT_TRUE(seed->is_integer);
+  EXPECT_EQ(seed->uint_value, 18446744073709551615ull);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse_json("").ok());
+  EXPECT_FALSE(json::parse_json("{\"a\": }").ok());
+  EXPECT_FALSE(json::parse_json("{\"a\": 1,}").ok());
+  EXPECT_FALSE(json::parse_json("[1, 2").ok());
+  EXPECT_FALSE(json::parse_json("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(json::parse_json("\"unterminated").ok());
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json::parse_json(deep).ok());
 }
 
 }  // namespace

@@ -1,0 +1,421 @@
+// End-to-end coverage for the reesed stack (DESIGN.md §11):
+//  * SimulationService routing, validation (400), backpressure (429),
+//    wall-clock timeouts (408) and stats — driven in-process via handle();
+//  * results fetched through the service are byte-identical to a direct
+//    run_experiment/run_campaign with the same spec;
+//  * every JSON body the service emits round-trips through JsonChecker;
+//  * the HTTP layer over a real loopback socket (http::Server + client);
+//  * the shipped binaries: reesed on an ephemeral port driven by
+//    reese_client (submit → wait → result), then a SIGTERM drain that must
+//    exit 0. Binary paths arrive via REESE_REESED_BIN / REESE_CLIENT_BIN.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/http.h"
+#include "common/json.h"
+#include "common/strutil.h"
+#include "sim/campaign.h"
+#include "sim/experiment.h"
+#include "sim/service.h"
+#include "json_checker.h"
+
+namespace reese {
+namespace {
+
+using sim::ServiceConfig;
+using sim::SimulationService;
+
+http::Request make_request(const std::string& method, const std::string& path,
+                           const std::string& body = "") {
+  http::Request request;
+  request.method = method;
+  request.path = path;
+  request.body = body;
+  return request;
+}
+
+http::Request result_request(const std::string& id_path,
+                             const std::string& fmt = "") {
+  http::Request request = make_request("GET", id_path + "/result");
+  if (!fmt.empty()) request.query["format"] = fmt;
+  return request;
+}
+
+/// Submit a spec, expect 202, return "/v1/jobs/<id>".
+std::string submit_ok(SimulationService* service, const std::string& endpoint,
+                      const std::string& spec) {
+  const http::Response response =
+      service->handle(make_request("POST", endpoint, spec));
+  EXPECT_EQ(response.status, 202) << response.body;
+  EXPECT_TRUE(JsonChecker(response.body).valid()) << response.body;
+  const Result<json::Value> parsed = json::parse_json(response.body);
+  EXPECT_TRUE(parsed.ok());
+  const json::Value* id = parsed.value().find("id");
+  EXPECT_NE(id, nullptr);
+  return format("/v1/jobs/%llu",
+                static_cast<unsigned long long>(id->uint_value));
+}
+
+/// Poll a job until it leaves queued/running; returns the final state.
+std::string wait_for_job(SimulationService* service,
+                         const std::string& id_path) {
+  for (int i = 0; i < 2000; ++i) {
+    const http::Response response =
+        service->handle(make_request("GET", id_path));
+    EXPECT_EQ(response.status, 200) << response.body;
+    EXPECT_TRUE(JsonChecker(response.body).valid()) << response.body;
+    const Result<json::Value> parsed = json::parse_json(response.body);
+    EXPECT_TRUE(parsed.ok());
+    const std::string state = parsed.value().find("state")->string;
+    if (state != "queued" && state != "running") return state;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return "poll timeout";
+}
+
+TEST(Service, HealthzAndUnknownRoutes) {
+  SimulationService service;
+  EXPECT_EQ(service.handle(make_request("GET", "/v1/healthz")).status, 200);
+  EXPECT_EQ(service.handle(make_request("POST", "/v1/healthz")).status, 405);
+  EXPECT_EQ(service.handle(make_request("GET", "/v1/nope")).status, 404);
+  EXPECT_EQ(service.handle(make_request("GET", "/v1/jobs/99")).status, 404);
+  EXPECT_EQ(service.handle(make_request("GET", "/v1/jobs/zzz")).status, 404);
+  EXPECT_EQ(service.handle(make_request("DELETE", "/v1/jobs/1")).status, 405);
+  EXPECT_EQ(service.handle(make_request("GET", "/v1/experiments")).status,
+            405);
+}
+
+TEST(Service, RejectsInvalidSpecsWith400) {
+  SimulationService service;
+  const char* bad_specs[] = {
+      "not json at all",
+      "[1, 2, 3]",                             // not an object
+      R"({"workloads": ["no_such_bench"]})",   // unknown workload
+      R"({"models": ["pentium"]})",            // unknown model
+      R"({"modles": ["reese"]})",              // typo'd key
+      R"({"workloads": []})",                  // empty list
+      R"({"instructions": 99000000})",         // over the per-cell cap
+      R"({"instructions": -5})",               // negative integer
+      R"({"jobs": 0})",                        // out-of-range worker count
+      R"({"jobs": 1000000})",                  //
+      R"({"timeout_s": 1e9})",                 // beyond max_timeout_s
+      R"({"extra_seeds": [1, "two"]})",        // non-integer seed
+      R"({"seed": 1.5})",                      // non-integer seed
+  };
+  for (const char* spec : bad_specs) {
+    const http::Response response =
+        service.handle(make_request("POST", "/v1/experiments", spec));
+    EXPECT_EQ(response.status, 400) << spec << " -> " << response.body;
+    EXPECT_TRUE(JsonChecker(response.body).valid()) << response.body;
+  }
+
+  const char* bad_campaigns[] = {
+      R"({"variants": ["no_such_variant"]})",
+      R"({"rate": 0})",
+      R"({"rate": 1.5})",
+      R"({"replicas": 0})",
+      R"({"replicas": 100000})",  // replica bound and cell cap
+      R"({"models": ["reese"]})",  // experiment-only key
+  };
+  for (const char* spec : bad_campaigns) {
+    const http::Response response =
+        service.handle(make_request("POST", "/v1/campaigns", spec));
+    EXPECT_EQ(response.status, 400) << spec << " -> " << response.body;
+    EXPECT_TRUE(JsonChecker(response.body).valid()) << response.body;
+  }
+}
+
+TEST(Service, ExperimentMatchesDirectRunByteForByte) {
+  ServiceConfig config;
+  config.workers = 1;
+  SimulationService service(config);
+  const std::string id_path = submit_ok(
+      &service, "/v1/experiments",
+      R"({"title": "svc", "workloads": ["gcc", "li"],
+          "models": ["baseline", "reese"],
+          "instructions": 20000, "seed": 42})");
+  EXPECT_EQ(wait_for_job(&service, id_path), "done");
+
+  const http::Response csv = service.handle(result_request(id_path, "csv"));
+  ASSERT_EQ(csv.status, 200);
+  EXPECT_EQ(csv.content_type, "text/csv");
+  const http::Response json_body = service.handle(result_request(id_path));
+  ASSERT_EQ(json_body.status, 200);
+  EXPECT_TRUE(JsonChecker(json_body.body).valid()) << json_body.body;
+
+  // The same spec run directly must serialize identically: the service
+  // adds queueing and timeouts around the grid, never inside it.
+  sim::ExperimentSpec direct;
+  direct.title = "svc";
+  direct.base = core::starting_config();
+  direct.workloads = {"gcc", "li"};
+  direct.models = {sim::Model::kBaseline, sim::Model::kReese};
+  direct.instructions = 20000;
+  direct.seed = 42;
+  direct.jobs = 1;
+  const sim::ExperimentResult expected = sim::run_experiment(direct);
+  EXPECT_EQ(csv.body, expected.csv());
+  EXPECT_EQ(json_body.body, expected.json());
+}
+
+TEST(Service, CampaignMatchesDirectRunByteForByte) {
+  ServiceConfig config;
+  config.workers = 1;
+  SimulationService service(config);
+  const std::string id_path = submit_ok(
+      &service, "/v1/campaigns",
+      R"({"workloads": ["gcc"], "quick": true, "instructions": 5000})");
+  EXPECT_EQ(wait_for_job(&service, id_path), "done");
+
+  const http::Response json_body = service.handle(result_request(id_path));
+  ASSERT_EQ(json_body.status, 200);
+  EXPECT_TRUE(JsonChecker(json_body.body).valid()) << json_body.body;
+  const http::Response csv = service.handle(result_request(id_path, "csv"));
+  ASSERT_EQ(csv.status, 200);
+
+  sim::CampaignSpec direct;
+  direct.workloads = {"gcc"};
+  direct.quick = true;
+  direct.instructions = 5000;
+  direct.jobs = 1;
+  const sim::CampaignResult expected = sim::run_campaign(direct);
+  EXPECT_EQ(json_body.body, expected.json());
+  EXPECT_EQ(csv.body, expected.csv());
+
+  EXPECT_EQ(service.handle(result_request(id_path, "xml")).status, 400);
+}
+
+TEST(Service, TimedOutJobAnswers408) {
+  ServiceConfig config;
+  config.workers = 1;
+  SimulationService service(config);
+  // timeout_s 0: the deadline has already passed when the job starts, so
+  // the cancel hook fires before the first grid cell.
+  const std::string id_path = submit_ok(
+      &service, "/v1/experiments",
+      R"({"workloads": ["gcc"], "models": ["baseline"],
+          "instructions": 20000, "timeout_s": 0})");
+  EXPECT_EQ(wait_for_job(&service, id_path), "timeout");
+  const http::Response response = service.handle(result_request(id_path));
+  EXPECT_EQ(response.status, 408);
+  EXPECT_TRUE(JsonChecker(response.body).valid()) << response.body;
+  EXPECT_EQ(service.stats().timeouts, 1u);
+}
+
+TEST(Service, FullQueueAnswers429) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  SimulationService service(config);
+  // Job A occupies the single worker for a while (one ~3M-instruction
+  // cell; the cancel hook is only polled between cells, so it cannot be
+  // preempted mid-cell).
+  const std::string slow_spec =
+      R"({"workloads": ["gcc"], "models": ["baseline"],
+          "instructions": 3000000})";
+  const std::string a_path =
+      submit_ok(&service, "/v1/experiments", slow_spec);
+  // Wait until A holds the worker so the admission math is deterministic.
+  for (int i = 0; i < 2000 && service.stats().running == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.stats().running, 1u);
+
+  const std::string quick_spec =
+      R"({"workloads": ["gcc"], "models": ["baseline"],
+          "instructions": 1000})";
+  // B fills the single waiting slot; C must be refused.
+  submit_ok(&service, "/v1/experiments", quick_spec);
+  const http::Response refused =
+      service.handle(make_request("POST", "/v1/experiments", quick_spec));
+  EXPECT_EQ(refused.status, 429) << refused.body;
+  EXPECT_TRUE(JsonChecker(refused.body).valid()) << refused.body;
+  EXPECT_EQ(service.stats().rejected_queue_full, 1u);
+
+  service.drain();
+  EXPECT_EQ(wait_for_job(&service, a_path), "done");
+  const sim::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_GT(stats.total_committed, 0u);
+  EXPECT_GT(stats.kips(), 0.0);
+}
+
+TEST(Service, StatsBodyIsValidJson) {
+  SimulationService service;
+  const http::Response response =
+      service.handle(make_request("GET", "/v1/stats"));
+  ASSERT_EQ(response.status, 200);
+  EXPECT_TRUE(JsonChecker(response.body).valid()) << response.body;
+  const Result<json::Value> parsed = json::parse_json(response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().find("queue_depth")->uint_value, 0u);
+  EXPECT_NE(parsed.value().find("cumulative_kips"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP over a real loopback socket.
+
+TEST(HttpLoopback, ServesServiceEndpoints) {
+  SimulationService service;
+  http::Server server(
+      [&service](const http::Request& request) {
+        return service.handle(request);
+      });
+  ASSERT_TRUE(server.listen("127.0.0.1", 0));
+  std::thread serve_thread([&server] { server.serve(); });
+
+  const http::Response health =
+      http::request("127.0.0.1", server.port(), "GET", "/v1/healthz");
+  EXPECT_EQ(health.status, 200) << health.body;
+  EXPECT_TRUE(JsonChecker(health.body).valid());
+
+  const http::Response bad = http::request(
+      "127.0.0.1", server.port(), "POST", "/v1/experiments", "{oops");
+  EXPECT_EQ(bad.status, 400);
+
+  const http::Response missing =
+      http::request("127.0.0.1", server.port(), "GET", "/v1/jobs/123");
+  EXPECT_EQ(missing.status, 404);
+
+  server.request_stop();
+  // Unblock the accept loop in case ::shutdown alone does not wake it.
+  http::request("127.0.0.1", server.port(), "GET", "/v1/healthz");
+  serve_thread.join();
+}
+
+// ---------------------------------------------------------------------------
+// The shipped binaries, end to end.
+
+#if defined(REESE_REESED_BIN) && defined(REESE_CLIENT_BIN)
+
+struct Daemon {
+  pid_t pid = -1;
+  int port = 0;
+  FILE* stdout_stream = nullptr;
+};
+
+/// Fork reesed on an ephemeral port; parse the port from its first stdout
+/// line ("reesed: listening on 127.0.0.1:PORT").
+Daemon start_reesed() {
+  Daemon daemon;
+  int out_pipe[2];
+  if (pipe(out_pipe) != 0) return daemon;
+  const pid_t pid = fork();
+  if (pid == 0) {
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    execl(REESE_REESED_BIN, "reesed", "--port", "0", "--workers", "1",
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(out_pipe[1]);
+  if (pid < 0) {
+    close(out_pipe[0]);
+    return daemon;
+  }
+  daemon.pid = pid;
+  daemon.stdout_stream = fdopen(out_pipe[0], "r");
+  char line[256] = {};
+  if (daemon.stdout_stream != nullptr &&
+      fgets(line, sizeof(line), daemon.stdout_stream) != nullptr) {
+    const char* colon = std::strrchr(line, ':');
+    if (colon != nullptr) daemon.port = std::atoi(colon + 1);
+  }
+  return daemon;
+}
+
+/// Run a reese_client command line; capture stdout and the exit status.
+int run_client(int port, const std::string& args, std::string* output) {
+  const std::string command = format(
+      "%s --port %d %s", REESE_CLIENT_BIN, port, args.c_str());
+  FILE* stream = popen(command.c_str(), "r");
+  if (stream == nullptr) return -1;
+  output->clear();
+  char buffer[4096];
+  usize n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), stream)) > 0) {
+    output->append(buffer, n);
+  }
+  const int status = pclose(stream);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(ReesedBinary, ClientDrivesExperimentAndCampaignThenSigtermDrains) {
+  Daemon daemon = start_reesed();
+  ASSERT_GT(daemon.pid, 0);
+  ASSERT_GT(daemon.port, 0) << "could not parse the listening port";
+
+  std::string output;
+  ASSERT_EQ(run_client(daemon.port, "health", &output), 0) << output;
+
+  const std::string dir = testing::TempDir();
+  const std::string espec_path = dir + "/reese_espec.json";
+  {
+    std::ofstream spec(espec_path);
+    spec << R"({"workloads": ["gcc"], "models": ["baseline", "reese"],
+                "instructions": 20000, "seed": 42})";
+  }
+  ASSERT_EQ(run_client(daemon.port, "submit-experiment " + espec_path,
+                       &output),
+            0)
+      << output;
+  const std::string job_id = std::string(trim(output));
+  ASSERT_FALSE(job_id.empty());
+
+  ASSERT_EQ(run_client(daemon.port, "wait " + job_id, &output), 0) << output;
+  EXPECT_EQ(trim(output), "done");
+
+  ASSERT_EQ(run_client(daemon.port, "result " + job_id + " --csv", &output),
+            0)
+      << output;
+  sim::ExperimentSpec direct;
+  direct.base = core::starting_config();
+  direct.workloads = {"gcc"};
+  direct.models = {sim::Model::kBaseline, sim::Model::kReese};
+  direct.instructions = 20000;
+  direct.seed = 42;
+  direct.jobs = 1;
+  EXPECT_EQ(output, sim::run_experiment(direct).csv());
+
+  const std::string cspec_path = dir + "/reese_cspec.json";
+  {
+    std::ofstream spec(cspec_path);
+    spec << R"({"workloads": ["gcc"], "quick": true, "instructions": 5000})";
+  }
+  ASSERT_EQ(run_client(daemon.port, "submit-campaign " + cspec_path, &output),
+            0)
+      << output;
+  const std::string campaign_id = std::string(trim(output));
+  ASSERT_EQ(run_client(daemon.port, "wait " + campaign_id, &output), 0);
+  ASSERT_EQ(run_client(daemon.port, "result " + campaign_id, &output), 0);
+  sim::CampaignSpec campaign;
+  campaign.workloads = {"gcc"};
+  campaign.quick = true;
+  campaign.instructions = 5000;
+  campaign.jobs = 1;
+  EXPECT_EQ(output, sim::run_campaign(campaign).json());
+
+  // SIGTERM must drain and exit 0.
+  ASSERT_EQ(kill(daemon.pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(daemon.pid, &status, 0), daemon.pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  if (daemon.stdout_stream != nullptr) fclose(daemon.stdout_stream);
+}
+
+#endif  // REESE_REESED_BIN && REESE_CLIENT_BIN
+
+}  // namespace
+}  // namespace reese

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""doc_check: keep the docs honest about the CLI surface.
+
+Two checks, both gating in CI (.github/workflows/ci.yml "docs" job):
+
+1. Flag coverage — every `--flag` string literal that a binary under
+   bench/ or tools/ actually parses must be mentioned in README.md or
+   EXPERIMENTS.md. Removing a flag's documentation (or documenting a flag
+   that was renamed in code only) fails the build.
+
+2. Link integrity — every intra-repo markdown link in the top-level *.md
+   files and docs referenced from them must point at a file that exists.
+
+Usage: python3 tools/doc_check.py [repo_root]
+Exit status 0 when both checks pass, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+
+# A flag "counts" when the source compares or documents it as an argument:
+# string literals like "--jobs" / "--jobs=..." in bench/*.cpp, tools/*.cpp.
+FLAG_LITERAL = re.compile(r'"(--[a-z][a-z0-9-]*)=?"')
+
+# [text](target) markdown links; images share the syntax via a leading '!'.
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# External or intra-page targets that are not files on disk.
+NON_FILE_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def collect_flags(repo_root):
+    """Map flag -> sorted list of source files that parse it."""
+    flags = {}
+    for subdir in ("bench", "tools"):
+        directory = os.path.join(repo_root, subdir)
+        if not os.path.isdir(directory):
+            continue
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".cpp"):
+                continue
+            path = os.path.join(directory, name)
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+            for flag in FLAG_LITERAL.findall(text):
+                flags.setdefault(flag, set()).add(os.path.join(subdir, name))
+    return {flag: sorted(sources) for flag, sources in flags.items()}
+
+
+def check_flag_coverage(repo_root):
+    doc_paths = [os.path.join(repo_root, name)
+                 for name in ("README.md", "EXPERIMENTS.md")]
+    documented = ""
+    for path in doc_paths:
+        with open(path, encoding="utf-8") as handle:
+            documented += handle.read()
+
+    errors = []
+    for flag, sources in sorted(collect_flags(repo_root).items()):
+        if flag not in documented:
+            errors.append(
+                f"flag {flag} (parsed by {', '.join(sources)}) is not "
+                f"documented in README.md or EXPERIMENTS.md")
+    return errors
+
+
+def markdown_files(repo_root):
+    """Top-level *.md plus any docs/ markdown; skip build and .git trees."""
+    found = []
+    for entry in sorted(os.listdir(repo_root)):
+        path = os.path.join(repo_root, entry)
+        if entry.endswith(".md") and os.path.isfile(path):
+            found.append(path)
+    docs_dir = os.path.join(repo_root, "docs")
+    if os.path.isdir(docs_dir):
+        for root, _dirs, names in os.walk(docs_dir):
+            for name in sorted(names):
+                if name.endswith(".md"):
+                    found.append(os.path.join(root, name))
+    return found
+
+
+def check_links(repo_root):
+    errors = []
+    for md_path in markdown_files(repo_root):
+        base = os.path.dirname(md_path)
+        with open(md_path, encoding="utf-8") as handle:
+            text = handle.read()
+        for target in MARKDOWN_LINK.findall(text):
+            if target.startswith(NON_FILE_PREFIXES):
+                continue
+            # Strip an intra-file anchor: DESIGN.md#section -> DESIGN.md.
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(md_path, repo_root)
+                errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def main():
+    repo_root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    errors = check_flag_coverage(repo_root) + check_links(repo_root)
+    for error in errors:
+        print(f"doc_check: {error}", file=sys.stderr)
+    if errors:
+        print(f"doc_check: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("doc_check: ok (flags documented, links resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+// reese_client: command-line client for reesed (tools/reesed.cpp).
+//
+// Submit an experiment or campaign spec, poll a job to completion, fetch
+// its result — without hand-writing HTTP. Exit status 0 only when the
+// server answered the command with a 2xx.
+//
+// Usage: reese_client [--host ADDR] [--port N] <command> [args]
+//
+//   health                          GET /v1/healthz
+//   stats                           GET /v1/stats
+//   submit-experiment SPEC.json     POST /v1/experiments; prints the job id
+//   submit-campaign SPEC.json       POST /v1/campaigns; prints the job id
+//   status ID                       GET /v1/jobs/ID
+//   wait ID [--poll-ms N]           poll status until the job leaves
+//                                   queued/running; prints the final state
+//   result ID [--csv]               GET /v1/jobs/ID/result (?format=csv)
+//
+// SPEC.json may be "-" to read the spec from stdin. `wait` exits 0 for
+// state "done", 3 for "timeout", 4 for "failed". `result` on a job that
+// timed out surfaces the server's 408.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/http.h"
+#include "common/json.h"
+
+using namespace reese;
+
+namespace {
+
+bool read_spec(const char* path, std::string* out) {
+  if (std::strcmp(path, "-") == 0) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    *out = buffer.str();
+    return true;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "reese_client: cannot read %s\n", path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// Pull a field out of a service JSON response; empty string when absent.
+std::string response_field(const std::string& body, const char* key) {
+  Result<json::Value> parsed = json::parse_json(body);
+  if (!parsed.ok() || !parsed.value().is_object()) return "";
+  const json::Value* value = parsed.value().find(key);
+  if (value == nullptr) return "";
+  if (value->is_string()) return value->string;
+  if (value->is_number() && value->is_integer) {
+    return std::to_string(value->uint_value);
+  }
+  return "";
+}
+
+int fail_transport(const http::Response& response) {
+  std::fprintf(stderr, "reese_client: %s\n", response.body.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 8642;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "reese_client: %s needs a value\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--host") == 0) {
+      host = next_value();
+    } else if (std::strcmp(arg, "--port") == 0) {
+      port = std::atoi(next_value());
+    } else {
+      break;  // first non-flag argument is the command
+    }
+  }
+  if (i >= argc || port < 1 || port > 65535) {
+    std::fprintf(stderr,
+                 "usage: reese_client [--host ADDR] [--port N] "
+                 "health|stats|submit-experiment|submit-campaign|status|"
+                 "wait|result ...\n");
+    return 2;
+  }
+  const std::string command = argv[i++];
+  const u16 port16 = static_cast<u16>(port);
+
+  if (command == "health" || command == "stats") {
+    const std::string path =
+        command == "health" ? "/v1/healthz" : "/v1/stats";
+    const http::Response response = http::request(host, port16, "GET", path);
+    if (response.status == 0) return fail_transport(response);
+    std::fputs(response.body.c_str(), stdout);
+    return response.status == 200 ? 0 : 1;
+  }
+
+  if (command == "submit-experiment" || command == "submit-campaign") {
+    if (i >= argc) {
+      std::fprintf(stderr, "reese_client: %s needs a spec file (or -)\n",
+                   command.c_str());
+      return 2;
+    }
+    std::string spec;
+    if (!read_spec(argv[i], &spec)) return 1;
+    const std::string path = command == "submit-experiment"
+                                 ? "/v1/experiments"
+                                 : "/v1/campaigns";
+    const http::Response response =
+        http::request(host, port16, "POST", path, spec);
+    if (response.status == 0) return fail_transport(response);
+    if (response.status != 202) {
+      std::fprintf(stderr, "reese_client: submit failed (%d): %s",
+                   response.status, response.body.c_str());
+      return 1;
+    }
+    // Print just the id: the natural thing to capture in a shell variable.
+    std::printf("%s\n", response_field(response.body, "id").c_str());
+    return 0;
+  }
+
+  if (command == "status" || command == "wait" || command == "result") {
+    if (i >= argc) {
+      std::fprintf(stderr, "reese_client: %s needs a job id\n",
+                   command.c_str());
+      return 2;
+    }
+    const std::string id = argv[i++];
+
+    if (command == "status") {
+      const http::Response response =
+          http::request(host, port16, "GET", "/v1/jobs/" + id);
+      if (response.status == 0) return fail_transport(response);
+      std::fputs(response.body.c_str(), stdout);
+      return response.status == 200 ? 0 : 1;
+    }
+
+    if (command == "wait") {
+      int poll_ms = 50;
+      if (i < argc && std::strcmp(argv[i], "--poll-ms") == 0) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "reese_client: --poll-ms needs a value\n");
+          return 2;
+        }
+        poll_ms = std::atoi(argv[i + 1]);
+        if (poll_ms < 1) poll_ms = 1;
+      }
+      for (;;) {
+        const http::Response response =
+            http::request(host, port16, "GET", "/v1/jobs/" + id);
+        if (response.status == 0) return fail_transport(response);
+        if (response.status != 200) {
+          std::fprintf(stderr, "reese_client: status %d: %s",
+                       response.status, response.body.c_str());
+          return 1;
+        }
+        const std::string state = response_field(response.body, "state");
+        if (state != "queued" && state != "running") {
+          std::printf("%s\n", state.c_str());
+          if (state == "done") return 0;
+          if (state == "timeout") return 3;
+          return 4;
+        }
+        ::usleep(static_cast<useconds_t>(poll_ms) * 1000);
+      }
+    }
+
+    // result
+    std::string path = "/v1/jobs/" + id + "/result";
+    if (i < argc && std::strcmp(argv[i], "--csv") == 0) path += "?format=csv";
+    const http::Response response = http::request(host, port16, "GET", path);
+    if (response.status == 0) return fail_transport(response);
+    if (response.status != 200) {
+      std::fprintf(stderr, "reese_client: status %d: %s", response.status,
+                   response.body.c_str());
+      return 1;
+    }
+    std::fputs(response.body.c_str(), stdout);
+    return 0;
+  }
+
+  std::fprintf(stderr, "reese_client: unknown command %s\n", command.c_str());
+  return 2;
+}

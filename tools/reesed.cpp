@@ -1,0 +1,123 @@
+// reesed: the long-lived REESE simulation service.
+//
+// Wraps sim::SimulationService (job queue + run_experiment/run_campaign)
+// in the dependency-free HTTP/1.1 server from common/http.h. Clients
+// submit JSON experiment/campaign specs, poll job state and fetch results
+// as JSON or CSV; see DESIGN.md §11 for endpoints and schemas, and
+// tools/reese_client.cpp for a ready-made client.
+//
+// Usage: reesed [--host ADDR] [--port N] [--workers N] [--queue-capacity N]
+//               [--grid-jobs N] [--max-instructions N] [--max-cells N]
+//               [--timeout-s SECONDS]
+//
+//   --host ADDR           bind address (default 127.0.0.1)
+//   --port N              TCP port; 0 picks an ephemeral port (default 8642)
+//   --workers N           concurrent jobs (default 2)
+//   --queue-capacity N    waiting jobs before submits get 429 (default 16)
+//   --grid-jobs N         grid workers per job when a spec omits "jobs"
+//                         (default 1)
+//   --max-instructions N  per-cell budget cap; larger specs are a 400
+//   --max-cells N         grid-size cap (workloads × models × seeds)
+//   --timeout-s SECONDS   default per-job wall-clock timeout (default 300)
+//
+// Prints exactly one "reesed: listening on HOST:PORT" line once the socket
+// is bound (tests parse it to discover the ephemeral port). SIGTERM and
+// SIGINT stop the accept loop, drain the admitted jobs, print final stats
+// and exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/http.h"
+#include "common/thread_pool.h"
+#include "sim/service.h"
+
+using namespace reese;
+
+namespace {
+
+http::Server* g_server = nullptr;
+
+// Async-signal-safe: request_stop is an atomic store plus ::shutdown(2).
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 8642;
+  sim::ServiceConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "reesed: %s needs a value\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--host") == 0) {
+      host = next_value();
+    } else if (std::strcmp(arg, "--port") == 0) {
+      port = std::atoi(next_value());
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      config.workers = sanitize_job_count(
+          std::strtol(next_value(), nullptr, 10), "--workers");
+    } else if (std::strcmp(arg, "--queue-capacity") == 0) {
+      config.queue_capacity =
+          static_cast<u32>(std::strtoul(next_value(), nullptr, 10));
+    } else if (std::strcmp(arg, "--grid-jobs") == 0) {
+      config.grid_jobs = sanitize_job_count(
+          std::strtol(next_value(), nullptr, 10), "--grid-jobs");
+    } else if (std::strcmp(arg, "--max-instructions") == 0) {
+      config.max_instructions =
+          static_cast<u64>(std::strtoull(next_value(), nullptr, 10));
+    } else if (std::strcmp(arg, "--max-cells") == 0) {
+      config.max_cells =
+          static_cast<u64>(std::strtoull(next_value(), nullptr, 10));
+    } else if (std::strcmp(arg, "--timeout-s") == 0) {
+      config.default_timeout_s = std::atof(next_value());
+    } else {
+      std::fprintf(stderr, "reesed: unknown argument %s\n", arg);
+      return 2;
+    }
+  }
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "reesed: --port %d is not in [0, 65535]\n", port);
+    return 2;
+  }
+
+  sim::SimulationService service(config);
+  http::Server server(
+      [&service](const http::Request& request) {
+        return service.handle(request);
+      });
+  if (!server.listen(host, static_cast<u16>(port))) return 1;
+  g_server = &server;
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+
+  std::printf("reesed: listening on %s:%u\n", host.c_str(), server.port());
+  std::fflush(stdout);
+
+  server.serve();
+
+  // Stop requested: refuse new work, finish what was admitted, report.
+  std::fprintf(stderr, "reesed: draining in-flight jobs\n");
+  service.drain();
+  const sim::ServiceStats stats = service.stats();
+  std::fprintf(stderr,
+               "reesed: shut down (submitted %llu, completed %llu, "
+               "timeouts %llu, failed %llu, rejected %llu, %.1f kIPS)\n",
+               static_cast<unsigned long long>(stats.submitted),
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.timeouts),
+               static_cast<unsigned long long>(stats.failed),
+               static_cast<unsigned long long>(stats.rejected_queue_full),
+               stats.kips());
+  return 0;
+}
