@@ -23,10 +23,17 @@
 //   -fault_rate F      inject faults at rate F per instruction
 //   -prelint 0|1       statically lint the workload program before running;
 //                      refuse to start on error-severity findings
+//   --trace-out FILE   write a Chrome trace_event JSON trace of the run
+//                      (open in Perfetto / chrome://tracing; see
+//                      tools/trace_check.py)
+//   --trace-sample N   with --trace-out: trace every Nth instruction only
+//                      (default 1 = all; keeps long runs tractable)
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "common/flags.h"
+#include "core/chrome_trace.h"
 #include "faults/injector.h"
 #include "sim/prelint.h"
 #include "sim/simulator.h"
@@ -144,6 +151,27 @@ int main(int argc, char** argv) {
     simulator.pipeline().set_fault_hook(&injector);
   }
 
+  std::unique_ptr<core::FileTraceSink> trace_sink;
+  std::unique_ptr<core::ChromeTraceTracer> chrome_tracer;
+  std::unique_ptr<core::SamplingTracer> sampling_tracer;
+  const std::string trace_path = flags.get_string("trace-out", "");
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<core::FileTraceSink>(trace_path);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+      return 2;
+    }
+    chrome_tracer = std::make_unique<core::ChromeTraceTracer>(trace_sink.get());
+    const u64 sample = flags.get_u64("trace-sample", 1);
+    if (sample > 1) {
+      sampling_tracer =
+          std::make_unique<core::SamplingTracer>(chrome_tracer.get(), sample);
+      simulator.pipeline().set_tracer(sampling_tracer.get());
+    } else {
+      simulator.pipeline().set_tracer(chrome_tracer.get());
+    }
+  }
+
   std::printf("workload: %s (%s)\n", simulator.workload().name.c_str(),
               simulator.workload().mimics.c_str());
   std::printf("config:   %s\n\n", config.summary().c_str());
@@ -157,6 +185,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(injector.injected()),
                 static_cast<unsigned long long>(injector.detected()),
                 100.0 * injector.coverage());
+  }
+  if (chrome_tracer != nullptr) {
+    chrome_tracer->finish();
+    std::printf("trace:    %s (%llu events)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(
+                    chrome_tracer->events_emitted()));
   }
   std::printf("stop reason: %s\n", core::stop_reason_name(result.stop));
   return 0;

@@ -1,0 +1,217 @@
+#include "core/chrome_trace.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/diag.h"
+#include "common/strutil.h"
+
+namespace reese::core {
+
+namespace {
+
+constexpr u32 kPid = 1;
+constexpr u32 kPStreamTid = 0;
+constexpr u32 kRStreamTid = 1;
+
+std::string metadata_event(const char* name, u32 tid, const char* arg_name,
+                           const std::string& arg_value) {
+  return format(
+      "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+      "\"args\":{\"%s\":\"%s\"}}",
+      name, kPid, tid, arg_name, json_escape(arg_value).c_str());
+}
+
+std::string slice_args(InstSeq seq, Addr pc, bool spec) {
+  return format("{\"seq\":%llu,\"pc\":\"0x%llx\",\"spec\":%s}",
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(pc), spec ? "true" : "false");
+}
+
+}  // namespace
+
+FileTraceSink::FileTraceSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+}
+
+FileTraceSink::~FileTraceSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileTraceSink::write(const std::string& chunk) {
+  if (file_ != nullptr) std::fwrite(chunk.data(), 1, chunk.size(), file_);
+}
+
+ChromeTraceTracer::ChromeTraceTracer(TraceSink* sink) : sink_(sink) {
+  sink_->write("{\"traceEvents\":[\n");
+  emit(metadata_event("process_name", kPStreamTid, "name", "reese-sim"));
+  emit(metadata_event("thread_name", kPStreamTid, "name", "P-stream"));
+  emit(metadata_event("thread_name", kRStreamTid, "name", "R-stream"));
+}
+
+ChromeTraceTracer::~ChromeTraceTracer() { finish(); }
+
+void ChromeTraceTracer::emit(const std::string& event_json) {
+  if (first_event_) {
+    first_event_ = false;
+    sink_->write(event_json);
+  } else {
+    sink_->write(",\n" + event_json);
+  }
+  ++events_emitted_;
+}
+
+void ChromeTraceTracer::emit_instant(const char* name, Cycle cycle,
+                                     InstSeq seq, u32 tid) {
+  emit(format(
+      "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%llu,\"pid\":%u,\"tid\":%u,"
+      "\"s\":\"t\",\"args\":{\"seq\":%llu}}",
+      name, static_cast<unsigned long long>(cycle), kPid, tid,
+      static_cast<unsigned long long>(seq)));
+}
+
+void ChromeTraceTracer::emit_lifecycle(InstSeq seq, const Pending& pending,
+                                       Cycle end_cycle, bool squashed) {
+  const std::string name = json_escape(isa::disassemble(pending.inst));
+  const std::string args = slice_args(seq, pending.pc, pending.spec);
+
+  // P-stream slice: dispatch -> writeback (or wherever the lifecycle
+  // stopped). Perfetto wants dur >= 0; same-cycle stages get dur 0.
+  const Cycle p_end = pending.complete != 0 ? pending.complete
+                      : (end_cycle >= pending.dispatch ? end_cycle
+                                                       : pending.dispatch);
+  emit(format(
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%llu,"
+      "\"dur\":%llu,\"pid\":%u,\"tid\":%u,\"args\":%s}",
+      name.c_str(), squashed ? "squashed" : "p-stream",
+      static_cast<unsigned long long>(pending.dispatch),
+      static_cast<unsigned long long>(p_end - pending.dispatch), kPid,
+      kPStreamTid, args.c_str()));
+
+  // R-stream slice + flow arrow, only if the instruction was re-executed.
+  if (pending.r_issue != 0) {
+    const Cycle r_end =
+        pending.r_complete != 0 ? pending.r_complete : pending.r_issue;
+    emit(format(
+        "{\"name\":\"%s\",\"cat\":\"r-stream\",\"ph\":\"X\",\"ts\":%llu,"
+        "\"dur\":%llu,\"pid\":%u,\"tid\":%u,\"args\":%s}",
+        name.c_str(), static_cast<unsigned long long>(pending.r_issue),
+        static_cast<unsigned long long>(r_end - pending.r_issue), kPid,
+        kRStreamTid, args.c_str()));
+    // Flow arrow from the P-stream writeback to the R-stream comparison:
+    // its length in the UI is the paper's P->R separation. The id must be
+    // unique per arrow, so the spec bit is folded in (a wrong-path entry
+    // can share its seq with a true-path instruction).
+    const Cycle flow_start = pending.complete != 0 ? pending.complete
+                                                   : pending.dispatch;
+    const u64 flow_id = key(seq, pending.spec);
+    emit(format(
+        "{\"name\":\"p-to-r\",\"cat\":\"flow\",\"ph\":\"s\",\"ts\":%llu,"
+        "\"pid\":%u,\"tid\":%u,\"id\":%llu}",
+        static_cast<unsigned long long>(flow_start), kPid, kPStreamTid,
+        static_cast<unsigned long long>(flow_id)));
+    emit(format(
+        "{\"name\":\"p-to-r\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+        "\"ts\":%llu,\"pid\":%u,\"tid\":%u,\"id\":%llu}",
+        static_cast<unsigned long long>(r_end), kPid, kRStreamTid,
+        static_cast<unsigned long long>(flow_id)));
+  }
+}
+
+void ChromeTraceTracer::record(const TraceEvent& event) {
+  if (finished_) return;
+  const u64 k = key(event.seq, event.spec);
+  switch (event.kind) {
+    case TraceKind::kDispatch: {
+      Pending pending;
+      pending.pc = event.pc;
+      pending.inst = event.inst;
+      pending.spec = event.spec;
+      pending.dispatch = event.cycle;
+      pending_[k] = pending;
+      return;
+    }
+    case TraceKind::kIssue:
+    case TraceKind::kComplete:
+    case TraceKind::kRelease:
+    case TraceKind::kRIssue:
+    case TraceKind::kRComplete: {
+      auto it = pending_.find(k);
+      if (it == pending_.end()) return;
+      Pending& pending = it->second;
+      switch (event.kind) {
+        case TraceKind::kIssue: pending.issue = event.cycle; break;
+        case TraceKind::kComplete: pending.complete = event.cycle; break;
+        case TraceKind::kRelease: pending.release = event.cycle; break;
+        case TraceKind::kRIssue: pending.r_issue = event.cycle; break;
+        case TraceKind::kRComplete: pending.r_complete = event.cycle; break;
+        default: break;
+      }
+      return;
+    }
+    case TraceKind::kCommit:
+    case TraceKind::kSquash: {
+      auto it = pending_.find(k);
+      if (it == pending_.end()) return;
+      emit_lifecycle(event.seq, it->second, event.cycle,
+                     event.kind == TraceKind::kSquash);
+      if (event.kind == TraceKind::kSquash) {
+        emit_instant("squash", event.cycle, event.seq, kPStreamTid);
+      }
+      pending_.erase(it);
+      return;
+    }
+    case TraceKind::kError:
+      // Errors are detected at comparison time, on the R track.
+      emit_instant("error-detected", event.cycle, event.seq, kRStreamTid);
+      return;
+  }
+}
+
+void ChromeTraceTracer::finish() {
+  if (finished_) return;
+  // Flush still-in-flight lifecycles (run ended mid-pipeline), in a
+  // deterministic order for reproducible output.
+  std::vector<u64> keys;
+  keys.reserve(pending_.size());
+  for (const auto& [k, pending] : pending_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  for (u64 k : keys) {
+    const Pending& pending = pending_.at(k);
+    emit_lifecycle(static_cast<InstSeq>(k >> 1), pending, pending.dispatch,
+                   false);
+  }
+  pending_.clear();
+  sink_->write("\n]}\n");
+  finished_ = true;
+}
+
+void SamplingTracer::record(const TraceEvent& event) {
+  const u64 k = key(event.seq, event.spec);
+  if (event.kind == TraceKind::kDispatch) {
+    const bool in_window =
+        event.cycle >= first_cycle_ &&
+        (last_cycle_ == 0 || event.cycle < last_cycle_);
+    const bool selected = in_window && (event.seq % every_n_ == 0);
+    if (!selected) {
+      ++dropped_;
+      return;
+    }
+    live_[k] = 0;
+    ++forwarded_;
+    inner_->record(event);
+    return;
+  }
+  const auto it = live_.find(k);
+  if (it == live_.end()) {
+    ++dropped_;
+    return;
+  }
+  ++forwarded_;
+  inner_->record(event);
+  if (event.kind == TraceKind::kCommit || event.kind == TraceKind::kSquash) {
+    live_.erase(it);
+  }
+}
+
+}  // namespace reese::core

@@ -103,11 +103,36 @@ StopReason Pipeline::run(u64 commit_target, Cycle cycle_limit) {
 }
 
 void Pipeline::cycle() {
+  // Stall attribution (CycleClass): sample the stall counters around the
+  // stage evaluation and charge this cycle to exactly one bucket below.
+  const u64 committed_before = stats_.committed;
+  const u64 rqueue_before = stats_.rqueue_full_stall_cycles;
+  const u64 ruu_before = stats_.ruu_full_stalls;
+  const u64 lsq_before = stats_.lsq_full_stalls;
+  const u64 ifq_before = stats_.ifq_full_stall_cycles;
+  const u64 icache_before = stats_.icache_stall_cycles;
+
   stage_commit();
   stage_writeback();
   stage_issue();
   stage_dispatch();
   stage_fetch();
+
+  CycleClass cls = CycleClass::kIdle;
+  if (stats_.committed > committed_before) {
+    cls = CycleClass::kBusy;
+  } else if (stats_.rqueue_full_stall_cycles > rqueue_before) {
+    cls = CycleClass::kRqueueFull;
+  } else if (stats_.ruu_full_stalls > ruu_before) {
+    cls = CycleClass::kRuuFull;
+  } else if (stats_.lsq_full_stalls > lsq_before) {
+    cls = CycleClass::kLsqFull;
+  } else if (stats_.ifq_full_stall_cycles > ifq_before) {
+    cls = CycleClass::kIfqFull;
+  } else if (stats_.icache_stall_cycles > icache_before) {
+    cls = CycleClass::kIcache;
+  }
+  ++stats_.cycle_classes[static_cast<usize>(cls)];
 
   stats_.ruu_occupancy.add(static_cast<double>(ruu_count_));
   stats_.lsq_occupancy.add(static_cast<double>(lsq_count_));
@@ -692,6 +717,7 @@ std::string Pipeline::report() const {
       static_cast<unsigned long long>(stats_.lsq_full_stalls),
       static_cast<unsigned long long>(stats_.icache_stall_cycles),
       static_cast<unsigned long long>(stats_.rqueue_full_stall_cycles));
+  out += "  cycle classes: " + stats_.cycle_class_summary() + "\n";
   out += format(
       "  occupancy: ruu %.1f, lsq %.1f, ifq %.1f, rqueue %.1f\n",
       stats_.ruu_occupancy.mean(), stats_.lsq_occupancy.mean(),

@@ -1,10 +1,36 @@
 // Counters and distributions collected by the pipeline.
 #pragma once
 
+#include <array>
+#include <string>
+
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "common/types.h"
 
 namespace reese::core {
+
+/// Per-cycle stall attribution: every simulated cycle is charged to exactly
+/// one bucket, so the buckets partition the run (sum == CoreStats::cycles).
+/// Classification happens at the end of Pipeline::cycle(), in priority
+/// order: a cycle that committed at least one instruction is kBusy; an
+/// uncommitting cycle goes to the most downstream blocked structure
+/// (rqueue-full > ruu-full > lsq-full > ifq-full > icache); a cycle with no
+/// commit and no recorded stall is kIdle (drain, dependency waits,
+/// mispredict redirect bubbles).
+enum class CycleClass : u8 {
+  kBusy,        ///< >= 1 instruction committed this cycle
+  kRqueueFull,  ///< release blocked on a full R-stream queue
+  kRuuFull,     ///< dispatch blocked on a full RUU window
+  kLsqFull,     ///< dispatch blocked on a full LSQ
+  kIfqFull,     ///< fetch blocked on a full fetch queue
+  kIcache,      ///< fetch waiting on an I-cache miss
+  kIdle,        ///< none of the above (dependency/drain bubbles)
+};
+
+inline constexpr usize kCycleClassCount = 7;
+
+const char* cycle_class_name(CycleClass cls);
 
 struct CoreStats {
   Cycle cycles = 0;
@@ -42,6 +68,9 @@ struct CoreStats {
   u64 faults_injected = 0;
   u64 faults_undetected = 0;  ///< faulty instruction committed unchecked
 
+  // Per-cycle stall attribution (see CycleClass); sums to `cycles`.
+  std::array<u64, kCycleClassCount> cycle_classes{};
+
   // Distributions.
   Histogram separation{4, 64};        ///< R-issue minus P-issue, cycles
   Histogram detection_latency{4, 64}; ///< injection to detection, cycles
@@ -55,6 +84,17 @@ struct CoreStats {
   double mispredict_rate() const {
     return safe_ratio(cond_branch_mispredicts, cond_branches_resolved);
   }
+  /// Sum of the stall-attribution buckets; equals `cycles` by construction.
+  u64 cycle_class_total() const;
+  /// One-line "busy 62.1%, rqueue-full 11.0%, ..." rendering.
+  std::string cycle_class_summary() const;
 };
+
+/// Export every CoreStats counter/gauge into `registry` under the
+/// reese_core_* namespace with `labels` attached (DESIGN.md §12 lists the
+/// full metric inventory). Counters are set to the current totals, so
+/// calling this again after more simulation refreshes them in place.
+void export_core_stats(metrics::Registry* registry, const CoreStats& stats,
+                       const metrics::Labels& labels = {});
 
 }  // namespace reese::core

@@ -20,12 +20,9 @@ const char* trace_kind_name(TraceKind kind) {
 }
 
 TimelineTracer::Row* TimelineTracer::find(InstSeq seq, bool spec) {
-  // Recent rows are at the back; wrong-path entries can share a seq with a
-  // true-path instruction, so the spec flag disambiguates.
-  for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
-    if (it->seq == seq && it->spec == spec) return &*it;
-  }
-  return nullptr;
+  const auto it = index_.find(index_key(seq, spec));
+  if (it == index_.end()) return nullptr;
+  return &rows_[it->second - evicted_];
 }
 
 void TimelineTracer::record(const TraceEvent& event) {
@@ -37,8 +34,18 @@ void TimelineTracer::record(const TraceEvent& event) {
     row.inst = event.inst;
     row.spec = event.spec;
     row.dispatch = event.cycle;
+    // Most recent row wins the index slot (wrong-path seqs recur).
+    index_[index_key(row.seq, row.spec)] = evicted_ + rows_.size();
     rows_.push_back(row);
-    if (rows_.size() > capacity_) rows_.pop_front();
+    if (rows_.size() > capacity_) {
+      const Row& oldest = rows_.front();
+      const auto it = index_.find(index_key(oldest.seq, oldest.spec));
+      // Drop the index entry only if it still points at the evicted row —
+      // a newer row with the same key must keep its mapping.
+      if (it != index_.end() && it->second == evicted_) index_.erase(it);
+      rows_.pop_front();
+      ++evicted_;
+    }
     return;
   }
   Row* row = find(event.seq, event.spec);
@@ -57,9 +64,9 @@ void TimelineTracer::record(const TraceEvent& event) {
 }
 
 std::string TimelineTracer::to_string() const {
-  std::string out = format("  %6s %-9s %-26s %7s %7s %7s %7s %7s %7s\n", "seq",
-                           "pc", "instruction", "DS", "IS", "WB", "RI", "RC",
-                           "CT");
+  std::string out = format("  %6s %-9s %-26s %7s %7s %7s %7s %7s %7s %7s\n",
+                           "seq", "pc", "instruction", "DS", "IS", "WB", "RL",
+                           "RI", "RC", "CT");
   auto cell = [](Cycle cycle) {
     return cycle == 0 ? std::string("      .") : format("%7llu",
         static_cast<unsigned long long>(cycle));
@@ -70,7 +77,8 @@ std::string TimelineTracer::to_string() const {
         row.spec ? '*' : ' ', static_cast<unsigned long long>(row.pc),
         isa::disassemble(row.inst).c_str());
     line += cell(row.dispatch) + cell(row.issue) + cell(row.complete) +
-            cell(row.r_issue) + cell(row.r_complete) + cell(row.commit);
+            cell(row.release) + cell(row.r_issue) + cell(row.r_complete) +
+            cell(row.commit);
     if (row.squashed) line += "  SQUASHED";
     if (row.error) line += "  ERROR-DETECTED";
     out += line + "\n";

@@ -5,12 +5,13 @@
 // squash). TimelineTracer assembles them into per-instruction rows —
 // SimpleScalar "pipeview" style — for debugging and teaching:
 //
-//   seq      pc  instruction            DS IS WB RI RC CT
-//   17   0x1040  addi t0, t0, -1        12 13 14 18 19 21
+//   seq      pc  instruction            DS IS WB RL RI RC CT
+//   17   0x1040  addi t0, t0, -1        12 13 14 16 18 19 21
 #pragma once
 
 #include <deque>
 #include <string>
+#include <unordered_map>
 
 #include "common/types.h"
 #include "isa/instruction.h"
@@ -81,8 +82,21 @@ class TimelineTracer final : public Tracer {
  private:
   Row* find(InstSeq seq, bool spec);
 
+  /// Index key: wrong-path entries can share a seq with a true-path
+  /// instruction, so the spec flag is folded into the low bit.
+  static u64 index_key(InstSeq seq, bool spec) {
+    return (static_cast<u64>(seq) << 1) | (spec ? 1 : 0);
+  }
+
   usize capacity_;
   std::deque<Row> rows_;
+  /// (seq, spec) -> absolute row number (monotonic since construction);
+  /// deque position = absolute - evicted_. Keeps find() O(1) where the old
+  /// reverse scan was O(capacity) per event — quadratic over a large
+  /// window. A key maps to its *most recent* row, matching the reverse
+  /// scan's semantics when wrong-path seqs recur.
+  std::unordered_map<u64, u64> index_;
+  u64 evicted_ = 0;  ///< rows dropped off the front so far
   u64 events_seen_ = 0;
 };
 

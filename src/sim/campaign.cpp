@@ -336,6 +336,24 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
     }
   }
 
+  // Progress accounting observes the grid without perturbing it (same
+  // scheme as run_experiment).
+  std::atomic<u64> cells_done{0};
+  std::atomic<u64> committed_total{0};
+  metrics::Counter* cells_counter =
+      spec.metrics == nullptr
+          ? nullptr
+          : spec.metrics->counter("reese_grid_cells_completed_total",
+                                  {{"kind", "campaign"}},
+                                  "Grid cells finished");
+  metrics::Counter* committed_counter =
+      spec.metrics == nullptr
+          ? nullptr
+          : spec.metrics->counter(
+                "reese_grid_committed_instructions_total",
+                {{"kind", "campaign"}},
+                "Instructions committed across grid cells");
+
   // Each cell is one independent simulation with its own workload image,
   // pipeline and injector, all seeded from derive_cell_seed alone; it
   // writes only its own matrix slot, so the matrix is bit-identical no
@@ -409,6 +427,19 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
       assert(class_index < kExecClassCount);
       accumulate_stratum(&cell.by_class[class_index], record);
       accumulate_stratum(record.hit_p ? &cell.p_side : &cell.r_side, record);
+    }
+
+    const u64 done = cells_done.fetch_add(1, std::memory_order_relaxed) + 1;
+    const u64 committed_now =
+        committed_total.fetch_add(sim_result.committed,
+                                  std::memory_order_relaxed) +
+        sim_result.committed;
+    if (cells_counter != nullptr) cells_counter->inc();
+    if (committed_counter != nullptr) {
+      committed_counter->inc(sim_result.committed);
+    }
+    if (spec.progress) {
+      spec.progress({done, static_cast<u64>(jobs.size()), committed_now});
     }
   };
 

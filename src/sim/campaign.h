@@ -23,8 +23,10 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/config.h"
 #include "faults/injector.h"
+#include "sim/progress.h"
 
 namespace reese::sim {
 
@@ -61,6 +63,12 @@ struct CampaignSpec {
   /// contract as ExperimentSpec::cancel): when it returns true the
   /// remaining cells are skipped and the result carries `cancelled`.
   std::function<bool()> cancel;
+  /// Optional per-cell progress callback (see sim/progress.h for the
+  /// threading contract). Observes only.
+  ProgressFn progress;
+  /// Optional metrics registry: each finished cell bumps the
+  /// reese_grid_* counters with kind="campaign". Must outlive the run.
+  metrics::Registry* metrics = nullptr;
 };
 
 /// Per-stratum injection counts (a stratum = exec class or fault side).

@@ -285,6 +285,25 @@ ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
     }
   }
 
+  // Progress accounting observes the grid without perturbing it; the grid
+  // counters live in the caller's registry so a long-lived service
+  // accumulates across jobs.
+  std::atomic<u64> cells_done{0};
+  std::atomic<u64> committed_total{0};
+  metrics::Counter* cells_counter =
+      spec.metrics == nullptr
+          ? nullptr
+          : spec.metrics->counter("reese_grid_cells_completed_total",
+                                  {{"kind", "experiment"}},
+                                  "Grid cells finished");
+  metrics::Counter* committed_counter =
+      spec.metrics == nullptr
+          ? nullptr
+          : spec.metrics->counter(
+                "reese_grid_committed_instructions_total",
+                {{"kind", "experiment"}},
+                "Instructions committed across grid cells");
+
   // Each cell is an independent simulation: it builds its own workload,
   // memory image and pipeline, and writes only its own result.cells slot,
   // so the matrix is identical no matter how many workers ran it or in
@@ -334,6 +353,19 @@ ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
     cell.cycles = sim_result.cycles;
     cell.committed = sim_result.committed;
     cell.stop = sim_result.stop;
+
+    const u64 done = cells_done.fetch_add(1, std::memory_order_relaxed) + 1;
+    const u64 committed_now =
+        committed_total.fetch_add(sim_result.committed,
+                                  std::memory_order_relaxed) +
+        sim_result.committed;
+    if (cells_counter != nullptr) cells_counter->inc();
+    if (committed_counter != nullptr) {
+      committed_counter->inc(sim_result.committed);
+    }
+    if (spec.progress) {
+      spec.progress({done, static_cast<u64>(jobs.size()), committed_now});
+    }
   };
 
   const u32 workers = resolve_job_count(

@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/config.h"
 #include "core/pipeline.h"
+#include "sim/progress.h"
 #include "workloads/workload.h"
 
 namespace reese::sim {
@@ -65,6 +67,15 @@ struct ExperimentSpec {
   /// `cancelled = true` with the untouched cells zero-filled. Used by the
   /// service's per-job wall-clock timeout and SIGTERM drain.
   std::function<bool()> cancel;
+  /// Optional per-cell progress callback (see sim/progress.h for the
+  /// threading contract). Observes only — results are bit-identical with
+  /// or without a listener.
+  ProgressFn progress;
+  /// Optional metrics registry: each finished cell bumps the
+  /// reese_grid_cells_completed_total and
+  /// reese_grid_committed_instructions_total counters (kind="experiment").
+  /// Must outlive the run.
+  metrics::Registry* metrics = nullptr;
 };
 
 /// Raw outcome of one grid cell's simulation (one workload/model/seed run).

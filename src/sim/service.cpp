@@ -188,6 +188,10 @@ http::Response SimulationService::handle(const http::Request& request) {
     if (request.method != "GET") return error_response(405, "use GET");
     return stats_response();
   }
+  if (path == "/v1/metrics") {
+    if (request.method != "GET") return error_response(405, "use GET");
+    return metrics_response();
+  }
   if (path == "/v1/experiments" || path == "/v1/campaigns") {
     if (request.method != "POST") return error_response(405, "use POST");
     return submit(request, path == "/v1/campaigns");
@@ -196,12 +200,15 @@ http::Response SimulationService::handle(const http::Request& request) {
     if (request.method != "GET") return error_response(405, "use GET");
     const std::vector<std::string_view> parts =
         split(std::string_view(path).substr(1), '/');
-    // parts: ["v1", "jobs", "<id>"] or ["v1", "jobs", "<id>", "result"].
+    // parts: ["v1", "jobs", "<id>"] optionally + "result" or "progress".
     i64 id = 0;
     if (parts.size() >= 3 && parse_int(parts[2], &id) && id > 0) {
       if (parts.size() == 3) return job_status(static_cast<u64>(id));
       if (parts.size() == 4 && parts[3] == "result") {
         return job_result(static_cast<u64>(id), request);
+      }
+      if (parts.size() == 4 && parts[3] == "progress") {
+        return job_progress(static_cast<u64>(id));
       }
     }
     return error_response(404, "no such job resource");
@@ -432,6 +439,45 @@ http::Response SimulationService::job_status(u64 id) {
   return json_response(200, job_status_json(it->second));
 }
 
+http::Response SimulationService::job_progress(u64 id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return error_response(404, "no such job");
+  const Job& job = it->second;
+
+  // Elapsed wall time: frozen at the recorded duration once the job
+  // finished, live while it runs, zero while it waits in the queue.
+  double elapsed_s = 0.0;
+  if (job.state == JobState::kRunning) {
+    elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              job.started_at)
+                    .count();
+  } else if (job.state != JobState::kQueued) {
+    elapsed_s = job.wall_seconds;
+  }
+  // Committed count: the live max-merged progress number until the final
+  // tally lands (the final tally includes cells the callback never saw,
+  // e.g. when the run was cancelled mid-cell).
+  const u64 committed =
+      std::max(job.progress_committed, job.committed);
+  const double kips =
+      elapsed_s > 0.0 ? committed / elapsed_s / 1000.0 : 0.0;
+
+  std::string out = "{\n";
+  out += format("  \"id\": %llu,\n", static_cast<unsigned long long>(job.id));
+  out += format("  \"state\": \"%s\",\n", job_state_name(job.state));
+  out += format("  \"cells_done\": %llu,\n",
+                static_cast<unsigned long long>(job.cells_done));
+  out += format("  \"cells_total\": %llu,\n",
+                static_cast<unsigned long long>(job.cells_total));
+  out += format("  \"committed\": %llu,\n",
+                static_cast<unsigned long long>(committed));
+  out += format("  \"elapsed_s\": %.6f,\n", elapsed_s);
+  out += format("  \"kips\": %.3f\n", kips);
+  out += "}\n";
+  return json_response(200, out);
+}
+
 http::Response SimulationService::job_result(u64 id,
                                              const http::Request& request) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -495,6 +541,52 @@ http::Response SimulationService::stats_response() {
   return json_response(200, out);
 }
 
+void export_service_stats(metrics::Registry* registry,
+                          const ServiceStats& stats) {
+  const auto set_counter = [registry](const char* name, u64 value,
+                                      const char* help) {
+    if (metrics::Counter* counter = registry->counter(name, {}, help)) {
+      counter->set(value);
+    }
+  };
+  const auto set_gauge = [registry](const char* name, double value,
+                                    const char* help) {
+    if (metrics::Gauge* gauge = registry->gauge(name, {}, help)) {
+      gauge->set(value);
+    }
+  };
+  set_counter("reese_service_submitted_total", stats.submitted,
+              "Jobs accepted");
+  set_counter("reese_service_completed_total", stats.completed,
+              "Jobs finished in state done");
+  set_counter("reese_service_timeouts_total", stats.timeouts,
+              "Jobs finished in state timeout");
+  set_counter("reese_service_failed_total", stats.failed,
+              "Jobs finished in state failed");
+  set_counter("reese_service_rejected_queue_full_total",
+              stats.rejected_queue_full, "Submits refused with 429");
+  set_counter("reese_service_committed_instructions_total",
+              stats.total_committed,
+              "Instructions committed across finished jobs");
+  set_gauge("reese_service_queue_depth",
+            static_cast<double>(stats.queue_depth), "Jobs waiting to run");
+  set_gauge("reese_service_running_jobs", static_cast<double>(stats.running),
+            "Jobs currently executing");
+  set_gauge("reese_service_busy_seconds", stats.total_wall_seconds,
+            "Cumulative job execution wall time");
+  set_gauge("reese_service_kips", stats.kips(),
+            "Cumulative throughput, thousand committed instructions per "
+            "wall-second");
+}
+
+http::Response SimulationService::metrics_response() {
+  // Service-level series are point-in-time mirrors refreshed per scrape;
+  // the grid counters in registry_ are already live.
+  export_service_stats(&registry_, stats());
+  return http::Response{200, "text/plain; version=0.0.4",
+                        registry_.prometheus()};
+}
+
 void SimulationService::run_job(u64 id) {
   bool is_campaign = false;
   double timeout_s = 0.0;
@@ -506,6 +598,7 @@ void SimulationService::run_job(u64 id) {
     if (it == jobs_.end()) return;
     Job& job = it->second;
     job.state = JobState::kRunning;
+    job.started_at = std::chrono::steady_clock::now();
     is_campaign = job.is_campaign;
     timeout_s = job.timeout_s;
     if (is_campaign) {
@@ -514,6 +607,20 @@ void SimulationService::run_job(u64 id) {
       experiment_spec = *job.experiment_spec;
     }
   }
+
+  // Per-cell progress lands in the job table (max-merged: worker threads
+  // may report out of order) so /v1/jobs/<id>/progress sees a monotonic
+  // stream; the grid counters accumulate daemon-wide in registry_.
+  const ProgressFn progress = [this, id](const ProgressUpdate& update) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    Job& job = it->second;
+    job.cells_done = std::max(job.cells_done, update.cells_done);
+    job.cells_total = update.cells_total;
+    job.progress_committed =
+        std::max(job.progress_committed, update.committed);
+  };
 
   const auto start = std::chrono::steady_clock::now();
   const auto deadline =
@@ -529,6 +636,8 @@ void SimulationService::run_job(u64 id) {
   std::optional<CampaignResult> campaign_result;
   if (is_campaign) {
     campaign_spec.cancel = expired;
+    campaign_spec.progress = progress;
+    campaign_spec.metrics = &registry_;
     campaign_result = run_campaign(campaign_spec);
     cancelled = campaign_result->cancelled;
     for (const auto& per_workload : campaign_result->matrix.cells) {
@@ -540,6 +649,8 @@ void SimulationService::run_job(u64 id) {
     }
   } else {
     experiment_spec.cancel = expired;
+    experiment_spec.progress = progress;
+    experiment_spec.metrics = &registry_;
     experiment_result = run_experiment(experiment_spec);
     cancelled = experiment_result->cancelled;
     for (const auto& per_model : experiment_result->cells) {

@@ -14,9 +14,12 @@
 //   POST /v1/experiments        submit an experiment spec      → 202 {id}
 //   POST /v1/campaigns          submit a fault-campaign spec   → 202 {id}
 //   GET  /v1/jobs/<id>          job status                     → 200
+//   GET  /v1/jobs/<id>/progress live cells/instructions/kIPS   → 200
 //   GET  /v1/jobs/<id>/result   result; ?format=csv for CSV    → 200/202/408
 //   GET  /v1/healthz            liveness                       → 200
 //   GET  /v1/stats              queue/jobs/throughput counters → 200
+//   GET  /v1/metrics            Prometheus text exposition (daemon-wide
+//                               counters + live grid counters; DESIGN.md §12)
 //
 // Job lifecycle: queued → running → {done, timeout, failed}. Robustness is
 // part of the contract:
@@ -37,6 +40,7 @@
 #include <string>
 
 #include "common/http.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "sim/campaign.h"
 #include "sim/experiment.h"
@@ -87,6 +91,13 @@ struct ServiceStats {
   }
 };
 
+/// Mirror a ServiceStats snapshot into `registry` as reese_service_*
+/// series (counters for the monotonic totals, gauges for queue depth /
+/// running jobs / throughput). Called per scrape of GET /v1/metrics;
+/// exposed for tests.
+void export_service_stats(metrics::Registry* registry,
+                          const ServiceStats& stats);
+
 class SimulationService {
  public:
   explicit SimulationService(const ServiceConfig& config = {});
@@ -113,8 +124,15 @@ class SimulationService {
     std::string error;  ///< for kFailed
     double timeout_s = 0.0;
     std::chrono::steady_clock::time_point submitted_at;
+    std::chrono::steady_clock::time_point started_at;  ///< set at kRunning
     double wall_seconds = 0.0;  ///< execution time once finished
     u64 committed = 0;          ///< instructions, once finished
+    // Live progress, max-merged from the grid's ProgressFn (updates can
+    // arrive out of order across workers), so each field is monotonic for
+    // the job's lifetime — the progress endpoint never goes backwards.
+    u64 cells_done = 0;
+    u64 cells_total = 0;
+    u64 progress_committed = 0;
     // Exactly one of these is engaged, matching is_campaign.
     std::optional<ExperimentSpec> experiment_spec;
     std::optional<CampaignSpec> campaign_spec;
@@ -124,8 +142,10 @@ class SimulationService {
 
   http::Response submit(const http::Request& request, bool is_campaign);
   http::Response job_status(u64 id);
+  http::Response job_progress(u64 id);
   http::Response job_result(u64 id, const http::Request& request);
   http::Response stats_response();
+  http::Response metrics_response();
   void run_job(u64 id);
   std::string job_status_json(const Job& job);
 
@@ -140,6 +160,11 @@ class SimulationService {
   u64 rejected_queue_full_ = 0;
   u64 total_committed_ = 0;
   double total_wall_seconds_ = 0.0;
+  /// Daemon-wide registry behind GET /v1/metrics. Grid runners bump its
+  /// reese_grid_* counters live from worker threads (lock-free handles);
+  /// service-level series are refreshed from ServiceStats at scrape time.
+  /// Declared before queue_ so running jobs never outlive it.
+  metrics::Registry registry_;
   /// Declared last: its destructor joins the workers before any state
   /// they touch is torn down.
   TaskQueue queue_;

@@ -262,6 +262,132 @@ TEST(Service, StatsBodyIsValidJson) {
   EXPECT_NE(parsed.value().find("cumulative_kips"), nullptr);
 }
 
+TEST(Service, MetricsEndpointServesPrometheusText) {
+  ServiceConfig config;
+  config.workers = 1;
+  SimulationService service(config);
+
+  // Before any job: service-level series exist with zero values.
+  http::Response response = service.handle(make_request("GET", "/v1/metrics"));
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "text/plain; version=0.0.4");
+  EXPECT_NE(response.body.find("# TYPE reese_service_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("reese_service_submitted_total 0"),
+            std::string::npos);
+  EXPECT_EQ(service.handle(make_request("POST", "/v1/metrics")).status, 405);
+
+  const std::string id_path = submit_ok(
+      &service, "/v1/experiments",
+      R"({"workloads": ["li"], "models": ["baseline", "reese"],
+          "instructions": 2000})");
+  EXPECT_EQ(wait_for_job(&service, id_path), "done");
+
+  response = service.handle(make_request("GET", "/v1/metrics"));
+  ASSERT_EQ(response.status, 200);
+  const std::string& text = response.body;
+  EXPECT_NE(text.find("reese_service_submitted_total 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("reese_service_completed_total 1"), std::string::npos);
+  // The grid counters accumulated live while the job ran.
+  EXPECT_NE(
+      text.find("reese_grid_cells_completed_total{kind=\"experiment\"} 2"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("reese_grid_committed_instructions_total"),
+            std::string::npos);
+  // Valid exposition shape: every non-comment line is "name[{labels}] value".
+  for (usize start = 0; start < text.size();) {
+    usize end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(line.rfind("reese_", 0), 0u) << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(Service, ProgressEndpointTracksAJobToCompletion) {
+  ServiceConfig config;
+  config.workers = 1;
+  SimulationService service(config);
+  EXPECT_EQ(service.handle(make_request("GET", "/v1/jobs/9/progress")).status,
+            404);
+
+  const std::string id_path = submit_ok(
+      &service, "/v1/experiments",
+      R"({"workloads": ["li", "gcc"], "models": ["baseline", "reese"],
+          "instructions": 5000})");
+
+  // Poll progress while the job runs: cells_done must never decrease and
+  // must land on cells_total when the job is done.
+  u64 last_done = 0;
+  u64 last_committed = 0;
+  bool saw_running = false;
+  for (int i = 0; i < 4000; ++i) {
+    const http::Response response =
+        service.handle(make_request("GET", id_path + "/progress"));
+    ASSERT_EQ(response.status, 200) << response.body;
+    EXPECT_TRUE(JsonChecker(response.body).valid()) << response.body;
+    const Result<json::Value> parsed = json::parse_json(response.body);
+    ASSERT_TRUE(parsed.ok());
+    const json::Value& body = parsed.value();
+    const u64 done = body.find("cells_done")->uint_value;
+    const u64 committed = body.find("committed")->uint_value;
+    EXPECT_GE(done, last_done) << "cells_done went backwards";
+    EXPECT_GE(committed, last_committed) << "committed went backwards";
+    last_done = done;
+    last_committed = committed;
+    const std::string& state = body.find("state")->string;
+    if (state == "running") saw_running = true;
+    if (state == "done") {
+      EXPECT_EQ(done, body.find("cells_total")->uint_value);
+      EXPECT_EQ(done, 4u);
+      EXPECT_GT(committed, 0u);
+      EXPECT_GT(body.find("elapsed_s")->number, 0.0);
+      EXPECT_GT(body.find("kips")->number, 0.0);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_EQ(last_done, 4u) << "job never reached done";
+  // With 4 sub-second cells the poll loop races the worker; seeing the
+  // running state at least once keeps this test honest about polling
+  // mid-run (200µs polls against ~4 × tens-of-ms cells).
+  EXPECT_TRUE(saw_running);
+}
+
+TEST(Service, ExportServiceStatsSeries) {
+  sim::ServiceStats stats;
+  stats.queue_depth = 3;
+  stats.running = 2;
+  stats.submitted = 10;
+  stats.completed = 7;
+  stats.timeouts = 1;
+  stats.failed = 1;
+  stats.rejected_queue_full = 4;
+  stats.total_committed = 123456;
+  stats.total_wall_seconds = 2.0;
+
+  metrics::Registry registry;
+  sim::export_service_stats(&registry, stats);
+  const std::string text = registry.prometheus();
+  EXPECT_NE(text.find("reese_service_submitted_total 10"), std::string::npos);
+  EXPECT_NE(text.find("reese_service_queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("reese_service_rejected_queue_full_total 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("reese_service_busy_seconds 2"), std::string::npos);
+  // kips = 123456 / 2.0 / 1000 = 61.728
+  EXPECT_NE(text.find("reese_service_kips 61.728"), std::string::npos);
+
+  // Re-export mirrors the new snapshot in place.
+  stats.submitted = 11;
+  sim::export_service_stats(&registry, stats);
+  EXPECT_NE(registry.prometheus().find("reese_service_submitted_total 11"),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // HTTP over a real loopback socket.
 

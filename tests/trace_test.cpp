@@ -2,6 +2,7 @@
 // the timeline must reflect the REESE dual-execution structure.
 #include <gtest/gtest.h>
 
+#include "common/strutil.h"
 #include "core/pipeline.h"
 #include "core/trace.h"
 #include "isa/assembler.h"
@@ -94,6 +95,125 @@ TEST(Trace, RenderedTableHasHeaderAndRows) {
   EXPECT_NE(table.find("instruction"), std::string::npos);
   EXPECT_NE(table.find("addi t0, t0, -1"), std::string::npos);
   EXPECT_NE(table.find("halt"), std::string::npos);
+}
+
+TEST(Trace, RenderedTableIncludesReleaseColumn) {
+  const isa::Program program = tiny_program();
+  core::TimelineTracer tracer(256);
+  core::Pipeline pipeline(program, core::with_reese(core::starting_config()));
+  pipeline.set_tracer(&tracer);
+  ASSERT_EQ(pipeline.run(1'000, 100'000), core::StopReason::kHalted);
+
+  const std::string table = tracer.to_string();
+  // All ten columns, RL (release) between WB and RI.
+  const usize wb = table.find(" WB");
+  const usize rl = table.find(" RL");
+  const usize ri = table.find(" RI");
+  ASSERT_NE(wb, std::string::npos);
+  ASSERT_NE(rl, std::string::npos);
+  ASSERT_NE(ri, std::string::npos);
+  EXPECT_LT(wb, rl);
+  EXPECT_LT(rl, ri);
+
+  // A committed REESE row's release cycle must appear in its line, in
+  // column position between complete and r_issue.
+  for (const auto& row : tracer.rows()) {
+    if (row.spec || row.squashed || row.commit == 0 || row.release == 0) {
+      continue;
+    }
+    const std::string line = format(
+        "%7llu%7llu%7llu", static_cast<unsigned long long>(row.complete),
+        static_cast<unsigned long long>(row.release),
+        static_cast<unsigned long long>(row.r_issue));
+    EXPECT_NE(table.find(line), std::string::npos)
+        << "WB/RL/RI cell sequence missing for seq " << row.seq;
+    return;  // one definitive row is enough
+  }
+  FAIL() << "no committed row with a release cycle";
+}
+
+// Direct-event tests for the (seq, spec) find index.
+
+core::TraceEvent make_event(core::TraceKind kind, Cycle cycle, InstSeq seq,
+                            bool spec = false) {
+  core::TraceEvent event;
+  event.kind = kind;
+  event.cycle = cycle;
+  event.seq = seq;
+  event.pc = 0x1000 + 4 * seq;
+  event.inst = isa::Instruction{};
+  event.spec = spec;
+  return event;
+}
+
+TEST(Trace, IndexDropsEvictedRowsAndKeepsLiveOnes) {
+  core::TimelineTracer tracer(2);
+  tracer.record(make_event(core::TraceKind::kDispatch, 10, 1));
+  tracer.record(make_event(core::TraceKind::kDispatch, 11, 2));
+  tracer.record(make_event(core::TraceKind::kDispatch, 12, 3));  // evicts 1
+  ASSERT_EQ(tracer.rows().size(), 2u);
+  EXPECT_EQ(tracer.rows().front().seq, 2u);
+
+  // A late event for the evicted seq is ignored, not misattributed.
+  tracer.record(make_event(core::TraceKind::kCommit, 13, 1));
+  for (const auto& row : tracer.rows()) EXPECT_EQ(row.commit, 0u);
+
+  // Live rows still resolve after the eviction shifted the deque.
+  tracer.record(make_event(core::TraceKind::kIssue, 14, 2));
+  tracer.record(make_event(core::TraceKind::kIssue, 15, 3));
+  EXPECT_EQ(tracer.rows()[0].issue, 14u);
+  EXPECT_EQ(tracer.rows()[1].issue, 15u);
+}
+
+TEST(Trace, IndexKeepsWrongPathAndTruePathSeparate) {
+  core::TimelineTracer tracer(8);
+  // A wrong-path entry and a true-path instruction can share a seq.
+  tracer.record(make_event(core::TraceKind::kDispatch, 10, 5, true));
+  tracer.record(make_event(core::TraceKind::kDispatch, 11, 5, false));
+  tracer.record(make_event(core::TraceKind::kSquash, 12, 5, true));
+  tracer.record(make_event(core::TraceKind::kCommit, 13, 5, false));
+  ASSERT_EQ(tracer.rows().size(), 2u);
+  EXPECT_TRUE(tracer.rows()[0].spec);
+  EXPECT_TRUE(tracer.rows()[0].squashed);
+  EXPECT_EQ(tracer.rows()[0].commit, 0u);
+  EXPECT_FALSE(tracer.rows()[1].spec);
+  EXPECT_FALSE(tracer.rows()[1].squashed);
+  EXPECT_EQ(tracer.rows()[1].commit, 13u);
+}
+
+TEST(Trace, IndexPointsAtMostRecentRowOnSeqReuse) {
+  core::TimelineTracer tracer(8);
+  // Wrong-path seqs recur after a squash: the same (seq, spec) key is
+  // dispatched twice. Later events must land in the newest row — the old
+  // reverse-scan semantics.
+  tracer.record(make_event(core::TraceKind::kDispatch, 10, 7, true));
+  tracer.record(make_event(core::TraceKind::kSquash, 11, 7, true));
+  tracer.record(make_event(core::TraceKind::kDispatch, 20, 7, true));
+  tracer.record(make_event(core::TraceKind::kIssue, 21, 7, true));
+  ASSERT_EQ(tracer.rows().size(), 2u);
+  EXPECT_TRUE(tracer.rows()[0].squashed);
+  EXPECT_EQ(tracer.rows()[0].issue, 0u);
+  EXPECT_FALSE(tracer.rows()[1].squashed);
+  EXPECT_EQ(tracer.rows()[1].issue, 21u);
+
+  // Seven more dispatches evict exactly the OLDER seq-7 duplicate. The
+  // eviction must not orphan the newer row's index entry (the guard that
+  // only erases when the entry still points at the evicted row).
+  for (InstSeq seq = 100; seq < 107; ++seq) {
+    tracer.record(make_event(core::TraceKind::kDispatch, 30 + seq, seq));
+  }
+  ASSERT_EQ(tracer.rows().size(), 8u);
+  ASSERT_EQ(tracer.rows().front().dispatch, 20u);  // the newer seq-7 row
+  tracer.record(make_event(core::TraceKind::kComplete, 50, 7, true));
+  EXPECT_EQ(tracer.rows().front().complete, 50u);
+
+  // One more dispatch scrolls the newer seq-7 row out too; its events are
+  // then dropped rather than misattributed.
+  tracer.record(make_event(core::TraceKind::kDispatch, 40, 107));
+  tracer.record(make_event(core::TraceKind::kRIssue, 55, 7, true));
+  for (const auto& row : tracer.rows()) EXPECT_EQ(row.r_issue, 0u);
+  tracer.record(make_event(core::TraceKind::kIssue, 60, 106));
+  EXPECT_EQ(tracer.rows()[6].issue, 60u);
 }
 
 TEST(Trace, CapacityBoundsRows) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare two benchmark reports produced by this repo's harnesses.
 
-Usage: bench_diff.py BEFORE.json AFTER.json [--threshold PCT]
+Usage: bench_diff.py BEFORE.json AFTER.json [--threshold PCT] [--markdown PATH]
 
 Auto-detects the report kind:
   * BENCH_perf.json (bench/perf_kips): per-workload kIPS table with the
@@ -12,12 +12,38 @@ Auto-detects the report kind:
     Exits 1 when any variant's coverage drops by more than --threshold
     percentage points, or a full-coverage variant gains escapes.
 
+--markdown PATH appends a GitHub-flavoured markdown rendition of the same
+table to PATH (use $GITHUB_STEP_SUMMARY in CI to surface the diff on the
+workflow run page, or a scratch file to post as a PR comment).
+
 Exits 2 on malformed or mismatched input.
 """
 
 import argparse
 import json
 import sys
+
+
+class MarkdownSink:
+    """Accumulates a markdown rendition of the diff; no-op when path is None."""
+
+    def __init__(self, path):
+        self.path = path
+        self.lines = []
+
+    def add(self, line=""):
+        if self.path is not None:
+            self.lines.append(line)
+
+    def flush(self):
+        if self.path is None or not self.lines:
+            return
+        try:
+            with open(self.path, "a") as f:
+                f.write("\n".join(self.lines) + "\n")
+        except OSError as e:
+            print(f"bench_diff: cannot write markdown to {self.path}: {e}",
+                  file=sys.stderr)
 
 
 def load(path):
@@ -45,7 +71,7 @@ def report_kind(report):
     return "unknown"
 
 
-def diff_perf(before, after, threshold):
+def diff_perf(before, after, threshold, md):
     before_kips = {w["workload"]: w["median_kips"]
                    for w in before.get("workloads", [])}
     after_kips = {w["workload"]: w["median_kips"]
@@ -57,6 +83,10 @@ def diff_perf(before, after, threshold):
               f"kIPS are still comparable but cache behaviour may not be",
               file=sys.stderr)
 
+    md.add("### Simulator throughput (perf_kips)")
+    md.add()
+    md.add("| workload | before (kIPS) | after (kIPS) | change |")
+    md.add("|---|---:|---:|---:|")
     print(f"{'workload':<12}{'before':>12}{'after':>12}{'change':>10}")
     regressions = []
     for name in sorted(set(before_kips) | set(after_kips)):
@@ -65,9 +95,12 @@ def diff_perf(before, after, threshold):
         if b is None or a is None:
             side = "before" if b is None else "after"
             print(f"{name:<12}{'(missing in ' + side + ')':>34}")
+            md.add(f"| {name} | (missing in {side}) | | |")
             continue
         change = pct_change(b, a)
         print(f"{name:<12}{b:>12.1f}{a:>12.1f}{change:>+9.1f}%")
+        flag = " :warning:" if change < -threshold else ""
+        md.add(f"| {name} | {b:.1f} | {a:.1f} | {change:+.1f}%{flag} |")
         if change < -threshold:
             regressions.append((name, change))
 
@@ -75,6 +108,8 @@ def diff_perf(before, after, threshold):
     a_agg = after.get("aggregate_kips", 0.0)
     print(f"{'aggregate':<12}{b_agg:>12.1f}{a_agg:>12.1f}"
           f"{pct_change(b_agg, a_agg):>+9.1f}%")
+    md.add(f"| **aggregate** | {b_agg:.1f} | {a_agg:.1f} | "
+           f"{pct_change(b_agg, a_agg):+.1f}% |")
 
     b_grid = before.get("grid", {})
     a_grid = after.get("grid", {})
@@ -83,14 +118,25 @@ def diff_perf(before, after, threshold):
               f"({b_grid.get('jobs', '?')} jobs) -> "
               f"{a_grid.get('speedup', 0):.2f}x "
               f"({a_grid.get('jobs', '?')} jobs)")
+        md.add()
+        md.add(f"Grid speedup: {b_grid.get('speedup', 0):.2f}x "
+               f"({b_grid.get('jobs', '?')} jobs) → "
+               f"{a_grid.get('speedup', 0):.2f}x "
+               f"({a_grid.get('jobs', '?')} jobs)")
 
     for name, change in regressions:
         print(f"bench_diff: REGRESSION {name}: {change:+.1f}% "
               f"(threshold -{threshold}%)", file=sys.stderr)
+    md.add()
+    if regressions:
+        md.add(f"**{len(regressions)} regression(s)** beyond the "
+               f"-{threshold}% threshold.")
+    else:
+        md.add(f"No regressions beyond the -{threshold}% threshold.")
     return 1 if regressions else 0
 
 
-def diff_fault(before, after, threshold):
+def diff_fault(before, after, threshold, md):
     before_variants = {v["label"]: v for v in before.get("variants", [])}
     after_variants = {v["label"]: v for v in after.get("variants", [])}
 
@@ -103,6 +149,14 @@ def diff_fault(before, after, threshold):
 
     print(f"total injections {before.get('total_injections', 0)} -> "
           f"{after.get('total_injections', 0)}")
+    md.add("### Fault-injection coverage (fault_coverage)")
+    md.add()
+    md.add(f"Total injections: {before.get('total_injections', 0)} → "
+           f"{after.get('total_injections', 0)}")
+    md.add()
+    md.add("| variant | cov before | cov after | change | wilson lo "
+           "| escapes |")
+    md.add("|---|---:|---:|---:|---:|---:|")
     print(f"{'variant':<16}{'cov before':>12}{'cov after':>12}{'change':>9}"
           f"{'wilson lo':>11}{'escapes':>9}")
     regressions = []
@@ -112,6 +166,7 @@ def diff_fault(before, after, threshold):
         if b is None or a is None:
             side = "before" if b is None else "after"
             print(f"{name:<16}{'(missing in ' + side + ')':>33}")
+            md.add(f"| {name} | (missing in {side}) | | | | |")
             continue
         b_cov = 100.0 * b.get("coverage", 0.0)
         a_cov = 100.0 * a.get("coverage", 0.0)
@@ -119,16 +174,28 @@ def diff_fault(before, after, threshold):
         print(f"{name:<16}{b_cov:>11.3f}%{a_cov:>11.3f}%{delta:>+8.3f}%"
               f"{100.0 * a.get('wilson_lower', 0.0):>10.3f}%"
               f"{a.get('undetected', 0):>9}")
+        flag = ""
         if delta < -threshold:
             regressions.append((name, f"coverage {delta:+.3f}pp "
                                       f"(threshold -{threshold}pp)"))
+            flag = " :warning:"
         if (a.get("expect_full_coverage") and a.get("undetected", 0) > 0
                 and b.get("undetected", 0) == 0):
             regressions.append((name, f"{a['undetected']} new escapes in a "
                                       f"full-coverage variant"))
+            flag = " :warning:"
+        md.add(f"| {name} | {b_cov:.3f}% | {a_cov:.3f}% | {delta:+.3f}%{flag} "
+               f"| {100.0 * a.get('wilson_lower', 0.0):.3f}% "
+               f"| {a.get('undetected', 0)} |")
 
     for name, why in regressions:
         print(f"bench_diff: REGRESSION {name}: {why}", file=sys.stderr)
+    md.add()
+    if regressions:
+        md.add(f"**{len(regressions)} regression(s)**: "
+               + "; ".join(f"{name} — {why}" for name, why in regressions))
+    else:
+        md.add(f"No coverage regressions beyond the -{threshold}pp threshold.")
     return 1 if regressions else 0
 
 
@@ -140,6 +207,9 @@ def main():
                         help="regression threshold: percent kIPS drop (perf) "
                              "or coverage percentage points (fault); "
                              "default 10")
+    parser.add_argument("--markdown", metavar="PATH", default=None,
+                        help="append a markdown rendition of the diff to "
+                             "PATH (e.g. $GITHUB_STEP_SUMMARY)")
     args = parser.parse_args()
 
     before = load(args.before)
@@ -151,9 +221,13 @@ def main():
               f"{kinds[1]}", file=sys.stderr)
         sys.exit(2)
 
+    md = MarkdownSink(args.markdown)
     if kinds[0] == "fault":
-        sys.exit(diff_fault(before, after, args.threshold))
-    sys.exit(diff_perf(before, after, args.threshold))
+        status = diff_fault(before, after, args.threshold, md)
+    else:
+        status = diff_perf(before, after, args.threshold, md)
+    md.flush()
+    sys.exit(status)
 
 
 if __name__ == "__main__":

@@ -11,9 +11,12 @@
 //   submit-experiment SPEC.json     POST /v1/experiments; prints the job id
 //   submit-campaign SPEC.json       POST /v1/campaigns; prints the job id
 //   status ID                       GET /v1/jobs/ID
+//   progress ID                     GET /v1/jobs/ID/progress — live cells
+//                                   done/total, committed instructions, kIPS
 //   wait ID [--poll-ms N]           poll status until the job leaves
 //                                   queued/running; prints the final state
 //   result ID [--csv]               GET /v1/jobs/ID/result (?format=csv)
+//   metrics                         GET /v1/metrics (Prometheus text)
 //
 // SPEC.json may be "-" to read the spec from stdin. `wait` exits 0 for
 // state "done", 3 for "timeout", 4 for "failed". `result` on a job that
@@ -98,16 +101,17 @@ int main(int argc, char** argv) {
   if (i >= argc || port < 1 || port > 65535) {
     std::fprintf(stderr,
                  "usage: reese_client [--host ADDR] [--port N] "
-                 "health|stats|submit-experiment|submit-campaign|status|"
-                 "wait|result ...\n");
+                 "health|stats|metrics|submit-experiment|submit-campaign|"
+                 "status|progress|wait|result ...\n");
     return 2;
   }
   const std::string command = argv[i++];
   const u16 port16 = static_cast<u16>(port);
 
-  if (command == "health" || command == "stats") {
-    const std::string path =
-        command == "health" ? "/v1/healthz" : "/v1/stats";
+  if (command == "health" || command == "stats" || command == "metrics") {
+    const std::string path = command == "health"  ? "/v1/healthz"
+                             : command == "stats" ? "/v1/stats"
+                                                  : "/v1/metrics";
     const http::Response response = http::request(host, port16, "GET", path);
     if (response.status == 0) return fail_transport(response);
     std::fputs(response.body.c_str(), stdout);
@@ -138,7 +142,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (command == "status" || command == "wait" || command == "result") {
+  if (command == "status" || command == "progress" || command == "wait" ||
+      command == "result") {
     if (i >= argc) {
       std::fprintf(stderr, "reese_client: %s needs a job id\n",
                    command.c_str());
@@ -146,9 +151,11 @@ int main(int argc, char** argv) {
     }
     const std::string id = argv[i++];
 
-    if (command == "status") {
+    if (command == "status" || command == "progress") {
+      const std::string path = "/v1/jobs/" + id +
+                               (command == "progress" ? "/progress" : "");
       const http::Response response =
-          http::request(host, port16, "GET", "/v1/jobs/" + id);
+          http::request(host, port16, "GET", path);
       if (response.status == 0) return fail_transport(response);
       std::fputs(response.body.c_str(), stdout);
       return response.status == 200 ? 0 : 1;

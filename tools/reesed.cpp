@@ -2,9 +2,11 @@
 //
 // Wraps sim::SimulationService (job queue + run_experiment/run_campaign)
 // in the dependency-free HTTP/1.1 server from common/http.h. Clients
-// submit JSON experiment/campaign specs, poll job state and fetch results
-// as JSON or CSV; see DESIGN.md §11 for endpoints and schemas, and
-// tools/reese_client.cpp for a ready-made client.
+// submit JSON experiment/campaign specs, poll job state (including live
+// per-cell progress at /v1/jobs/<id>/progress) and fetch results as JSON
+// or CSV; /v1/metrics exposes daemon-wide counters in Prometheus text
+// format for scraping. See DESIGN.md §11–§12 for endpoints and schemas,
+// and tools/reese_client.cpp for a ready-made client.
 //
 // Usage: reesed [--host ADDR] [--port N] [--workers N] [--queue-capacity N]
 //               [--grid-jobs N] [--max-instructions N] [--max-cells N]
