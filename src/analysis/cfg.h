@@ -46,6 +46,15 @@ struct BasicBlock {
   usize size() const { return last - first + 1; }
 };
 
+/// True for calls whose callee the CFG cannot model: JALR with rd != x0
+/// (indirect call). Direct JAL calls get a callee-entry edge so dataflow
+/// sees the callee's code; an indirect callee is invisible, and passes must
+/// assume it may read any register before control returns to the call's
+/// fall-through successor.
+inline bool is_opaque_call(const isa::Instruction& inst) {
+  return inst.op == isa::Opcode::kJalr && inst.rd != isa::kZeroReg;
+}
+
 class Cfg {
  public:
   /// Builds the CFG; `program` must outlive the Cfg. Programs whose entry

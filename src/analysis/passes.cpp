@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bitset>
 
+#include "analysis/const_lattice.h"
 #include "analysis/dataflow.h"
 #include "common/strutil.h"
 #include "isa/executor.h"
@@ -123,95 +124,7 @@ void pass_unreachable(const Cfg& cfg, std::vector<Diagnostic>* out) {
 }
 
 // --- static-mem: constant-propagated load/store address checks -------------
-
-struct ConstVal {
-  enum Kind : u8 { kUndef, kConst, kNac } kind = kUndef;
-  u64 value = 0;
-
-  bool operator==(const ConstVal&) const = default;
-  static ConstVal undef() { return {}; }
-  static ConstVal of(u64 v) { return {kConst, v}; }
-  static ConstVal nac() { return {kNac, 0}; }
-};
-
-ConstVal merge_const(ConstVal a, ConstVal b) {
-  if (a.kind == ConstVal::kUndef) return b;
-  if (b.kind == ConstVal::kUndef) return a;
-  if (a.kind == ConstVal::kConst && b.kind == ConstVal::kConst &&
-      a.value == b.value) {
-    return a;
-  }
-  return ConstVal::nac();
-}
-
-/// Integer-register constant state. FP values are not tracked (addresses
-/// are integer arithmetic); any FP-sourced integer def is non-constant.
-struct ConstState {
-  std::vector<ConstVal> regs;  // kIntRegCount entries
-
-  bool operator==(const ConstState&) const = default;
-};
-
-/// Flow one instruction over the constant state. Returns the effective
-/// address when `inst` is a load/store with a statically-known base.
-std::optional<Addr> eval_const(const isa::Instruction& inst, Addr pc,
-                               ConstState* s) {
-  const isa::OpInfo& info = inst.info();
-  auto get = [&](u8 index) -> ConstVal {
-    return index == isa::kZeroReg ? ConstVal::of(0) : s->regs[index];
-  };
-  std::optional<Addr> ea;
-  const bool rs1_const =
-      !info.reads_rs1 || info.is_fp_rs1 || get(inst.rs1).kind == ConstVal::kConst;
-  const bool rs2_const =
-      !info.reads_rs2 || info.is_fp_rs2 || get(inst.rs2).kind == ConstVal::kConst;
-  const bool int_inputs_known = rs1_const && rs2_const &&
-                                !(info.reads_rs1 && info.is_fp_rs1) &&
-                                !(info.reads_rs2 && info.is_fp_rs2);
-  if (info.mem_bytes > 0 && !info.is_fp_rs1 &&
-      get(inst.rs1).kind == ConstVal::kConst) {
-    ea = isa::compute(inst, get(inst.rs1).value, 0, pc).addr;
-  }
-  if (info.writes_rd && !info.is_fp_rd) {
-    ConstVal rd = ConstVal::nac();
-    if (int_inputs_known && info.mem_bytes == 0) {
-      // Pure computation (ALU / LUI / jump link value): reuse the single
-      // definition of SRV semantics.
-      const u64 a = info.reads_rs1 ? get(inst.rs1).value : 0;
-      const u64 b = info.reads_rs2 ? get(inst.rs2).value : 0;
-      rd = ConstVal::of(isa::compute(inst, a, b, pc).value);
-    }
-    if (inst.rd != isa::kZeroReg) s->regs[inst.rd] = rd;
-  }
-  return ea;
-}
-
-struct ConstProblem {
-  using State = ConstState;
-  const Cfg* cfg;
-
-  State top() const {
-    return State{std::vector<ConstVal>(isa::kIntRegCount, ConstVal::undef())};
-  }
-  State boundary(const BasicBlock&) const {
-    State s{std::vector<ConstVal>(isa::kIntRegCount, ConstVal::nac())};
-    s.regs[isa::kZeroReg] = ConstVal::of(0);
-    return s;
-  }
-  State merge(const State& a, const State& b) const {
-    State s = a;
-    for (usize r = 0; r < isa::kIntRegCount; ++r) {
-      s.regs[r] = merge_const(a.regs[r], b.regs[r]);
-    }
-    return s;
-  }
-  State transfer(const BasicBlock& block, State s) const {
-    for (usize i = block.first; i <= block.last; ++i) {
-      eval_const(cfg->inst(i), cfg->pc_of(i), &s);
-    }
-    return s;
-  }
-};
+// (lattice + transfer live in const_lattice.h, shared with the vuln passes)
 
 void pass_static_mem(const Cfg& cfg, std::vector<Diagnostic>* out) {
   constexpr std::string_view kPass = "static-mem";
@@ -277,7 +190,11 @@ struct LivenessProblem {
   /// `s` is the live set AFTER the block; returns the live set before it.
   State transfer(const BasicBlock& block, State s) const {
     for (usize i = block.last + 1; i-- > block.first;) {
-      const isa::DefUse du = isa::def_use(cfg->inst(i));
+      const isa::Instruction& inst = cfg->inst(i);
+      // An opaque call runs an unknown callee before control reaches the
+      // fall-through successor: every register may be read by the callee.
+      if (is_opaque_call(inst)) s.set();
+      const isa::DefUse du = isa::def_use(inst);
       for (u8 d = 0; d < du.def_count; ++d) s.reset(du.defs[d].flat());
       for (u8 u = 0; u < du.use_count; ++u) s.set(du.uses[u].flat());
     }
@@ -296,6 +213,7 @@ void pass_dead_store(const Cfg& cfg, std::vector<Diagnostic>* out) {
     if (!reach[block.index]) continue;
     RegSet live = out_state[block.index];
     for (usize i = block.last + 1; i-- > block.first;) {
+      if (is_opaque_call(cfg.inst(i))) live.set();
       const isa::DefUse du = isa::def_use(cfg.inst(i));
       for (u8 d = 0; d < du.def_count; ++d) {
         const isa::RegRef reg = du.defs[d];

@@ -1,0 +1,118 @@
+// srv-vuln: static AVF/vulnerability analysis over SRV programs.
+//
+// A soft error in a produced value matters only if the corrupted bits can
+// reach architectural state — the ACE argument (Mukherjee et al.; see
+// PAPERS.md). This pass family predicts, per static instruction, how
+// exposed its produced value is, using three ingredients on the existing
+// CFG/dataflow substrate:
+//
+//   1. liveness window — a backward interval analysis computing, for the
+//      value produced at each instruction, bounds [lo, hi] on the number
+//      of instructions until its last consuming read (0 = dead / masked,
+//      i.e. overwritten or program exit before any read). The longer a
+//      value stays live, the longer a flipped bit survives to be consumed.
+//   2. masking — a backward demanded-bits analysis (layered on the
+//      constant lattice from const_lattice.h) computing which result bits
+//      any downstream consumer can actually observe: AND masks, constant
+//      shift amounts, narrow stores and single-bit compares all derate
+//      high bits.
+//   3. execution frequency — loop nesting depth from recursive SCC
+//      decomposition of the CFG; a block at depth d is weighted 10^d
+//      (capped), the classic static profile estimate.
+//
+// The per-instruction score is
+//     score = freq(block) * E[window] * popcount(demanded)/64
+// and `ace_score` is the same without the masking factor — that is the
+// quantity bench/avf_validate cross-checks against measured per-PC fault
+// outcomes from the injection campaign (schema reese-avf-v1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace reese::analysis {
+
+/// Saturating cap on liveness-window interval endpoints (instructions).
+inline constexpr u16 kWindowCap = 64;
+/// Assumed read horizon past an unknown continuation (indirect jump, wild
+/// edge, opaque call): the value may be read up to this many instructions
+/// later, but we cannot see where.
+inline constexpr u16 kUnknownWindow = 8;
+/// Loop depth cap for the 10^depth frequency estimate.
+inline constexpr u32 kLoopDepthCap = 6;
+
+/// Per-block loop nesting depth (0 = straight-line code), from recursive
+/// SCC decomposition over the reachable subgraph: every non-trivial SCC
+/// adds one level to its members, then its back edges into the loop header
+/// are removed and the body is decomposed again for inner loops.
+/// Unreachable blocks get depth 0.
+std::vector<u32> loop_depths(const Cfg& cfg);
+
+/// Estimated relative execution frequency at nesting depth `depth`:
+/// 10^min(depth, kLoopDepthCap).
+double loop_frequency(u32 depth);
+
+/// Interval over liveness-window lengths. Default-constructed is empty
+/// (bottom — no path information); [0,0] means definitely dead.
+struct WindowInterval {
+  u16 lo = 1;
+  u16 hi = 0;
+
+  bool empty() const { return lo > hi; }
+  double expected() const { return empty() ? 0.0 : (lo + hi) / 2.0; }
+  bool operator==(const WindowInterval&) const = default;
+
+  static WindowInterval of(u16 lo, u16 hi) { return {lo, hi}; }
+  /// Interval hull; empty is the identity.
+  static WindowInterval hull(WindowInterval a, WindowInterval b);
+};
+
+/// Masking classification of one produced value.
+enum class MaskClass : u8 {
+  kDead,     ///< never consumed (dead result, x0 write, unreachable)
+  kPartial,  ///< consumed, but some bits are derated (masked/narrowed)
+  kLive,     ///< all 64 bits reach some consumer on some path
+};
+
+/// "dead" / "partial" / "live".
+std::string_view mask_class_name(MaskClass mask_class);
+
+/// Static vulnerability record for one instruction.
+struct InstVuln {
+  usize index = 0;      ///< instruction index into program.code
+  Addr pc = 0;
+  std::string text;     ///< disassembly
+  bool reachable = false;
+  u32 depth = 0;        ///< loop nesting depth of the containing block
+  double freq = 1.0;    ///< loop_frequency(depth)
+  WindowInterval window;///< static ACE window of the produced value
+  u64 demanded = 0;     ///< result bits any consumer can observe
+  MaskClass mask_class = MaskClass::kDead;
+  double ace_score = 0; ///< freq * window.expected()
+  double score = 0;     ///< ace_score * popcount(demanded)/64
+
+  double demanded_fraction() const;
+};
+
+struct VulnReport {
+  /// One record per instruction, in program order.
+  std::vector<InstVuln> instructions;
+  /// Indices into `instructions`, most vulnerable first (score desc,
+  /// pc asc on ties).
+  std::vector<usize> ranking;
+
+  /// Human-readable ranking table; `top` = 0 prints every instruction.
+  std::string table(std::string_view source, usize top = 0) const;
+  /// reese-avf-v1 static report (see DESIGN.md §13).
+  std::string json(std::string_view source) const;
+};
+
+/// Run the full analysis (loop depths + liveness window + demanded bits)
+/// over a prebuilt CFG / a program (building the CFG internally).
+VulnReport analyze_vulnerability(const Cfg& cfg);
+VulnReport analyze_vulnerability(const isa::Program& program);
+
+}  // namespace reese::analysis

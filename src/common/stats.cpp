@@ -102,6 +102,58 @@ void Histogram::reset() {
   max_ = 0;
 }
 
+namespace {
+
+/// Average ranks (1-based) with ties sharing the mean of their rank span.
+std::vector<double> average_ranks(const std::vector<double>& values) {
+  const usize n = values.size();
+  std::vector<usize> order(n);
+  for (usize i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](usize a, usize b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  usize i = 0;
+  while (i < n) {
+    usize j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average of ranks i+1..j+1.
+    const double rank = static_cast<double>(i + j) / 2.0 + 1.0;
+    for (usize k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman_rank_correlation(const std::vector<double>& xs,
+                                 const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const std::vector<double> rx = average_ranks(xs);
+  const std::vector<double> ry = average_ranks(ys);
+  const double n = static_cast<double>(xs.size());
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (usize i = 0; i < xs.size(); ++i) {
+    mean_x += rx[i];
+    mean_y += ry[i];
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double cov = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (usize i = 0; i < xs.size(); ++i) {
+    const double dx = rx[i] - mean_x;
+    const double dy = ry[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x == 0.0 || var_y == 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
 void RunningStat::add(double sample) {
   if (count_ == 0) {
     min_ = sample;

@@ -73,6 +73,18 @@ class Histogram {
   u64 max_ = 0;
 };
 
+/// Spearman rank-correlation coefficient between two paired samples.
+///
+/// Ranks use the average-rank convention for ties, then Pearson correlation
+/// of the rank vectors — the standard tie-corrected Spearman ρ. Used by the
+/// AVF validation bench to compare the static vulnerability ranking against
+/// measured per-PC fault outcomes, where a monotone relationship (not a
+/// linear one) is the claim under test. Returns 0.0 when the vectors are
+/// shorter than 2, differ in length, or either side is constant (rank
+/// variance zero — correlation is undefined there).
+double spearman_rank_correlation(const std::vector<double>& xs,
+                                 const std::vector<double>& ys);
+
 /// Running mean/min/max of double-valued samples (per-cycle occupancies,
 /// utilizations).
 class RunningStat {

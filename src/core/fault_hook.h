@@ -27,8 +27,14 @@ class FaultHook {
   virtual ~FaultHook() = default;
 
   /// Called when instruction `seq` leaves the out-of-order window on its
-  /// way to commit (REESE: R-queue entry creation; baseline: commit).
-  virtual FaultDecision on_instruction(InstSeq seq, Cycle now,
+  /// way to commit (REESE: R-queue entry creation; baseline: commit). `pc`
+  /// is the instruction's program counter, so the hook can attribute
+  /// outcomes to static instructions. Baseline commit and REESE R-queue
+  /// creation call this in program order for EVERY instruction (faulted or
+  /// not), which lets a hook observe the committed value stream — the
+  /// Franklin scheme calls in completion order instead (documented
+  /// approximation for stream-order consumers).
+  virtual FaultDecision on_instruction(InstSeq seq, Cycle now, Addr pc,
                                        const isa::Instruction& inst) = 0;
 
   /// The comparator flagged a mismatch for a faulted instruction.

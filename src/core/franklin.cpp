@@ -59,7 +59,7 @@ void Pipeline::franklin_first_completion(u32 slot_index) {
   entry.fr_p_copy = entry.result;
   if (!entry.spec && fault_hook_ != nullptr) {
     const FaultDecision decision =
-        fault_hook_->on_instruction(entry.seq, now_, entry.inst);
+        fault_hook_->on_instruction(entry.seq, now_, entry.pc, entry.inst);
     if (decision.flip_p || decision.flip_r) {
       entry.fr_faulted = true;
       entry.fr_fault_bit = decision.bit % 64;

@@ -655,7 +655,7 @@ bool Pipeline::commit_head_baseline() {
 
   if (fault_hook_ != nullptr && !config_.reese.enabled) {
     const FaultDecision decision =
-        fault_hook_->on_instruction(head.seq, now_, head.inst);
+        fault_hook_->on_instruction(head.seq, now_, head.pc, head.inst);
     if (decision.flip_p || decision.flip_r) {
       // The baseline has no comparator: every injected fault escapes.
       ++stats_.faults_injected;

@@ -58,7 +58,7 @@ void Pipeline::reese_release() {
 
     if (fault_hook_ != nullptr) {
       const FaultDecision decision =
-          fault_hook_->on_instruction(entry.seq, now_, entry.inst);
+          fault_hook_->on_instruction(entry.seq, now_, entry.pc, entry.inst);
       if (decision.flip_p || decision.flip_r) {
         redundant.faulted = true;
         redundant.fault_bit = decision.bit % 64;

@@ -19,8 +19,42 @@ Injector::Injector(const InjectorConfig& config)
   std::sort(config_.schedule.begin(), config_.schedule.end());
 }
 
-core::FaultDecision Injector::on_instruction(InstSeq seq, Cycle now,
+void Injector::close_window(OpenWindow* open) {
+  FaultRecord& record = records_[open->record_index];
+  record.window_closed = true;
+  record.ace = open->last_use_pos > open->def_pos;
+  record.live_window = record.ace ? open->last_use_pos - open->def_pos : 0;
+  open->record_index = OpenWindow::kNone;
+}
+
+void Injector::finalize_windows() {
+  for (OpenWindow& open : open_windows_) {
+    if (open.record_index != OpenWindow::kNone) close_window(&open);
+  }
+}
+
+core::FaultDecision Injector::on_instruction(InstSeq seq, Cycle now, Addr pc,
                                              const isa::Instruction& inst) {
+  // Advance the committed-stream ACE tracking before the injection
+  // decision: this instruction's reads consume earlier faulted values, and
+  // its definition closes the previous value's window even when the
+  // instruction is itself about to be faulted.
+  ++stream_pos_;
+  const isa::DefUse du = isa::def_use(inst);
+  for (u8 u = 0; u < du.use_count; ++u) {
+    OpenWindow& open = open_windows_[du.uses[u].flat()];
+    if (open.record_index != OpenWindow::kNone) {
+      open.last_use_pos = stream_pos_;
+    }
+  }
+  OpenWindow* def_window = nullptr;
+  if (du.def_count > 0) {
+    def_window = &open_windows_[du.defs[0].flat()];
+    if (def_window->record_index != OpenWindow::kNone) {
+      close_window(def_window);
+    }
+  }
+
   if (config_.max_faults != 0 && records_.size() >= config_.max_faults) {
     return {};
   }
@@ -50,10 +84,29 @@ core::FaultDecision Injector::on_instruction(InstSeq seq, Cycle now,
   FaultRecord record;
   record.seq = seq;
   record.injected_at = now;
+  record.pc = pc;
   record.hit_p = hit_p;
   record.exec_class = inst.info().exec_class;
-  pending_[seq].push_back(records_.size());
+  const usize record_index = records_.size();
+  pending_[seq].push_back(record_index);
   records_.push_back(record);
+
+  // Start the ACE-window measurement for the faulted value.
+  const isa::OpInfo& info = inst.info();
+  if (info.writes_rd && (info.is_fp_rd || inst.rd != isa::kZeroReg)) {
+    *def_window = {record_index, stream_pos_, stream_pos_};
+  } else {
+    FaultRecord& rec = records_.back();
+    rec.window_closed = true;
+    if (info.exec_class == isa::ExecClass::kStore ||
+        isa::is_cond_branch(inst.op) || inst.op == isa::Opcode::kOut) {
+      // The flipped value (stored data, branch outcome, output-hash
+      // operand) is consumed by this very instruction.
+      rec.ace = true;
+      rec.live_window = 1;
+    }
+    // else: x0 write, HALT or NOP — masked immediately.
+  }
   return decision;
 }
 

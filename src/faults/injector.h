@@ -21,8 +21,21 @@
 //    builds).
 //  * Resolution is O(1): unresolved records are indexed by seq in a hash
 //    map, so campaign cost is linear in injections, not quadratic.
+//
+// ACE-window measurement (srv-vuln cross-validation): because the hook is
+// called for EVERY instruction in the committed stream — not only faulted
+// ones — the injector can watch each faulted value's destination register
+// until it is read or overwritten. A fault is ACE (architecturally
+// correct execution would change) when the value is read at least once
+// before redefinition; its live window is the instruction distance to the
+// last such read. Faults into stores/branches/OUT are consumed
+// immediately (window 1); faults into x0 writes or HALT/NOP are masked.
+// Windows still open at end of run are finalized by finalize_windows().
+// With the Franklin scheme the hook fires in completion order, so window
+// lengths there are an approximation; baseline commit order is exact.
 #pragma once
 
+#include <array>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -62,21 +75,35 @@ struct InjectorConfig {
 struct FaultRecord {
   InstSeq seq = 0;
   Cycle injected_at = 0;
+  Addr pc = 0;               ///< static instruction the flip landed on
   bool hit_p = false;        ///< the flip landed in the P copy
   isa::ExecClass exec_class = isa::ExecClass::kNone;
   bool resolved = false;     ///< a detection or an escape has been reported
   bool detected = false;
   Cycle detected_at = 0;
+
+  // Dynamic ACE-window measurement (see the header comment).
+  bool window_closed = false;  ///< the value was read or overwritten (or
+                               ///< finalize_windows() ran); until then the
+                               ///< window fields below are provisional
+  bool ace = false;            ///< read at least once before redefinition
+  u64 live_window = 0;         ///< instructions to the last consuming read
 };
 
 class Injector final : public core::FaultHook {
  public:
   explicit Injector(const InjectorConfig& config);
 
-  core::FaultDecision on_instruction(InstSeq seq, Cycle now,
+  core::FaultDecision on_instruction(InstSeq seq, Cycle now, Addr pc,
                                      const isa::Instruction& inst) override;
   void on_detected(InstSeq seq, Cycle injected_at, Cycle detected_at) override;
   void on_undetected(InstSeq seq) override;
+
+  /// Close every still-open ACE window at end of run: a value read at
+  /// least once counts as ACE with its window so far; an unread value is
+  /// masked (the program produced it and ended without consuming it).
+  /// Idempotent; call once the committed stream is complete.
+  void finalize_windows();
 
   u64 injected() const { return records_.size(); }
   u64 detected() const { return detected_; }
@@ -98,9 +125,22 @@ class Injector final : public core::FaultHook {
   /// Remove one resolved record index from the pending index.
   void unindex(InstSeq seq, usize record_index);
 
+  /// One faulted value being tracked to its last read: the destination
+  /// register holds record `record_index` since stream position `def_pos`.
+  struct OpenWindow {
+    static constexpr usize kNone = ~usize{0};
+    usize record_index = kNone;
+    u64 def_pos = 0;
+    u64 last_use_pos = 0;  ///< == def_pos until the first read
+  };
+  /// Close the window over `open` (value read/overwritten/run ended).
+  void close_window(OpenWindow* open);
+
   InjectorConfig config_;
   SplitMix64 rng_;
   std::set<InstSeq> fired_;  ///< scheduled seqs already injected
+  u64 stream_pos_ = 0;       ///< committed-stream instruction counter
+  std::array<OpenWindow, isa::kFlatRegCount> open_windows_{};
   std::vector<FaultRecord> records_;
   /// seq -> indices into records_ of unresolved faults, oldest first.
   /// Normally one entry per seq; refetch aliasing can make it several.

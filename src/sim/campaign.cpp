@@ -124,6 +124,16 @@ void CampaignCell::merge(const CampaignCell& other) {
     mine->detected += theirs->detected;
     mine->undetected += theirs->undetected;
   }
+  for (const auto& [pc, theirs] : other.by_pc) {
+    PcStratum& mine = by_pc[pc];
+    mine.injected += theirs.injected;
+    mine.detected += theirs.detected;
+    mine.undetected += theirs.undetected;
+    mine.ace += theirs.ace;
+    mine.masked += theirs.masked;
+    mine.window_pending += theirs.window_pending;
+    mine.window_sum += theirs.window_sum;
+  }
 }
 
 CampaignCell CampaignResult::variant_total(usize variant_index) const {
@@ -312,7 +322,16 @@ std::string CampaignResult::csv() const {
 CampaignResult run_campaign(const CampaignSpec& spec_in) {
   CampaignSpec spec = spec_in;
   if (spec.variants.empty()) spec.variants = standard_campaign_variants();
-  if (spec.workloads.empty()) spec.workloads = workloads::spec_like_names();
+  if (!spec.programs.empty()) {
+    // Fixed program images replace the workload axis; their names label
+    // the workload dimension everywhere downstream.
+    spec.workloads.clear();
+    for (const CampaignProgram& program : spec.programs) {
+      spec.workloads.push_back(program.name);
+    }
+  } else if (spec.workloads.empty()) {
+    spec.workloads = workloads::spec_like_names();
+  }
   if (spec.quick) spec.replicas = 1;
   if (spec.replicas == 0) spec.replicas = 1;
   if (spec.instructions == 0) spec.instructions = spec.quick ? 20'000 : 60'000;
@@ -370,17 +389,27 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
     const u64 cell_seed = derive_cell_seed(spec.seed, job.variant_index,
                                            job.workload_index, job.replica);
 
-    workloads::WorkloadOptions options;
-    // Distinct data per replica: the fault stream should sample results
-    // across data-dependent paths, not replay one execution twelve times.
-    options.seed = SplitMix64(cell_seed).next();
-    options.iterations = 0;
-    auto workload =
-        workloads::make_workload(spec.workloads[job.workload_index], options);
-    if (!workload.ok()) {
-      std::fprintf(stderr, "campaign: %s\n",
-                   workload.error().to_string().c_str());
-      std::exit(1);
+    workloads::Workload workload_image;
+    if (!spec.programs.empty()) {
+      // Fixed image: the replica axis still varies the injector seed, so
+      // the fault stream samples different instructions per replica.
+      const CampaignProgram& program = spec.programs[job.workload_index];
+      workload_image =
+          workloads::Workload{program.name, "", "fixed image", program.program};
+    } else {
+      workloads::WorkloadOptions options;
+      // Distinct data per replica: the fault stream should sample results
+      // across data-dependent paths, not replay one execution twelve times.
+      options.seed = SplitMix64(cell_seed).next();
+      options.iterations = 0;
+      auto workload =
+          workloads::make_workload(spec.workloads[job.workload_index], options);
+      if (!workload.ok()) {
+        std::fprintf(stderr, "campaign: %s\n",
+                     workload.error().to_string().c_str());
+        std::exit(1);
+      }
+      workload_image = std::move(workload).value();
     }
 
     faults::InjectorConfig fault_config;
@@ -389,10 +418,12 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
     fault_config.seed = cell_seed;
     faults::Injector injector(fault_config);
 
-    Simulator simulator(std::move(workload).value(), variant.config);
+    Simulator simulator(std::move(workload_image), variant.config);
     simulator.pipeline().set_fault_hook(&injector);
     const SimResult sim_result = simulator.run(spec.instructions);
-    if (sim_result.stop != core::StopReason::kCommitTarget) {
+    const bool halt_ok =
+        !spec.programs.empty() && sim_result.stop == core::StopReason::kHalted;
+    if (sim_result.stop != core::StopReason::kCommitTarget && !halt_ok) {
       std::fprintf(stderr,
                    "campaign: %s/%s stopped early (%s) after %llu insts\n",
                    spec.workloads[job.workload_index].c_str(),
@@ -401,6 +432,10 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
                    static_cast<unsigned long long>(sim_result.committed));
       std::exit(1);
     }
+    // Close still-open ACE windows: for HALTing programs the stream is
+    // complete, so an unread value is truly masked; commit-target stops
+    // can over-count masking for at most the last few in-flight values.
+    injector.finalize_windows();
 
     CampaignCell& cell = result.matrix.cells[job.variant_index]
                              [job.workload_index][job.replica];
@@ -427,6 +462,24 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
       assert(class_index < kExecClassCount);
       accumulate_stratum(&cell.by_class[class_index], record);
       accumulate_stratum(record.hit_p ? &cell.p_side : &cell.r_side, record);
+
+      PcStratum& pc_stratum = cell.by_pc[record.pc];
+      ++pc_stratum.injected;
+      if (record.resolved) {
+        if (record.detected) {
+          ++pc_stratum.detected;
+        } else {
+          ++pc_stratum.undetected;
+        }
+      }
+      if (!record.window_closed) {
+        ++pc_stratum.window_pending;
+      } else if (record.ace) {
+        ++pc_stratum.ace;
+        pc_stratum.window_sum += record.live_window;
+      } else {
+        ++pc_stratum.masked;
+      }
     }
 
     const u64 done = cells_done.fetch_add(1, std::memory_order_relaxed) + 1;

@@ -20,12 +20,14 @@
 
 #include <array>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "core/config.h"
 #include "faults/injector.h"
+#include "isa/program.h"
 #include "sim/progress.h"
 
 namespace reese::sim {
@@ -45,9 +47,21 @@ struct CampaignVariant {
 /// either-side flips, the baseline, and REESE with 1-of-2 re-execution.
 std::vector<CampaignVariant> standard_campaign_variants();
 
+/// A fixed program image to campaign over in place of a named workload
+/// (e.g. an assembled examples/srv file for srv-vuln cross-validation).
+struct CampaignProgram {
+  std::string name;
+  isa::Program program;
+};
+
 struct CampaignSpec {
   std::vector<CampaignVariant> variants;  ///< empty = the standard five
   std::vector<std::string> workloads;     ///< empty = the six spec-like names
+  /// When non-empty, these images replace the workload axis entirely:
+  /// cell (v, w, r) runs programs[w], spec.workloads is overwritten with
+  /// their names, and cells may stop on HALT (example programs terminate)
+  /// as well as on the commit target.
+  std::vector<CampaignProgram> programs;
   /// Independent seed replicas per (variant, workload) cell. The default
   /// full campaign (12 × 5 × 6 cells × rate × instructions) lands at
   /// ~10⁵ total injections.
@@ -84,6 +98,21 @@ struct StratumCount {
 inline constexpr usize kExecClassCount = 10;
 const char* exec_class_label(usize class_index);
 
+/// Per-static-instruction (program counter) injection outcomes, including
+/// the injector's dynamic ACE-window measurements. This is the campaign
+/// half of the srv-vuln cross-validation loop (bench/avf_validate.cpp).
+struct PcStratum {
+  u64 injected = 0;
+  u64 detected = 0;
+  u64 undetected = 0;      ///< escapes (the measured per-PC escape count)
+  u64 ace = 0;             ///< faulted values read before redefinition
+  u64 masked = 0;          ///< faulted values overwritten/dropped unread
+  u64 window_pending = 0;  ///< windows still open at end of run
+  u64 window_sum = 0;      ///< total live instructions across ACE faults
+
+  bool operator==(const PcStratum&) const = default;
+};
+
 /// Raw outcome of one (variant, workload, replica) cell. Everything needed
 /// for campaign-level aggregation is carried here in integer form so cells
 /// merge exactly and compare bit-identically across worker counts.
@@ -108,6 +137,10 @@ struct CampaignCell {
   std::array<StratumCount, kExecClassCount> by_class{};
   StratumCount p_side;  ///< flips that landed in the stored P result
   StratumCount r_side;  ///< flips that landed in the R recomputation
+  /// Outcomes keyed by static instruction address. An ordered map so that
+  /// merge order, equality and serialization are deterministic — the
+  /// --jobs bit-identity contract covers this stratum too.
+  std::map<Addr, PcStratum> by_pc;
 
   u64 resolved() const { return detected + undetected; }
   double coverage() const { return safe_ratio(detected, resolved()); }

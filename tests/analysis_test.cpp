@@ -361,6 +361,27 @@ helper:
   EXPECT_TRUE(run_pass("dead-store", kCleanProgram).empty());
 }
 
+TEST(DeadStore, ValuesEscapingThroughIndirectCallAreNotDead) {
+  // An indirect call (jalr with a live link register) reaches a callee the
+  // CFG cannot see — only the fall-through edge exists — so values set up
+  // before it (the a0 argument here) may be read by the callee and must
+  // not be flagged. This used to warn: the all-live boundary only applied
+  // to blocks *ending* in an indirect jump, and a call block falls
+  // through instead.
+  EXPECT_TRUE(run_pass("dead-store", R"(
+  .text
+main:
+  li   t0, 4116
+  li   a0, 7
+  jalr ra, t0
+  out  a1
+  halt
+helper:
+  add  a1, a0, a0
+  ret
+)").empty());
+}
+
 // --- pass: no-exit-loop -----------------------------------------------------
 
 TEST(NoExitLoop, FlagsSelfLoopAndMultiBlockCycle) {

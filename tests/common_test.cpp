@@ -253,6 +253,31 @@ TEST(Stats, RunningStatNegative) {
   EXPECT_DOUBLE_EQ(s.min(), -5.0);
 }
 
+TEST(Stats, SpearmanPerfectMonotoneAndReversed) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  // Any monotone transform of xs has rho = 1 (rank, not value, based).
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation(xs, {10.0, 100.0, 1e3, 1e4}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation(xs, {9.0, 7.0, 5.0, 3.0}), -1.0);
+}
+
+TEST(Stats, SpearmanAveragesTiedRanks) {
+  // xs ranks with the tie averaged: {1, 2.5, 2.5, 4}; the tie-corrected
+  // rho against a strictly increasing ys is 4.5/sqrt(4.5*5) = 3/sqrt(10).
+  const double rho = spearman_rank_correlation({1.0, 2.0, 2.0, 3.0},
+                                               {1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(rho, 3.0 / std::sqrt(10.0), 1e-12);
+}
+
+TEST(Stats, SpearmanDegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation({1.0, 2.0}, {1.0}), 0.0);
+  // A constant side has zero rank variance: correlation is undefined.
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation({5.0, 5.0, 5.0}, {1.0, 2.0, 3.0}),
+                   0.0);
+}
+
 // --- strutil ---------------------------------------------------------------------
 
 TEST(StrUtil, Trim) {

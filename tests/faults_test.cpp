@@ -23,7 +23,7 @@ TEST(Injector, ScheduleFiresExactSeqs) {
   isa::Instruction nop;
   u64 fired = 0;
   for (InstSeq seq = 1; seq <= 20'000; ++seq) {
-    const core::FaultDecision decision = injector.on_instruction(seq, seq, nop);
+    const core::FaultDecision decision = injector.on_instruction(seq, seq, 0x1000, nop);
     if (decision.flip_p || decision.flip_r) {
       ++fired;
       EXPECT_TRUE(seq == 5 || seq == 10 || seq == 10'000) << seq;
@@ -39,9 +39,9 @@ TEST(Injector, SkippedScheduledSeqIsPassedOver) {
   faults::Injector injector(config);
   isa::Instruction nop;
   // Seq 5 never shows up (e.g. squashed); 10 must still fire.
-  const core::FaultDecision at7 = injector.on_instruction(7, 0, nop);
+  const core::FaultDecision at7 = injector.on_instruction(7, 0, 0x1000, nop);
   EXPECT_FALSE(at7.flip_p || at7.flip_r);
-  const core::FaultDecision at10 = injector.on_instruction(10, 0, nop);
+  const core::FaultDecision at10 = injector.on_instruction(10, 0, 0x1000, nop);
   EXPECT_TRUE(at10.flip_p || at10.flip_r);
 }
 
@@ -51,7 +51,7 @@ TEST(Injector, RateProducesApproximateCount) {
   faults::Injector injector(config);
   isa::Instruction nop;
   for (InstSeq seq = 1; seq <= 100'000; ++seq) {
-    injector.on_instruction(seq, seq, nop);
+    injector.on_instruction(seq, seq, 0x1000, nop);
   }
   EXPECT_NEAR(static_cast<double>(injector.injected()), 1000.0, 150.0);
 }
@@ -63,7 +63,7 @@ TEST(Injector, MaxFaultsCap) {
   faults::Injector injector(config);
   isa::Instruction nop;
   for (InstSeq seq = 1; seq <= 100; ++seq) {
-    injector.on_instruction(seq, seq, nop);
+    injector.on_instruction(seq, seq, 0x1000, nop);
   }
   EXPECT_EQ(injector.injected(), 7u);
 }
@@ -74,7 +74,7 @@ TEST(Injector, TargetSelection) {
   p_config.rate = 1.0;
   p_config.target = faults::FaultTarget::kPResult;
   faults::Injector p_injector(p_config);
-  const core::FaultDecision p_decision = p_injector.on_instruction(1, 0, nop);
+  const core::FaultDecision p_decision = p_injector.on_instruction(1, 0, 0x1000, nop);
   EXPECT_TRUE(p_decision.flip_p);
   EXPECT_FALSE(p_decision.flip_r);
 
@@ -82,7 +82,7 @@ TEST(Injector, TargetSelection) {
   r_config.rate = 1.0;
   r_config.target = faults::FaultTarget::kRResult;
   faults::Injector r_injector(r_config);
-  const core::FaultDecision r_decision = r_injector.on_instruction(1, 0, nop);
+  const core::FaultDecision r_decision = r_injector.on_instruction(1, 0, 0x1000, nop);
   EXPECT_FALSE(r_decision.flip_p);
   EXPECT_TRUE(r_decision.flip_r);
 }
@@ -92,7 +92,7 @@ TEST(Injector, CoverageAccounting) {
   config.schedule = {1, 2, 3, 4};
   faults::Injector injector(config);
   isa::Instruction nop;
-  for (InstSeq seq = 1; seq <= 4; ++seq) injector.on_instruction(seq, 10, nop);
+  for (InstSeq seq = 1; seq <= 4; ++seq) injector.on_instruction(seq, 10, 0x1000, nop);
   injector.on_detected(1, 10, 30);
   injector.on_detected(2, 10, 50);
   injector.on_undetected(3);
@@ -112,8 +112,8 @@ TEST(Injector, Deterministic) {
     faults::Injector b(config);
     isa::Instruction nop;
     for (InstSeq seq = 1; seq <= 1000; ++seq) {
-      const core::FaultDecision da = a.on_instruction(seq, 0, nop);
-      const core::FaultDecision db = b.on_instruction(seq, 0, nop);
+      const core::FaultDecision da = a.on_instruction(seq, 0, 0x1000, nop);
+      const core::FaultDecision db = b.on_instruction(seq, 0, 0x1000, nop);
       ASSERT_EQ(da.flip_p, db.flip_p);
       ASSERT_EQ(da.flip_r, db.flip_r);
       ASSERT_EQ(da.bit, db.bit);
@@ -129,7 +129,7 @@ namespace {
 /// valid fault schedule must be derived from a recording run).
 class SeqRecorder final : public core::FaultHook {
  public:
-  core::FaultDecision on_instruction(InstSeq seq, Cycle,
+  core::FaultDecision on_instruction(InstSeq seq, Cycle, Addr,
                                      const isa::Instruction&) override {
     seqs.push_back(seq);
     return {};

@@ -14,6 +14,7 @@
 
 #include "core/pipeline.h"
 #include "faults/injector.h"
+#include "isa/assembler.h"
 #include "json_checker.h"
 #include "sim/campaign.h"
 #include "workloads/workload.h"
@@ -31,8 +32,8 @@ TEST(Injector, AliasedSeqsResolveIndependently) {
   config.rate = 1.0;
   faults::Injector injector(config);
   isa::Instruction nop;
-  injector.on_instruction(5, 10, nop);  // first fetch of seq 5
-  injector.on_instruction(5, 50, nop);  // refetch after the flush
+  injector.on_instruction(5, 10, 0x1000, nop);  // first fetch of seq 5
+  injector.on_instruction(5, 50, 0x1000, nop);  // refetch after the flush
   ASSERT_EQ(injector.injected(), 2u);
 
   // The *second* record is detected; the first escapes. Before keying by
@@ -65,8 +66,8 @@ TEST(Injector, EscapesResolveOldestAliasFirst) {
   config.rate = 1.0;
   faults::Injector injector(config);
   isa::Instruction nop;
-  injector.on_instruction(9, 100, nop);
-  injector.on_instruction(9, 200, nop);
+  injector.on_instruction(9, 100, 0x1000, nop);
+  injector.on_instruction(9, 200, 0x1000, nop);
   injector.on_undetected(9);  // FIFO: settles the cycle-100 record
   EXPECT_TRUE(injector.records()[0].resolved);
   EXPECT_FALSE(injector.records()[1].resolved);
@@ -80,7 +81,7 @@ TEST(Injector, DoubleResolutionIsIdempotent) {
   config.rate = 1.0;
   faults::Injector injector(config);
   isa::Instruction nop;
-  injector.on_instruction(7, 3, nop);
+  injector.on_instruction(7, 3, 0x1000, nop);
 
   injector.on_detected(7, 3, 9);
   injector.on_detected(7, 3, 9);   // duplicate detection report
@@ -103,8 +104,8 @@ TEST(Injector, LatencyPastHistogramRangeClampsToOverflow) {
   config.rate = 1.0;
   faults::Injector injector(config);
   isa::Instruction nop;
-  injector.on_instruction(1, 0, nop);
-  injector.on_instruction(2, 0, nop);
+  injector.on_instruction(1, 0, 0x1000, nop);
+  injector.on_instruction(2, 0, 0x1000, nop);
   injector.on_detected(1, 0, 12);     // in range
   injector.on_detected(2, 0, 1000);   // past the last bucket
 
@@ -130,7 +131,7 @@ TEST(Injector, FifoResolutionOfLargeBacklogIsFast) {
   faults::Injector injector(config);
   isa::Instruction nop;
   for (InstSeq seq = 1; seq <= kCount; ++seq) {
-    injector.on_instruction(seq, seq, nop);
+    injector.on_instruction(seq, seq, 0x1000, nop);
   }
   for (InstSeq seq = 1; seq <= kCount; ++seq) {
     if (seq % 2 == 0) {
@@ -280,6 +281,142 @@ TEST(Campaign, ReportSerializesToValidJson) {
   std::fclose(file);
   std::remove(path.c_str());
   EXPECT_EQ(contents, json);
+}
+
+// --- dynamic ACE-window measurement -------------------------------------------
+
+TEST(Injector, AceWindowClosesOnRedefinitionAfterReads) {
+  faults::InjectorConfig config;
+  config.rate = 1.0;
+  faults::Injector injector(config);
+  const isa::Instruction def{isa::Opcode::kAdd, 5, 1, 2, 0};     // x5 = ...
+  const isa::Instruction filler{isa::Opcode::kAdd, 7, 1, 2, 0};  // no x5
+  const isa::Instruction use{isa::Opcode::kAdd, 6, 5, 1, 0};     // reads x5
+  const isa::Instruction redefine{isa::Opcode::kAddi, 5, 0, 0, 0};
+
+  injector.on_instruction(1, 0, 0x1000, def);       // stream pos 1
+  injector.on_instruction(2, 1, 0x1004, filler);    // pos 2
+  injector.on_instruction(3, 2, 0x1008, use);       // pos 3: reads x5
+  injector.on_instruction(4, 3, 0x100c, redefine);  // pos 4: kills x5
+
+  const std::vector<faults::FaultRecord>& records = injector.records();
+  ASSERT_EQ(records.size(), 4u);
+  // The faulted x5 value was read at pos 3, redefined at pos 4: ACE with a
+  // live window of 3 − 1 = 2 instructions.
+  EXPECT_TRUE(records[0].window_closed);
+  EXPECT_TRUE(records[0].ace);
+  EXPECT_EQ(records[0].live_window, 2u);
+  EXPECT_EQ(records[0].pc, Addr{0x1000});
+
+  // The filler's x7 and the use's x6 are never read; still open here.
+  EXPECT_FALSE(records[1].window_closed);
+  EXPECT_FALSE(records[2].window_closed);
+
+  injector.finalize_windows();
+  EXPECT_TRUE(records[1].window_closed);
+  EXPECT_FALSE(records[1].ace);  // produced, never consumed: masked
+  EXPECT_TRUE(records[2].window_closed);
+  EXPECT_FALSE(records[2].ace);
+  // finalize_windows is idempotent.
+  injector.finalize_windows();
+  EXPECT_EQ(records[0].live_window, 2u);
+}
+
+TEST(Injector, ImmediateConsumersAndSinksClassifyOnInjection) {
+  faults::InjectorConfig config;
+  config.rate = 1.0;
+  faults::Injector injector(config);
+  const isa::Instruction store{isa::Opcode::kSd, 0, 1, 2, 0};
+  const isa::Instruction branch{isa::Opcode::kBeq, 0, 1, 2, 4};
+  const isa::Instruction x0_write{isa::Opcode::kAddi, 0, 1, 0, 7};
+
+  injector.on_instruction(1, 0, 0x1000, store);
+  injector.on_instruction(2, 1, 0x1004, branch);
+  injector.on_instruction(3, 2, 0x1008, x0_write);
+
+  const std::vector<faults::FaultRecord>& records = injector.records();
+  ASSERT_EQ(records.size(), 3u);
+  // Stored data and branch outcomes are consumed by the instruction
+  // itself: ACE, window 1, no tracking needed.
+  EXPECT_TRUE(records[0].window_closed);
+  EXPECT_TRUE(records[0].ace);
+  EXPECT_EQ(records[0].live_window, 1u);
+  EXPECT_TRUE(records[1].window_closed);
+  EXPECT_TRUE(records[1].ace);
+  // An x0 write is architecturally dropped: masked immediately.
+  EXPECT_TRUE(records[2].window_closed);
+  EXPECT_FALSE(records[2].ace);
+  EXPECT_EQ(records[2].live_window, 0u);
+}
+
+// --- per-PC stratum ------------------------------------------------------------
+
+sim::CampaignSpec program_campaign() {
+  auto assembled = isa::assemble(R"(
+  .text
+main:
+  li   t0, 40
+loop:
+  addi t0, t0, -1
+  bnez t0, loop
+  out  t0
+  halt
+)");
+  EXPECT_TRUE(assembled.ok());
+  sim::CampaignSpec spec;
+  spec.programs.push_back({"tiny_loop", std::move(assembled).value()});
+  spec.replicas = 4;
+  spec.instructions = 5'000;
+  spec.rate = 0.05;
+  return spec;
+}
+
+TEST(Campaign, PcStrataSumToTotalsAndEveryOutcomeIsClassified) {
+  const sim::CampaignResult result = sim::run_campaign(program_campaign());
+  // The program axis replaces the workload axis and may stop on HALT.
+  ASSERT_EQ(result.spec.workloads,
+            (std::vector<std::string>{"tiny_loop"}));
+  for (usize v = 0; v < result.spec.variants.size(); ++v) {
+    const sim::CampaignCell total = result.variant_total(v);
+    ASSERT_GT(total.injected, 0u) << result.spec.variants[v].label;
+    u64 injected = 0, detected = 0, undetected = 0, outcomes = 0;
+    for (const auto& [pc, stratum] : total.by_pc) {
+      injected += stratum.injected;
+      detected += stratum.detected;
+      undetected += stratum.undetected;
+      outcomes += stratum.ace + stratum.masked + stratum.window_pending;
+      // Every PC is a real static instruction of the 6-instruction image.
+      EXPECT_GE(pc, Addr{0x1000});
+      EXPECT_LT(pc, Addr{0x1000 + 6 * 4});
+    }
+    EXPECT_EQ(injected, total.injected);
+    EXPECT_EQ(detected, total.detected);
+    EXPECT_EQ(undetected, total.undetected);
+    // finalize_windows ran: every record has an ACE-or-masked verdict.
+    EXPECT_EQ(outcomes, total.injected);
+  }
+  // The baseline variant measures real windows: the loop-carried addi is
+  // read before redefinition, so ACE mass must show up somewhere.
+  u64 window_sum = 0;
+  for (const auto& [pc, stratum] : result.variant_total(3).by_pc) {
+    window_sum += stratum.window_sum;
+  }
+  EXPECT_GT(window_sum, 0u);
+}
+
+TEST(Campaign, PcStrataAreBitIdenticalAcrossJobCounts) {
+  sim::CampaignSpec spec = program_campaign();
+  spec.jobs = 1;
+  const sim::CampaignResult sequential = sim::run_campaign(spec);
+  spec.jobs = 4;
+  const sim::CampaignResult parallel = sim::run_campaign(spec);
+  EXPECT_GT(sequential.total_injections(), 0u);
+  // CampaignCell::operator== covers by_pc, so this compares the new
+  // stratum byte for byte as well.
+  EXPECT_TRUE(sequential.matrix == parallel.matrix);
+  const sim::CampaignCell a = sequential.variant_total(0);
+  const sim::CampaignCell b = parallel.variant_total(0);
+  EXPECT_TRUE(a.by_pc == b.by_pc);
 }
 
 TEST(Campaign, QuickModeUsesOneReplicaAndReducedBudget) {

@@ -11,6 +11,11 @@ Auto-detects the report kind:
     reese-fault-campaign-v1): per-variant coverage with Wilson bounds.
     Exits 1 when any variant's coverage drops by more than --threshold
     percentage points, or a full-coverage variant gains escapes.
+  * BENCH_avf.json (bench/avf_validate, schema reese-avf-v1 kind
+    "validation"): per-program Spearman rank correlation between the
+    static srv-vuln ranking and measured per-PC fault outcomes. Exits 1
+    when any program's rho_window drops by more than --rho-threshold
+    (default 0.15, absolute), or a previously-passing program now fails.
 
 --markdown PATH appends a GitHub-flavoured markdown rendition of the same
 table to PATH (use $GITHUB_STEP_SUMMARY in CI to surface the diff on the
@@ -66,6 +71,8 @@ def report_kind(report):
         return "unknown"
     if report.get("schema") == "reese-fault-campaign-v1":
         return "fault"
+    if report.get("schema") == "reese-avf-v1":
+        return "avf"
     if "aggregate_kips" in report or "workloads" in report:
         return "perf"
     return "unknown"
@@ -199,6 +206,61 @@ def diff_fault(before, after, threshold, md):
     return 1 if regressions else 0
 
 
+def diff_avf(before, after, rho_threshold, md):
+    before_programs = {p["name"]: p for p in before.get("programs", [])}
+    after_programs = {p["name"]: p for p in after.get("programs", [])}
+
+    for key in ("replicas", "rate", "seed", "min_rho"):
+        if before.get(key) != after.get(key):
+            print(f"bench_diff: warning: validation {key} differs "
+                  f"({before.get(key)} vs {after.get(key)}); correlations "
+                  f"are still comparable but not the same experiment",
+                  file=sys.stderr)
+
+    md.add("### AVF cross-validation (avf_validate)")
+    md.add()
+    md.add("| program | rho before | rho after | change | injected | pass |")
+    md.add("|---|---:|---:|---:|---:|---|")
+    print(f"{'program':<14}{'rho before':>12}{'rho after':>12}{'change':>9}"
+          f"{'injected':>10}{'pass':>6}")
+    regressions = []
+    for name in sorted(set(before_programs) | set(after_programs)):
+        b = before_programs.get(name)
+        a = after_programs.get(name)
+        if b is None or a is None:
+            side = "before" if b is None else "after"
+            print(f"{name:<14}{'(missing in ' + side + ')':>33}")
+            md.add(f"| {name} | (missing in {side}) | | | | |")
+            continue
+        b_rho = b.get("rho_window", 0.0)
+        a_rho = a.get("rho_window", 0.0)
+        delta = a_rho - b_rho
+        verdict = "yes" if a.get("pass") else "NO"
+        print(f"{name:<14}{b_rho:>+12.3f}{a_rho:>+12.3f}{delta:>+9.3f}"
+              f"{a.get('injected', 0):>10}{verdict:>6}")
+        flag = ""
+        if delta < -rho_threshold:
+            regressions.append((name, f"rho_window {delta:+.3f} "
+                                      f"(threshold -{rho_threshold})"))
+            flag = " :warning:"
+        if b.get("pass") and not a.get("pass"):
+            regressions.append((name, "was passing, now below min_rho"))
+            flag = " :warning:"
+        md.add(f"| {name} | {b_rho:+.3f} | {a_rho:+.3f} | {delta:+.3f}{flag} "
+               f"| {a.get('injected', 0)} | {verdict} |")
+
+    for name, why in regressions:
+        print(f"bench_diff: REGRESSION {name}: {why}", file=sys.stderr)
+    md.add()
+    if regressions:
+        md.add(f"**{len(regressions)} regression(s)**: "
+               + "; ".join(f"{name} — {why}" for name, why in regressions))
+    else:
+        md.add(f"No rank-correlation regressions beyond the "
+               f"-{rho_threshold} threshold.")
+    return 1 if regressions else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("before")
@@ -207,6 +269,9 @@ def main():
                         help="regression threshold: percent kIPS drop (perf) "
                              "or coverage percentage points (fault); "
                              "default 10")
+    parser.add_argument("--rho-threshold", type=float, default=0.15,
+                        help="regression threshold for avf reports: absolute "
+                             "Spearman rho_window drop; default 0.15")
     parser.add_argument("--markdown", metavar="PATH", default=None,
                         help="append a markdown rendition of the diff to "
                              "PATH (e.g. $GITHUB_STEP_SUMMARY)")
@@ -224,6 +289,8 @@ def main():
     md = MarkdownSink(args.markdown)
     if kinds[0] == "fault":
         status = diff_fault(before, after, args.threshold, md)
+    elif kinds[0] == "avf":
+        status = diff_avf(before, after, args.rho_threshold, md)
     else:
         status = diff_perf(before, after, args.threshold, md)
     md.flush()

@@ -12,6 +12,9 @@
 //   --min-severity=SEV      note|warning|error; drop findings below SEV
 //   --werror                treat warnings as errors for the exit status
 //   --list-passes           print the registry and exit
+//   --vuln                  vulnerability mode: run the srv-vuln analysis
+//                           (src/analysis/vuln.h) instead of the lint
+//                           passes and print its ranking report
 //
 // Exit status: 0 = clean (notes/warnings allowed unless --werror),
 // 1 = at least one error-severity finding (or a file failed to assemble),
@@ -19,8 +22,11 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "analysis/passes.h"
+#include "analysis/vuln.h"
 #include "common/diag.h"
 #include "common/flags.h"
 #include "common/strutil.h"
@@ -35,7 +41,8 @@ int usage() {
                "usage: srv-lint [--format=text|json] [--pass=NAME[,...]]\n"
                "                [--min-severity=note|warning|error] "
                "[--werror]\n"
-               "                [--list-passes] file.srv [file2.srv ...]\n");
+               "                [--list-passes] [--vuln] "
+               "file.srv [file2.srv ...]\n");
   return 2;
 }
 
@@ -77,8 +84,23 @@ bool lint_file(const std::string& path, const analysis::LintOptions& options,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // FlagSet's SimpleScalar-style "-name value" form would swallow the file
+  // operand after a bare boolean flag ("--vuln prog.srv" parses as
+  // vuln=prog.srv with no positionals), so expand the known valueless flags
+  // to their "=true" form before parsing.
+  std::vector<std::string> arg_storage(argv, argv + argc);
+  for (std::string& arg : arg_storage) {
+    if (arg == "--vuln" || arg == "-vuln" || arg == "--werror" ||
+        arg == "-werror" || arg == "--list-passes" || arg == "-list-passes") {
+      arg += "=true";
+    }
+  }
+  std::vector<const char*> arg_ptrs;
+  arg_ptrs.reserve(arg_storage.size());
+  for (const std::string& arg : arg_storage) arg_ptrs.push_back(arg.c_str());
+
   FlagSet flags;
-  if (auto parsed = flags.parse(argc, argv); !parsed.ok()) {
+  if (auto parsed = flags.parse(argc, arg_ptrs.data()); !parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.error().to_string().c_str());
     return usage();
   }
@@ -114,6 +136,37 @@ int main(int argc, char** argv) {
       }
       options.passes.emplace_back(name);
     }
+  }
+
+  if (flags.get_bool("vuln", false)) {
+    // Vulnerability mode: same front end, srv-vuln analysis instead of the
+    // lint registry (see tools/srv_vuln.cpp for the dedicated CLI).
+    bool failed = false;
+    for (const std::string& path : flags.positional()) {
+      std::ifstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "srv-lint: cannot open %s\n", path.c_str());
+        failed = true;
+        continue;
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      auto assembled = isa::assemble(buffer.str());
+      if (!assembled.ok()) {
+        std::fprintf(stderr, "srv-lint: %s: line %d: %s\n", path.c_str(),
+                     assembled.error().line,
+                     assembled.error().message.c_str());
+        failed = true;
+        continue;
+      }
+      const analysis::VulnReport report =
+          analysis::analyze_vulnerability(assembled.value());
+      std::fputs((format == DiagFormat::kJson ? report.json(path)
+                                              : report.table(path))
+                     .c_str(),
+                 stdout);
+    }
+    return failed ? 1 : 0;
   }
 
   bool io_error = false;
