@@ -16,11 +16,13 @@
 //
 // Usage: fault_coverage [--quick] [--jobs N] [--replicas N]
 //                       [--instructions N] [--rate R] [--seed S]
-//                       [--out PATH]
+//                       [--out PATH] [--checkpoint-dir D] [--resume-from D]
 //
 //   --quick       CI mode: 1 replica, 20k-instruction cells (≈10³ injections)
 //   --jobs N      worker threads (default: auto; also -jobs/--jobs=/REESE_JOBS)
 //   --out PATH    report path (default: BENCH_fault.json in the CWD)
+//   --checkpoint-dir D   write per-cell ".done" records into D
+//   --resume-from D      skip cells already recorded in D (implies dir)
 //
 // Exit status 1 when a coverage expectation fails (a full-re-execution
 // REESE variant escaped a fault, or the baseline "detected" one).
@@ -61,6 +63,14 @@ int main(int argc, char** argv) {
       spec.seed = static_cast<u64>(std::strtoull(next_value(), nullptr, 0));
     } else if (std::strcmp(arg, "--out") == 0) {
       out_path = next_value();
+    } else if (std::strcmp(arg, "--checkpoint-dir") == 0) {
+      spec.checkpoint.dir = next_value();
+    } else if (std::strcmp(arg, "--checkpoint-interval") == 0) {
+      spec.checkpoint.interval =
+          static_cast<u64>(std::atoll(next_value()));
+    } else if (std::strcmp(arg, "--resume-from") == 0) {
+      spec.checkpoint.dir = next_value();
+      spec.checkpoint.resume = true;
     } else {
       std::fprintf(stderr, "fault_coverage: unknown argument %s\n", arg);
       return 2;

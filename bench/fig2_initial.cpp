@@ -17,6 +17,7 @@
 
 int main(int argc, char** argv) {
   reese::sim::parse_jobs_flag(argc, argv);
+  reese::sim::parse_checkpoint_flags(argc, argv);
   reese::sim::ExperimentSpec spec;
   spec.title = "Figure 2: initial comparison between REESE and baseline "
                "(starting configuration)";

@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   reese::sim::parse_jobs_flag(argc, argv);
+  reese::sim::parse_checkpoint_flags(argc, argv);
   reese::sim::ExperimentSpec spec;
   spec.title = "Figure 3: REESE vs baseline with RUU=32, LSQ=16";
   spec.base = reese::core::starting_config();

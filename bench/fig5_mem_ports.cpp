@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   reese::sim::parse_jobs_flag(argc, argv);
+  reese::sim::parse_checkpoint_flags(argc, argv);
   reese::sim::ExperimentSpec spec;
   spec.title = "Figure 5: IPC for additional memory ports (4 ports)";
   spec.base = reese::core::starting_config();

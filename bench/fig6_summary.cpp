@@ -37,6 +37,7 @@ core::CoreConfig variation(int which) {
 
 int main(int argc, char** argv) {
   reese::sim::parse_jobs_flag(argc, argv);
+  reese::sim::parse_checkpoint_flags(argc, argv);
   const std::vector<std::string> variations = {"None", "RUU,LSQ 2X", "Ex.Q 2X",
                                                "MemPorts"};
   std::printf("Figure 6: summary of results (average IPC per hardware "

@@ -48,6 +48,7 @@ core::CoreConfig config_for(const Point& point) {
 
 int main(int argc, char** argv) {
   reese::sim::parse_jobs_flag(argc, argv);
+  reese::sim::parse_checkpoint_flags(argc, argv);
   const std::vector<Point> points = {
       {"RUU=64", 64, false},
       {"RUU=64+FUs", 64, true},

@@ -5,19 +5,32 @@
 #include <cstdlib>
 
 #include "common/bitutil.h"
+#include "common/snapshot.h"
 
 namespace reese::branch {
 namespace {
 
-/// 2-bit saturating counter helpers; counters start weakly not-taken (1).
-constexpr u8 kWeakNotTaken = 1;
-
-u8 bump(u8 counter, bool taken) {
-  if (taken) return counter < 3 ? counter + 1 : 3;
-  return counter > 0 ? counter - 1 : 0;
+/// Shared helper: serialize a counter/history table with a size check on
+/// load, failing the reader when the snapshot was built with a different
+/// predictor geometry.
+template <typename T>
+void save_table(SnapshotWriter* writer, const std::vector<T>& table) {
+  writer->put_u64(table.size());
+  for (T value : table) writer->put_u64(value);
 }
 
-bool counter_taken(u8 counter) { return counter >= 2; }
+template <typename T>
+void load_table(SnapshotReader* reader, std::vector<T>* table,
+                const char* what) {
+  const u64 size = reader->get_u64();
+  if (!reader->ok()) return;
+  if (size != table->size()) {
+    reader->fail(std::string(what) + " table size mismatch (snapshot built "
+                 "with a different predictor configuration)");
+    return;
+  }
+  for (T& value : *table) value = static_cast<T>(reader->get_u64());
+}
 
 usize require_pow2(usize n, const char* what) {
   if (!is_pow2(n)) {
@@ -41,7 +54,15 @@ BranchPrediction BimodalPredictor::predict(Addr pc) {
 }
 
 void BimodalPredictor::update(Addr, bool taken, u64 meta) {
-  table_[meta & mask_] = bump(table_[meta & mask_], taken);
+  table_[meta & mask_] = bump_counter(table_[meta & mask_], taken);
+}
+
+void BimodalPredictor::save_state(SnapshotWriter* writer) const {
+  save_table(writer, table_);
+}
+
+void BimodalPredictor::load_state(SnapshotReader* reader) {
+  load_table(reader, &table_, "bimodal");
 }
 
 // --- gshare ----------------------------------------------------------------
@@ -52,27 +73,14 @@ GsharePredictor::GsharePredictor(unsigned history_bits)
   assert(history_bits >= 2 && history_bits <= 24);
 }
 
-usize GsharePredictor::index_of(Addr pc, u64 history) const {
-  return static_cast<usize>(((pc >> 2) ^ history) & (table_.size() - 1));
+void GsharePredictor::save_state(SnapshotWriter* writer) const {
+  save_table(writer, table_);
+  writer->put_u64(ghr_);
 }
 
-BranchPrediction GsharePredictor::predict(Addr pc) {
-  const u64 used_history = ghr_;
-  const bool taken = counter_taken(table_[index_of(pc, used_history)]);
-  // Speculative history update with the *predicted* outcome.
-  ghr_ = ((ghr_ << 1) | (taken ? 1 : 0)) & ((u64{1} << history_bits_) - 1);
-  return {taken, used_history};
-}
-
-void GsharePredictor::update(Addr pc, bool taken, u64 meta) {
-  u8& counter = table_[index_of(pc, meta)];
-  counter = bump(counter, taken);
-}
-
-void GsharePredictor::repair(u64 meta, bool taken) {
-  // `meta` is the global history this branch predicted with; everything
-  // shifted in since is wrong-path speculation.
-  ghr_ = ((meta << 1) | (taken ? 1 : 0)) & ((u64{1} << history_bits_) - 1);
+void GsharePredictor::load_state(SnapshotReader* reader) {
+  load_table(reader, &table_, "gshare");
+  ghr_ = reader->get_u64();
 }
 
 // --- local two-level ---------------------------------------------------------
@@ -93,11 +101,21 @@ BranchPrediction LocalPredictor::predict(Addr pc) {
 
 void LocalPredictor::update(Addr pc, bool taken, u64 meta) {
   u8& counter = counters_[meta & (counters_.size() - 1)];
-  counter = bump(counter, taken);
+  counter = bump_counter(counter, taken);
   const usize h_index = (pc >> 2) & (histories_.size() - 1);
   histories_[h_index] = static_cast<u16>(
       ((histories_[h_index] << 1) | (taken ? 1 : 0)) &
       ((1u << history_bits_) - 1));
+}
+
+void LocalPredictor::save_state(SnapshotWriter* writer) const {
+  save_table(writer, histories_);
+  save_table(writer, counters_);
+}
+
+void LocalPredictor::load_state(SnapshotReader* reader) {
+  load_table(reader, &histories_, "local history");
+  load_table(reader, &counters_, "local counter");
 }
 
 // --- tournament --------------------------------------------------------------
@@ -135,12 +153,24 @@ void TournamentPredictor::update(Addr pc, bool taken, u64 meta) {
   gshare_.update(pc, taken, meta & 0xFFFFFFFFULL);
   if (bimodal_said != gshare_said) {
     u8& chooser = chooser_[(pc >> 2) & chooser_mask_];
-    chooser = bump(chooser, gshare_said == taken);
+    chooser = bump_counter(chooser, gshare_said == taken);
   }
 }
 
 void TournamentPredictor::repair(u64 meta, bool taken) {
   gshare_.repair(meta & 0xFFFFFFFFULL, taken);
+}
+
+void TournamentPredictor::save_state(SnapshotWriter* writer) const {
+  bimodal_.save_state(writer);
+  gshare_.save_state(writer);
+  save_table(writer, chooser_);
+}
+
+void TournamentPredictor::load_state(SnapshotReader* reader) {
+  bimodal_.load_state(reader);
+  gshare_.load_state(reader);
+  load_table(reader, &chooser_, "tournament chooser");
 }
 
 // --- factory -----------------------------------------------------------------
@@ -228,32 +258,54 @@ void Btb::update(Addr pc, Addr target) {
   entries_[set_base + victim] = Entry{pc, target, true, tick_};
 }
 
-// --- RAS ---------------------------------------------------------------------
-
-ReturnAddressStack::ReturnAddressStack(usize depth)
-    : stack_(depth, 0), depth_(depth) {
-  assert(depth >= 1);
+void Btb::save(SnapshotWriter* writer) const {
+  writer->put_u64(entries_.size());
+  for (const Entry& entry : entries_) {
+    writer->put_u64(entry.pc);
+    writer->put_u64(entry.target);
+    writer->put_bool(entry.valid);
+    writer->put_u64(entry.stamp);
+  }
+  writer->put_u64(tick_);
+  writer->put_u64(lookups_);
+  writer->put_u64(hits_);
 }
 
-void ReturnAddressStack::push(Addr return_address) {
-  stack_[top_ % depth_] = return_address;
-  top_ = (top_ + 1) % depth_;
+void Btb::load(SnapshotReader* reader) {
+  const u64 entry_count = reader->get_u64();
+  if (!reader->ok()) return;
+  if (entry_count != entries_.size()) {
+    reader->fail("btb geometry mismatch (snapshot built with a different "
+                 "configuration)");
+    return;
+  }
+  for (Entry& entry : entries_) {
+    entry.pc = reader->get_u64();
+    entry.target = reader->get_u64();
+    entry.valid = reader->get_bool();
+    entry.stamp = reader->get_u64();
+  }
+  tick_ = reader->get_u64();
+  lookups_ = reader->get_u64();
+  hits_ = reader->get_u64();
 }
 
-Addr ReturnAddressStack::pop() {
-  top_ = (top_ + depth_ - 1) % depth_;
-  return stack_[top_];
+void ReturnAddressStack::save(SnapshotWriter* writer) const {
+  writer->put_u64(stack_.size());
+  for (Addr entry : stack_) writer->put_u64(entry);
+  writer->put_u64(top_);
 }
 
-ReturnAddressStack::Checkpoint ReturnAddressStack::checkpoint() const {
-  const usize newest = (top_ + depth_ - 1) % depth_;
-  return {top_, stack_[newest]};
-}
-
-void ReturnAddressStack::restore(const Checkpoint& checkpoint) {
-  top_ = checkpoint.top;
-  const usize newest = (top_ + depth_ - 1) % depth_;
-  stack_[newest] = checkpoint.top_value;
+void ReturnAddressStack::load(SnapshotReader* reader) {
+  const u64 depth = reader->get_u64();
+  if (!reader->ok()) return;
+  if (depth != stack_.size()) {
+    reader->fail("return-address stack depth mismatch (snapshot built with "
+                 "a different configuration)");
+    return;
+  }
+  for (Addr& entry : stack_) entry = reader->get_u64();
+  top_ = static_cast<usize>(reader->get_u64());
 }
 
 }  // namespace reese::branch

@@ -12,11 +12,17 @@
 // mispredictions.
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+
+namespace reese {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace reese
 
 namespace reese::branch {
 
@@ -24,6 +30,18 @@ struct BranchPrediction {
   bool taken = false;
   u64 meta = 0;  ///< implementation-defined resolve-time cookie
 };
+
+/// 2-bit saturating counter helpers shared by the table-based predictors;
+/// counters start weakly not-taken (1). Inline because gshare's predict()
+/// and update() are header-defined hot paths (fetch/commit rate).
+inline constexpr u8 kWeakNotTaken = 1;
+
+inline u8 bump_counter(u8 counter, bool taken) {
+  if (taken) return counter < 3 ? counter + 1 : 3;
+  return counter > 0 ? counter - 1 : 0;
+}
+
+inline bool counter_taken(u8 counter) { return counter >= 2; }
 
 class DirectionPredictor {
  public:
@@ -38,6 +56,9 @@ class DirectionPredictor {
   /// this branch predicted with (`meta`) and shift in the actual outcome.
   virtual void repair(u64 /*meta*/, bool /*taken*/) {}
   virtual std::string name() const = 0;
+  /// Checkpoint serialization; no-ops for the stateless schemes.
+  virtual void save_state(SnapshotWriter* /*writer*/) const {}
+  virtual void load_state(SnapshotReader* /*reader*/) {}
 };
 
 /// Always-not-taken / always-taken.
@@ -74,6 +95,8 @@ class BimodalPredictor final : public DirectionPredictor {
   BranchPrediction predict(Addr pc) override;
   void update(Addr pc, bool taken, u64 meta) override;
   std::string name() const override { return "bimodal"; }
+  void save_state(SnapshotWriter* writer) const override;
+  void load_state(SnapshotReader* reader) override;
 
  private:
   std::vector<u8> table_;
@@ -82,19 +105,41 @@ class BimodalPredictor final : public DirectionPredictor {
 
 /// gshare: global history XOR PC indexes a 2-bit counter table. Global
 /// history is updated speculatively at predict time.
+///
+/// predict()/update()/repair() are header-inline: gshare is the paper
+/// configuration's predictor, and the pipeline holds a concrete pointer to
+/// it (Pipeline::gshare_) so the per-branch calls skip the vtable and fold
+/// into the fetch and commit stages.
 class GsharePredictor final : public DirectionPredictor {
  public:
   /// `history_bits` is also log2(table size).
   explicit GsharePredictor(unsigned history_bits = 12);
-  BranchPrediction predict(Addr pc) override;
-  void update(Addr pc, bool taken, u64 meta) override;
+  BranchPrediction predict(Addr pc) override {
+    const u64 used_history = ghr_;
+    const bool taken = counter_taken(table_[index_of(pc, used_history)]);
+    // Speculative history update with the *predicted* outcome.
+    ghr_ = ((ghr_ << 1) | (taken ? 1 : 0)) & ((u64{1} << history_bits_) - 1);
+    return {taken, used_history};
+  }
+  void update(Addr pc, bool taken, u64 meta) override {
+    u8& counter = table_[index_of(pc, meta)];
+    counter = bump_counter(counter, taken);
+  }
   u64 checkpoint() const override { return ghr_; }
   void restore(u64 checkpoint) override { ghr_ = checkpoint; }
-  void repair(u64 meta, bool taken) override;
+  void repair(u64 meta, bool taken) override {
+    // `meta` is the global history this branch predicted with; everything
+    // shifted in since is wrong-path speculation.
+    ghr_ = ((meta << 1) | (taken ? 1 : 0)) & ((u64{1} << history_bits_) - 1);
+  }
   std::string name() const override { return "gshare"; }
+  void save_state(SnapshotWriter* writer) const override;
+  void load_state(SnapshotReader* reader) override;
 
  private:
-  usize index_of(Addr pc, u64 history) const;
+  usize index_of(Addr pc, u64 history) const {
+    return static_cast<usize>(((pc >> 2) ^ history) & (table_.size() - 1));
+  }
   std::vector<u8> table_;
   unsigned history_bits_;
   u64 ghr_ = 0;
@@ -107,6 +152,8 @@ class LocalPredictor final : public DirectionPredictor {
   BranchPrediction predict(Addr pc) override;
   void update(Addr pc, bool taken, u64 meta) override;
   std::string name() const override { return "local2level"; }
+  void save_state(SnapshotWriter* writer) const override;
+  void load_state(SnapshotReader* reader) override;
 
  private:
   std::vector<u16> histories_;
@@ -125,6 +172,8 @@ class TournamentPredictor final : public DirectionPredictor {
   void restore(u64 checkpoint) override { gshare_.restore(checkpoint); }
   void repair(u64 meta, bool taken) override;
   std::string name() const override { return "tournament"; }
+  void save_state(SnapshotWriter* writer) const override;
+  void load_state(SnapshotReader* reader) override;
 
  private:
   BimodalPredictor bimodal_;
@@ -160,6 +209,9 @@ class Btb {
   u64 lookups() const { return lookups_; }
   u64 hits() const { return hits_; }
 
+  void save(SnapshotWriter* writer) const;
+  void load(SnapshotReader* reader);
+
  private:
   struct Entry {
     Addr pc = 0;
@@ -176,20 +228,45 @@ class Btb {
 };
 
 /// Return-address stack with single-entry repair (standard TOS checkpoint).
+///
+/// Header-inline with compare-subtract wraparound: push/pop run per
+/// call/return and checkpoint() runs per fetched control transfer, and
+/// `depth` is a config value (not necessarily a power of two), so a `%`
+/// here was an integer divide on the fetch path.
 class ReturnAddressStack {
  public:
-  explicit ReturnAddressStack(usize depth = 16);
+  explicit ReturnAddressStack(usize depth = 16) : stack_(depth, 0),
+                                                  depth_(depth) {
+    assert(depth >= 1);
+  }
 
-  void push(Addr return_address);
+  void push(Addr return_address) {
+    stack_[top_] = return_address;
+    ++top_;
+    if (top_ == depth_) top_ = 0;
+  }
   /// Pops and returns the predicted return target; 0 if empty.
-  Addr pop();
+  Addr pop() {
+    top_ = (top_ == 0 ? depth_ : top_) - 1;
+    return stack_[top_];
+  }
 
   struct Checkpoint {
     usize top;
     Addr top_value;
   };
-  Checkpoint checkpoint() const;
-  void restore(const Checkpoint& checkpoint);
+  Checkpoint checkpoint() const {
+    const usize newest = (top_ == 0 ? depth_ : top_) - 1;
+    return {top_, stack_[newest]};
+  }
+  void restore(const Checkpoint& checkpoint) {
+    top_ = checkpoint.top;
+    const usize newest = (top_ == 0 ? depth_ : top_) - 1;
+    stack_[newest] = checkpoint.top_value;
+  }
+
+  void save(SnapshotWriter* writer) const;
+  void load(SnapshotReader* reader);
 
  private:
   std::vector<Addr> stack_;

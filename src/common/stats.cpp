@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/snapshot.h"
+
 namespace reese {
 
 double safe_ratio(u64 numerator, u64 denominator) {
@@ -33,19 +35,10 @@ Histogram::Histogram(u64 bucket_width, usize bucket_count)
     : bucket_width_(bucket_width), buckets_(bucket_count, 0) {
   assert(bucket_width >= 1);
   assert(bucket_count >= 1);
-}
-
-void Histogram::add(u64 sample) {
-  const u64 index = sample / bucket_width_;
-  if (index < buckets_.size()) {
-    ++buckets_[index];
-  } else {
-    ++overflow_;
+  if ((bucket_width & (bucket_width - 1)) == 0) {
+    width_is_pow2_ = true;
+    while ((u64{1} << width_shift_) < bucket_width) ++width_shift_;
   }
-  ++count_;
-  sum_ += sample;
-  min_ = std::min(min_, sample);
-  max_ = std::max(max_, sample);
 }
 
 u64 Histogram::percentile(double fraction) const {
@@ -102,6 +95,48 @@ void Histogram::reset() {
   max_ = 0;
 }
 
+void Histogram::save(SnapshotWriter* writer) const {
+  writer->put_u64(bucket_width_);
+  writer->put_u64(buckets_.size());
+  for (u64 bucket : buckets_) writer->put_u64(bucket);
+  writer->put_u64(overflow_);
+  writer->put_u64(count_);
+  writer->put_u64(sum_);
+  writer->put_u64(min_);
+  writer->put_u64(max_);
+}
+
+void Histogram::load(SnapshotReader* reader) {
+  const u64 width = reader->get_u64();
+  const u64 bucket_count = reader->get_u64();
+  if (!reader->ok()) return;
+  if (width != bucket_width_ || bucket_count != buckets_.size()) {
+    reader->fail("histogram geometry mismatch (snapshot built with a "
+                 "different configuration)");
+    return;
+  }
+  for (u64& bucket : buckets_) bucket = reader->get_u64();
+  overflow_ = reader->get_u64();
+  count_ = reader->get_u64();
+  sum_ = reader->get_u64();
+  min_ = reader->get_u64();
+  max_ = reader->get_u64();
+}
+
+void RunningStat::save(SnapshotWriter* writer) const {
+  writer->put_u64(count_);
+  writer->put_f64(sum_);
+  writer->put_f64(min_);
+  writer->put_f64(max_);
+}
+
+void RunningStat::load(SnapshotReader* reader) {
+  count_ = reader->get_u64();
+  sum_ = reader->get_f64();
+  min_ = reader->get_f64();
+  max_ = reader->get_f64();
+}
+
 namespace {
 
 /// Average ranks (1-based) with ties sharing the mean of their rank span.
@@ -152,18 +187,6 @@ double spearman_rank_correlation(const std::vector<double>& xs,
   }
   if (var_x == 0.0 || var_y == 0.0) return 0.0;
   return cov / std::sqrt(var_x * var_y);
-}
-
-void RunningStat::add(double sample) {
-  if (count_ == 0) {
-    min_ = sample;
-    max_ = sample;
-  } else {
-    min_ = std::min(min_, sample);
-    max_ = std::max(max_, sample);
-  }
-  ++count_;
-  sum_ += sample;
 }
 
 double RunningStat::mean() const {

@@ -30,7 +30,11 @@ void Pipeline::franklin_first_completion(u32 slot_index) {
   // (only the commit is gated, §4.3 of the paper describes the same rule).
   for (const Consumer& consumer : entry.consumers) {
     if (!ref_alive(consumer.ref)) continue;
-    ruu_[consumer.ref.slot].dep_ready[consumer.operand] = true;
+    RuuEntry& waiter = ruu_[consumer.ref.slot];
+    waiter.dep_ready[consumer.operand] = true;
+    if (waiter.deps_ready()) {
+      unissued_mask_ |= ruu_mask_bit(consumer.ref.slot);
+    }
   }
   entry.consumers.clear();
 
@@ -72,8 +76,9 @@ void Pipeline::franklin_first_completion(u32 slot_index) {
     }
   }
 
-  // Re-arm for the duplicate execution.
+  // Re-arm for the duplicate execution; the entry re-enters the issue scan.
   entry.issued = false;
+  unissued_mask_ |= ruu_mask_bit(slot_index);
 }
 
 bool Pipeline::franklin_issue_second(u32 slot_index) {
@@ -105,6 +110,7 @@ bool Pipeline::franklin_issue_second(u32 slot_index) {
   }
 
   entry.issued = true;
+  unissued_mask_ &= ~ruu_mask_bit(slot_index);
   stats_.separation.add(now_ - entry.issue_cycle);
   schedule_p_event(complete_at, RuuRef{slot_index, entry.gen});
   trace(TraceKind::kRIssue, entry.seq, entry.pc, entry.inst, entry.spec);

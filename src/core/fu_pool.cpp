@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/snapshot.h"
 #include "common/stats.h"
 
 namespace reese::core {
@@ -34,6 +35,28 @@ double FuPool::utilization(FuKind kind, Cycle cycles) const {
   if (next_free_[index].empty() || cycles == 0) return 0.0;
   return safe_ratio(ops_issued_[index],
                     cycles * next_free_[index].size());
+}
+
+void FuPool::save(SnapshotWriter* writer) const {
+  for (usize kind = 0; kind < kFuKindCount; ++kind) {
+    writer->put_u64(next_free_[kind].size());
+    for (Cycle next_free : next_free_[kind]) writer->put_u64(next_free);
+    writer->put_u64(ops_issued_[kind]);
+  }
+}
+
+void FuPool::load(SnapshotReader* reader) {
+  for (usize kind = 0; kind < kFuKindCount; ++kind) {
+    const u64 unit_count = reader->get_u64();
+    if (!reader->ok()) return;
+    if (unit_count != next_free_[kind].size()) {
+      reader->fail("functional-unit count mismatch (snapshot built with a "
+                   "different configuration)");
+      return;
+    }
+    for (Cycle& next_free : next_free_[kind]) next_free = reader->get_u64();
+    ops_issued_[kind] = reader->get_u64();
+  }
 }
 
 }  // namespace reese::core

@@ -14,6 +14,11 @@
 #include "core/config.h"
 #include "isa/opcode.h"
 
+namespace reese {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace reese
+
 namespace reese::core {
 
 enum class FuKind : u8 { kIntAlu, kIntMult, kFpAlu, kFpMult, kMemPort, kCount };
@@ -103,6 +108,10 @@ class FuPool {
   /// (For pipelined units this equals occupancy of the issue port, the
   /// quantity the paper's "idle capacity" argument is about.)
   double utilization(FuKind kind, Cycle cycles) const;
+
+  /// Checkpoint serialization: per-unit next-free cycles + issue counters.
+  void save(SnapshotWriter* writer) const;
+  void load(SnapshotReader* reader);
 
  private:
   std::array<std::vector<Cycle>, kFuKindCount> next_free_;

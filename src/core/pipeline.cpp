@@ -70,9 +70,17 @@ Pipeline::Pipeline(const isa::Program& program, const CoreConfig& config)
       rqueue_(config.reese.rqueue_size) {
   assert(config_.ruu_size >= 2 && config_.lsq_size >= 1);
   if (config_.predictor == branch::PredictorKind::kGshare) {
-    direction_ =
+    auto gshare =
         std::make_unique<branch::GsharePredictor>(config_.gshare_history_bits);
+    gshare_ = gshare.get();
+    direction_ = std::move(gshare);
   }
+  ruu_mask_scan_ = config_.ruu_size <= 64;
+  // occupancy_pct >= watermark  <=>  100*size >= watermark*capacity
+  //                             <=>  size >= ceil(watermark*capacity/100).
+  rpriority_min_count_ = static_cast<u32>(
+      (u64{config_.reese.priority_watermark_pct} * rqueue_.capacity() + 99) /
+      100);
   ruu_.resize(config_.ruu_size);
   lsq_.resize(config_.lsq_size);
   cv_.assign(kCvSize, RuuRef{});
@@ -145,11 +153,6 @@ void Pipeline::cycle() {
   ++stats_.cycles;
 }
 
-isa::DataSpace& Pipeline::active_data_space() {
-  if (spec_mode_) return spec_overlay_;
-  return direct_space_;
-}
-
 // ---------------------------------------------------------------------------
 // Fetch
 // ---------------------------------------------------------------------------
@@ -196,7 +199,8 @@ void Pipeline::predict_control(FetchedInst* fetched) {
         taken = fetched->inst.imm < 0;
         break;
       default: {
-        const branch::BranchPrediction prediction = direction_->predict(pc);
+        const branch::BranchPrediction prediction =
+            gshare_ != nullptr ? gshare_->predict(pc) : direction_->predict(pc);
         taken = prediction.taken;
         fetched->pred_meta = prediction.meta;
         fetched->used_direction_predictor = true;
@@ -211,7 +215,7 @@ void Pipeline::predict_control(FetchedInst* fetched) {
 }
 
 void Pipeline::stage_fetch() {
-  if (fetch_done_ || halted_ || bad_pc_) return;
+  if (fetch_done_ || halted_ || bad_pc_ || drain_fetch_stall_) return;
   if (now_ < fetch_stall_until_) {
     ++stats_.icache_stall_cycles;
     return;
@@ -232,9 +236,15 @@ void Pipeline::stage_fetch() {
   for (u32 fetched_count = 0;
        fetched_count < config_.fetch_width && ifq_.size() < config_.ifq_size;
        ++fetched_count) {
-    FetchedInst fetched;
+    // Fill the ring slot in place; the slot is recycled, so every field a
+    // later stage reads unconditionally is (re)written here.
+    FetchedInst& fetched = ifq_.emplace_back();
     fetched.pc = fetch_pc_;
     fetched.predicted_next = fetch_pc_ + 4;
+    fetched.predicted_taken = false;
+    fetched.used_direction_predictor = false;
+    fetched.pred_meta = 0;
+    fetched.is_pad = false;
     if (const isa::Instruction* decoded = decoded_at(fetch_pc_)) {
       fetched.inst = *decoded;
     } else {
@@ -247,7 +257,6 @@ void Pipeline::stage_fetch() {
     if (is_control) predict_control(&fetched);
 
     fetch_pc_ = fetched.predicted_next;
-    ifq_.push_back(fetched);
     ++stats_.fetched;
 
     // A predicted-taken control transfer ends the fetch block.
@@ -264,7 +273,11 @@ void Pipeline::stage_fetch() {
 void Pipeline::execute_at_dispatch(RuuEntry* entry) {
   isa::ArchState* state = spec_mode_ ? &spec_state_ : &front_state_;
   state->pc = entry->pc;
-  const isa::StepOut out = isa::step(state, entry->inst, &active_data_space());
+  // Concrete-space instantiations: memory accesses dispatch directly
+  // instead of through the DataSpace vtable.
+  const isa::StepOut out =
+      spec_mode_ ? isa::step(state, entry->inst, &spec_overlay_)
+                 : isa::step(state, entry->inst, &direct_space_);
   entry->rs1_value = out.rs1_value;
   entry->rs2_value = out.rs2_value;
   entry->result = out.result;
@@ -277,23 +290,33 @@ void Pipeline::link_dependencies(RuuEntry* entry, u32 slot_index) {
   std::vector<RuuRef>& cv = spec_mode_ ? spec_cv_ : cv_;
   const isa::OpInfo& info = entry->inst.info();
 
-  auto link_operand = [&](u8 reg, bool fp, u8 operand_index) {
-    if (!fp && reg == isa::kZeroReg) return;
-    const RuuRef producer = cv[cv_key(reg, fp)];
-    if (!ref_alive(producer)) return;
-    // The value is available once the *first* execution finished — under
-    // the Franklin scheme the entry stays incomplete through its duplicate
-    // execution, but its result forwards after the first one.
-    const RuuEntry& producer_entry = ruu_[producer.slot];
-    if (!producer_entry.completed && !producer_entry.first_done) {
-      entry->dep_ready[operand_index] = false;
-      ruu_[producer.slot].consumers.push_back(
-          Consumer{{slot_index, entry->gen}, operand_index});
+  // Two unrolled operand links (a lambda here stayed out-of-line and showed
+  // up as its own entry in dispatch-stage profiles). A producer's value is
+  // available once its *first* execution finished — under the Franklin
+  // scheme the entry stays incomplete through its duplicate execution, but
+  // its result forwards after the first one.
+  if (info.reads_rs1 && (info.is_fp_rs1 || entry->inst.rs1 != isa::kZeroReg)) {
+    const RuuRef producer = cv[cv_key(entry->inst.rs1, info.is_fp_rs1)];
+    if (ref_alive(producer)) {
+      RuuEntry& producer_entry = ruu_[producer.slot];
+      if (!producer_entry.completed && !producer_entry.first_done) {
+        entry->dep_ready[0] = false;
+        producer_entry.consumers.push_back(
+            Consumer{{slot_index, entry->gen}, 0});
+      }
     }
-  };
-
-  if (info.reads_rs1) link_operand(entry->inst.rs1, info.is_fp_rs1, 0);
-  if (info.reads_rs2) link_operand(entry->inst.rs2, info.is_fp_rs2, 1);
+  }
+  if (info.reads_rs2 && (info.is_fp_rs2 || entry->inst.rs2 != isa::kZeroReg)) {
+    const RuuRef producer = cv[cv_key(entry->inst.rs2, info.is_fp_rs2)];
+    if (ref_alive(producer)) {
+      RuuEntry& producer_entry = ruu_[producer.slot];
+      if (!producer_entry.completed && !producer_entry.first_done) {
+        entry->dep_ready[1] = false;
+        producer_entry.consumers.push_back(
+            Consumer{{slot_index, entry->gen}, 1});
+      }
+    }
+  }
   if (info.writes_rd && !(entry->inst.rd == isa::kZeroReg && !info.is_fp_rd)) {
     cv[cv_key(entry->inst.rd, info.is_fp_rd)] =
         RuuRef{slot_index, entry->gen};
@@ -336,7 +359,7 @@ void Pipeline::stage_dispatch() {
     }
 
     // Allocate the RUU slot at the tail.
-    const u32 slot_index = (ruu_head_ + ruu_count_) % config_.ruu_size;
+    const u32 slot_index = ruu_index_at(ruu_count_);
     ++ruu_count_;
     RuuEntry& entry = ruu_[slot_index];
     entry.reset_for_dispatch(entry.gen + 1);
@@ -359,10 +382,14 @@ void Pipeline::stage_dispatch() {
     execute_at_dispatch(&entry);
 
     if (is_mem) {
-      lsq_[(lsq_head_ + lsq_count_) % config_.lsq_size] = slot_index;
+      entry.lsq_ticket = lsq_ticket_head_ + lsq_count_;
+      lsq_[lsq_index_at(lsq_count_)] = slot_index;
       ++lsq_count_;
     }
     link_dependencies(&entry, slot_index);
+    // Ready at dispatch → straight into the issue scan; otherwise the
+    // producer's completion wakes it into the mask (see complete_entry).
+    if (entry.deps_ready()) unissued_mask_ |= ruu_mask_bit(slot_index);
 
     ++stats_.dispatched;
     if (entry.spec) ++stats_.wrongpath_dispatched;
@@ -402,21 +429,19 @@ Pipeline::LoadPlan Pipeline::plan_load(u32 ruu_slot) {
   const Addr load_end = load_begin + load.inst.info().mem_bytes;
 
   // Scan older LSQ entries from youngest to oldest; the youngest
-  // overlapping store decides.
-  u32 position_of_load = 0;
-  bool found = false;
-  for (u32 position = 0; position < lsq_count_; ++position) {
-    if (lsq_[(lsq_head_ + position) % config_.lsq_size] == ruu_slot) {
-      position_of_load = position;
-      found = true;
-      break;
-    }
-  }
-  assert(found && "load missing from LSQ");
-  (void)found;
+  // overlapping store decides. The load locates itself in O(1) via the
+  // absolute ticket assigned at dispatch (the previous head-relative scan
+  // ran once per blocked-load re-evaluation, every cycle).
+  const u32 position_of_load =
+      static_cast<u32>(load.lsq_ticket - lsq_ticket_head_);
+  assert(position_of_load < lsq_count_ &&
+         lsq_[lsq_index_at(position_of_load)] == ruu_slot &&
+         "load missing from LSQ");
 
+  u32 index = lsq_index_at(position_of_load);
   for (u32 position = position_of_load; position > 0; --position) {
-    const u32 store_slot = lsq_[(lsq_head_ + position - 1) % config_.lsq_size];
+    index = (index == 0 ? config_.lsq_size : index) - 1;
+    const u32 store_slot = lsq_[index];
     const RuuEntry& store = ruu_[store_slot];
     if (!store.is_store()) continue;
     if (!store.dep_ready[0]) return LoadPlan::kBlocked;  // address unknown
@@ -448,62 +473,89 @@ void Pipeline::stage_issue() {
     reese_issue(&budget);
   }
 
-  // P-stream issue: program order over the RUU.
-  for (u32 position = 0; position < ruu_count_ && budget > 0; ++position) {
-    const u32 slot_index = ruu_index_at(position);
-    RuuEntry& entry = ruu_[slot_index];
-    if (!entry.valid || entry.issued || entry.completed) continue;
-
-    if (entry.first_done) {
-      // Franklin scheme: the duplicate execution competes for leftover
-      // capacity under the R-stream resource rules.
-      if (franklin_issue_second(slot_index)) --budget;
-      continue;
-    }
-
-    const ExecClass exec_class = entry.inst.info().exec_class;
-    Cycle complete_at = 0;
-
-    if (exec_class == ExecClass::kLoad) {
-      switch (plan_load(slot_index)) {
-        case LoadPlan::kBlocked:
-          continue;
-        case LoadPlan::kForward:
-          complete_at = now_ + 1;
-          break;
-        case LoadPlan::kCache: {
-          if (!fu_pool_.try_acquire(FuKind::kMemPort, now_, 1)) continue;
-          complete_at = now_ + hierarchy_->data_access(entry.mem_addr, false);
-          break;
+  // P-stream issue: program order over the RUU, visiting only the slots
+  // that actually await issue (unissued_mask_). A window full of in-flight
+  // instructions costs two count-trailing-zeros loops instead of a walk
+  // over the multi-cache-line entries. The two chunks (slots >= head, then
+  // slots < head) reproduce ring program order exactly.
+  if (ruu_mask_scan_) {
+    if (budget > 0 && unissued_mask_ != 0) {
+      const u64 head_low_bits = ruu_mask_bit(ruu_head_) - 1;
+      const u64 chunks[2] = {unissued_mask_ & ~head_low_bits,
+                             unissued_mask_ & head_low_bits};
+      for (u64 chunk : chunks) {
+        while (chunk != 0 && budget > 0) {
+          const u32 slot_index = static_cast<u32>(__builtin_ctzll(chunk));
+          chunk &= chunk - 1;
+          try_issue_slot(slot_index, &budget);
         }
       }
-    } else if (exec_class == ExecClass::kStore) {
-      // Address generation + store-buffer write; both operands must be
-      // ready. The cache write happens at commit.
-      if (!entry.deps_ready()) continue;
-      complete_at = now_ + 1;
-    } else if (exec_class == ExecClass::kNone) {
-      complete_at = now_ + 1;
-    } else {
-      if (!entry.deps_ready()) continue;
-      const OpTiming timing = op_timing(exec_class, config_);
-      if (!fu_pool_.try_acquire(timing.fu, now_, timing.issue_latency)) {
-        continue;
-      }
-      complete_at = now_ + timing.result_latency;
     }
-
-    entry.issued = true;
-    entry.issue_cycle = now_;
-    schedule_p_event(complete_at, RuuRef{slot_index, entry.gen});
-    trace(TraceKind::kIssue, entry.seq, entry.pc, entry.inst, entry.spec);
-    ++stats_.issued_p;
-    --budget;
+  } else {
+    // ruu_size > 64: position walk (no in-tree config takes this path).
+    for (u32 position = 0; position < ruu_count_ && budget > 0; ++position) {
+      const u32 slot_index = ruu_index_at(position);
+      const RuuEntry& entry = ruu_[slot_index];
+      if (!entry.valid || entry.issued || entry.completed) continue;
+      try_issue_slot(slot_index, &budget);
+    }
   }
 
   if (reese_scheme && !r_priority) reese_issue(&budget);
 
   stats_.issue_per_cycle.add(config_.issue_width - budget);
+}
+
+void Pipeline::try_issue_slot(u32 slot_index, u32* budget) {
+  // Via the mask scan the entry is always operand-ready; via the >64-RUU
+  // fallback walk it may not be — the deps_ready checks below cover both.
+  RuuEntry& entry = ruu_[slot_index];
+  assert(entry.valid && !entry.issued && !entry.completed);
+
+  if (entry.first_done) {
+    // Franklin scheme: the duplicate execution competes for leftover
+    // capacity under the R-stream resource rules.
+    if (franklin_issue_second(slot_index)) --*budget;
+    return;
+  }
+
+  const ExecClass exec_class = entry.inst.info().exec_class;
+  Cycle complete_at = 0;
+
+  if (exec_class == ExecClass::kLoad) {
+    switch (plan_load(slot_index)) {
+      case LoadPlan::kBlocked:
+        return;
+      case LoadPlan::kForward:
+        complete_at = now_ + 1;
+        break;
+      case LoadPlan::kCache: {
+        if (!fu_pool_.try_acquire(FuKind::kMemPort, now_, 1)) return;
+        complete_at = now_ + hierarchy_->data_access(entry.mem_addr, false);
+        break;
+      }
+    }
+  } else if (exec_class == ExecClass::kStore) {
+    // Address generation + store-buffer write; both operands must be
+    // ready. The cache write happens at commit.
+    if (!entry.deps_ready()) return;
+    complete_at = now_ + 1;
+  } else if (exec_class == ExecClass::kNone) {
+    complete_at = now_ + 1;
+  } else {
+    if (!entry.deps_ready()) return;
+    const OpTiming timing = op_timing(exec_class, config_);
+    if (!fu_pool_.try_acquire(timing.fu, now_, timing.issue_latency)) return;
+    complete_at = now_ + timing.result_latency;
+  }
+
+  entry.issued = true;
+  unissued_mask_ &= ~ruu_mask_bit(slot_index);
+  entry.issue_cycle = now_;
+  schedule_p_event(complete_at, RuuRef{slot_index, entry.gen});
+  trace(TraceKind::kIssue, entry.seq, entry.pc, entry.inst, entry.spec);
+  ++stats_.issued_p;
+  --*budget;
 }
 
 // ---------------------------------------------------------------------------
@@ -519,9 +571,13 @@ void Pipeline::schedule_r_event(Cycle when, u64 entry_id) {
 }
 
 void Pipeline::stage_writeback() {
+  // The empty() guards skip the whole take/recycle dance on quiet queues —
+  // the R-side queues never hold anything outside REESE mode, and even
+  // p_events_ is empty on stall-heavy cycles.
+
   // Recycle scheduler-window slots whose R instructions have cleared the
   // compare stage this cycle.
-  {
+  if (!r_release_at_.empty()) {
     std::vector<u32> releases = r_release_at_.take(now_);
     for (u32 count : releases) {
       assert(r_inflight_ >= count);
@@ -530,26 +586,30 @@ void Pipeline::stage_writeback() {
     r_release_at_.recycle(std::move(releases));
   }
 
-  // Moved out of the queue: recovery during completion may not touch the
-  // list again, but keep iteration robust against future modification.
-  std::vector<RuuRef> refs = p_events_.take(now_);
-  for (const RuuRef& ref : refs) {
-    if (!ref_alive(ref)) continue;  // squashed in the meantime
-    if (franklin_mode()) {
-      if (!ruu_[ref.slot].first_done) {
-        franklin_first_completion(ref.slot);
+  if (!p_events_.empty()) {
+    // Moved out of the queue: recovery during completion may not touch the
+    // list again, but keep iteration robust against future modification.
+    std::vector<RuuRef> refs = p_events_.take(now_);
+    for (const RuuRef& ref : refs) {
+      if (!ref_alive(ref)) continue;  // squashed in the meantime
+      if (franklin_mode()) {
+        if (!ruu_[ref.slot].first_done) {
+          franklin_first_completion(ref.slot);
+        } else {
+          franklin_second_completion(ref.slot);
+        }
       } else {
-        franklin_second_completion(ref.slot);
+        complete_entry(ref.slot);
       }
-    } else {
-      complete_entry(ref.slot);
     }
+    p_events_.recycle(std::move(refs));
   }
-  p_events_.recycle(std::move(refs));
 
-  std::vector<u64> ids = r_events_.take(now_);
-  for (u64 id : ids) reese_complete(id);
-  r_events_.recycle(std::move(ids));
+  if (!r_events_.empty()) {
+    std::vector<u64> ids = r_events_.take(now_);
+    for (u64 id : ids) reese_complete(id);
+    r_events_.recycle(std::move(ids));
+  }
 }
 
 void Pipeline::complete_entry(u32 slot_index) {
@@ -561,7 +621,13 @@ void Pipeline::complete_entry(u32 slot_index) {
 
   for (const Consumer& consumer : entry.consumers) {
     if (!ref_alive(consumer.ref)) continue;
-    ruu_[consumer.ref.slot].dep_ready[consumer.operand] = true;
+    RuuEntry& waiter = ruu_[consumer.ref.slot];
+    waiter.dep_ready[consumer.operand] = true;
+    // Both operands ready: the waiter re-enters the issue scan. (A waiter
+    // with a pending dependency can never have issued or completed.)
+    if (waiter.deps_ready()) {
+      unissued_mask_ |= ruu_mask_bit(consumer.ref.slot);
+    }
   }
   entry.consumers.clear();
 
@@ -572,7 +638,11 @@ void Pipeline::complete_entry(u32 slot_index) {
       if (entry.mispredicted) ++stats_.cond_branch_mispredicts;
     }
     if (entry.used_direction_predictor) {
-      direction_->update(entry.pc, entry.taken, entry.pred_meta);
+      if (gshare_ != nullptr) {
+        gshare_->update(entry.pc, entry.taken, entry.pred_meta);
+      } else {
+        direction_->update(entry.pc, entry.taken, entry.pred_meta);
+      }
     }
     if (entry.taken && entry.inst.op != Opcode::kJal) {
       btb_.update(entry.pc, entry.actual_next);
@@ -597,13 +667,13 @@ void Pipeline::recover_from_mispredict(u32 branch_slot) {
     trace(TraceKind::kSquash, victim.seq, victim.pc, victim.inst, true);
     if (isa::is_mem(victim.inst.op)) {
       assert(lsq_count_ > 0);
-      assert(lsq_[(lsq_head_ + lsq_count_ - 1) % config_.lsq_size] ==
-             tail_slot);
+      assert(lsq_[lsq_index_at(lsq_count_ - 1)] == tail_slot);
       --lsq_count_;
     }
     victim.valid = false;
     ++victim.gen;
     victim.consumers.clear();
+    unissued_mask_ &= ~ruu_mask_bit(tail_slot);
     --ruu_count_;
   }
 
@@ -613,7 +683,11 @@ void Pipeline::recover_from_mispredict(u32 branch_slot) {
 
   // Repair speculative predictor state.
   if (branch.used_direction_predictor) {
-    direction_->repair(branch.pred_meta, branch.taken);
+    if (gshare_ != nullptr) {
+      gshare_->repair(branch.pred_meta, branch.taken);
+    } else {
+      direction_->repair(branch.pred_meta, branch.taken);
+    }
   }
   ras_.restore(branch.ras_checkpoint);
 
@@ -633,13 +707,15 @@ void Pipeline::free_ruu_head() {
   assert(head.valid);
   if (isa::is_mem(head.inst.op)) {
     assert(lsq_count_ > 0 && lsq_[lsq_head_] == ruu_head_);
-    lsq_head_ = (lsq_head_ + 1) % config_.lsq_size;
+    if (++lsq_head_ == config_.lsq_size) lsq_head_ = 0;
     --lsq_count_;
+    ++lsq_ticket_head_;
   }
   head.valid = false;
   ++head.gen;
   head.consumers.clear();
-  ruu_head_ = (ruu_head_ + 1) % config_.ruu_size;
+  unissued_mask_ &= ~ruu_mask_bit(ruu_head_);
+  ruu_head_ = ruu_next(ruu_head_);
   --ruu_count_;
 }
 
@@ -665,7 +741,6 @@ bool Pipeline::commit_head_baseline() {
   }
 
   if (head.inst.op == Opcode::kHalt) halted_ = true;
-  ++stats_.committed;
   trace(TraceKind::kCommit, head.seq, head.pc, head.inst, false);
   free_ruu_head();
   return true;
@@ -680,11 +755,14 @@ void Pipeline::stage_commit() {
   }
   // Baseline and Franklin both commit in order from the RUU head (Franklin
   // entries only complete after their duplicate execution compared).
-  for (u32 committed = 0; committed < config_.commit_width && ruu_count_ > 0;
-       ++committed) {
+  // Stats are updated once per commit group, not per instruction.
+  u32 group = 0;
+  while (group < config_.commit_width && ruu_count_ > 0) {
     if (!commit_head_baseline()) break;
+    ++group;
     if (halted_) break;
   }
+  stats_.committed += group;
 }
 
 // ---------------------------------------------------------------------------

@@ -72,6 +72,31 @@ class Pipeline {
   /// Advance exactly one cycle.
   void cycle();
 
+  // --- checkpoint/restore (checkpoint.cpp) --------------------------------
+
+  /// True when no in-flight microarchitectural state remains: fetch queue,
+  /// RUU, LSQ, event queues and R-stream queue empty, no wrong-path
+  /// speculation, no outstanding R executions.
+  bool quiescent() const;
+
+  /// Suppress fetch and keep cycling until quiescent() — the drain barrier
+  /// snapshots land on. Drain cycles are part of simulated execution (they
+  /// advance the clock and the per-cycle stats deterministically), so two
+  /// runs that drain at the same commit counts stay bit-identical whether
+  /// or not either was killed and resumed in between. Returns false if the
+  /// pipeline fails to quiesce within `limit` cycles (a modelling bug).
+  bool drain_to_barrier(Cycle limit = 1'000'000);
+
+  /// Serialize the complete simulation state (architectural state, memory
+  /// image, predictor/BTB/RAS, cache/TLB tags, FU pool, R-queue id state,
+  /// stats). Requires quiescent().
+  void save_state(SnapshotWriter* writer) const;
+
+  /// Restore save_state() output into this pipeline. The pipeline must be
+  /// freshly constructed from the same program and configuration; errors
+  /// (truncation, geometry mismatches) latch on the reader.
+  void load_state(SnapshotReader* reader);
+
   const CoreStats& stats() const { return stats_; }
   const CoreConfig& config() const { return config_; }
   mem::Hierarchy& hierarchy() { return *hierarchy_; }
@@ -167,35 +192,61 @@ class Pipeline {
     bool is_load() const { return isa::is_load(inst.op); }
     bool is_store() const { return isa::is_store(inst.op); }
 
-    /// Re-arm a recycled slot for a new dispatch without freeing the
-    /// consumers vector's capacity (the one heap block in the entry —
-    /// assigning `RuuEntry{}` would reallocate it on every dispatch).
+    /// Absolute LSQ ticket (memory ops only): position in the LSQ equals
+    /// `lsq_ticket - lsq_ticket_head_`, so plan_load never scans to locate
+    /// itself.
+    u64 lsq_ticket = 0;
+
+    /// Re-arm a recycled slot for a new dispatch. Only the fields dispatch
+    /// does not overwrite are reset — a whole-struct `*this = RuuEntry{}`
+    /// copied ~200 bytes per dispatched instruction and dominated the
+    /// profile. The consumers vector keeps its capacity (the one heap
+    /// block in the entry).
     void reset_for_dispatch(u32 new_gen) {
       consumers.clear();
-      std::vector<Consumer> kept = std::move(consumers);
-      *this = RuuEntry{};
-      consumers = std::move(kept);
       valid = true;
       gen = new_gen;
+      mispredicted = false;
+      dep_ready[0] = dep_ready[1] = true;
+      issued = false;
+      completed = false;
+      released = false;
+      first_done = false;
+      fr_p_copy = 0;
+      fr_faulted = false;
+      fr_flip_r = false;
+      fr_fault_bit = 0;
+      fr_fault_cycle = 0;
+      issue_cycle = 0;
+      complete_cycle = 0;
     }
   };
 
   /// Fixed-capacity FIFO for the fetch queue. The previous std::vector IFQ
   /// paid an O(n) element shift per dispatched instruction
   /// (`erase(begin())`); this ring pops the head in O(1) and never
-  /// reallocates after construction.
+  /// reallocates after construction. Ring indices wrap by compare, not by
+  /// `%` — the capacity is not a power of two, so modulo is a hardware
+  /// divide on the hottest per-instruction paths.
   class FetchRing {
    public:
-    void init(u32 capacity) { ring_.resize(capacity); }
+    void init(u32 capacity) {
+      ring_.resize(capacity);
+      capacity_ = capacity;
+    }
     bool empty() const { return count_ == 0; }
     usize size() const { return count_; }
     FetchedInst& front() { return ring_[head_]; }
-    void push_back(const FetchedInst& fetched) {
-      ring_[(head_ + count_) % ring_.size()] = fetched;
+    /// Claim the tail slot for in-place filling (avoids copying the
+    /// ~100-byte FetchedInst twice per fetched instruction).
+    FetchedInst& emplace_back() {
+      u32 tail = head_ + count_;
+      if (tail >= capacity_) tail -= capacity_;
       ++count_;
+      return ring_[tail];
     }
     void pop_front() {
-      head_ = (head_ + 1) % ring_.size();
+      if (++head_ == capacity_) head_ = 0;
       --count_;
     }
     void clear() {
@@ -207,6 +258,7 @@ class Pipeline {
     std::vector<FetchedInst> ring_;
     u32 head_ = 0;
     u32 count_ = 0;
+    u32 capacity_ = 0;
   };
 
   // --- per-stage helpers (pipeline.cpp) -----------------------------------
@@ -298,9 +350,30 @@ class Pipeline {
   bool ref_alive(const RuuRef& ref) const {
     return ruu_[ref.slot].valid && ruu_[ref.slot].gen == ref.gen;
   }
+  // Ring arithmetic by compare-and-subtract: the ring sizes are config
+  // values (not powers of two), so `%` would be an integer divide on paths
+  // run several times per simulated instruction.
   u32 ruu_index_at(u32 position) const {  // position 0 == head
-    return (ruu_head_ + position) % config_.ruu_size;
+    u32 index = ruu_head_ + position;
+    if (index >= config_.ruu_size) index -= config_.ruu_size;
+    return index;
   }
+  u32 ruu_next(u32 index) const {
+    return ++index == config_.ruu_size ? 0 : index;
+  }
+  u32 lsq_index_at(u32 position) const {  // position 0 == head
+    u32 index = lsq_head_ + position;
+    if (index >= config_.lsq_size) index -= config_.lsq_size;
+    return index;
+  }
+  /// unissued_mask_ bit for an RUU slot. The &63 keeps the shift defined
+  /// even when ruu_size > 64 (the mask is maintained but not scanned then).
+  static u64 ruu_mask_bit(u32 slot_index) {
+    return u64{1} << (slot_index & 63);
+  }
+  /// Attempt P-stream issue of one awaiting RUU slot; decrements `*budget`
+  /// on success. Shared by the mask scan and the fallback position walk.
+  void try_issue_slot(u32 slot_index, u32* budget);
   /// R-stream instructions re-enter the pipeline through the scheduler
   /// (§5.1: they "proceed through the SimpleScalar pipeline"), so while in
   /// flight they occupy scheduler window (RUU) capacity alongside P-stream
@@ -317,8 +390,6 @@ class Pipeline {
 
   void enter_spec_mode();
 
-  isa::DataSpace& active_data_space();
-
   // --- members -------------------------------------------------------------
 
   const isa::Program& program_;
@@ -330,6 +401,10 @@ class Pipeline {
   FuPool fu_pool_;
 
   std::unique_ptr<branch::DirectionPredictor> direction_;
+  /// Non-null iff direction_ is a GsharePredictor (the paper config).
+  /// Per-branch predict/update/repair go through this concrete pointer so
+  /// the inline gshare methods apply; other predictors use the vtable.
+  branch::GsharePredictor* gshare_ = nullptr;
   branch::Btb btb_;
   branch::ReturnAddressStack ras_;
 
@@ -343,6 +418,7 @@ class Pipeline {
   // Fetch.
   Addr fetch_pc_;
   Cycle fetch_stall_until_ = 0;
+  bool drain_fetch_stall_ = false;  ///< drain_to_barrier() suppresses fetch
   FetchRing ifq_;  ///< FIFO, front = oldest
 
   // Decoded-text fast path: the program's instructions are pre-decoded at
@@ -368,6 +444,21 @@ class Pipeline {
   std::vector<u32> lsq_;
   u32 lsq_head_ = 0;
   u32 lsq_count_ = 0;
+  /// Absolute ticket of the LSQ head entry; RuuEntry::lsq_ticket minus this
+  /// is the entry's current LSQ position (see plan_load).
+  u64 lsq_ticket_head_ = 0;
+
+  /// One bit per RUU slot that is valid, unissued, and operand-ready
+  /// (`valid && !issued && !completed && deps_ready()`) — a ready list.
+  /// stage_issue scans these bits in program order instead of walking the
+  /// multi-cache-line entries of a mostly in-flight or dependency-blocked
+  /// window. Maintained at dispatch (set when ready), consumer wakeup
+  /// (set when the last operand arrives), issue (clear), squash/free
+  /// (clear), and Franklin first completion (set again — the duplicate
+  /// execution re-enters the scan). Only used when ruu_size <= 64 (every
+  /// in-tree config); larger windows fall back to the position walk.
+  u64 unissued_mask_ = 0;
+  bool ruu_mask_scan_ = true;  ///< config_.ruu_size <= 64
 
   // Create-vectors: architectural register -> in-flight producer. cv_ is
   // the true-path map; spec_cv_ is its wrong-path shadow (copied on spec
@@ -383,6 +474,11 @@ class Pipeline {
   // REESE.
   RStreamQueue rqueue_;
   u64 reexec_counter_ = 0;  ///< rotates over reexec_interval
+  u64 r_issue_next_id_ = 1;  ///< first R-queue id not yet issued/skipped;
+                             ///< the settled prefix before it is never
+                             ///< rescanned (ids are FIFO-consecutive)
+  u32 rpriority_min_count_ = 0;  ///< priority_watermark_pct as an entry
+                                 ///< count (one compare per cycle)
   u32 r_inflight_ = 0;      ///< R instructions currently occupying
                             ///< scheduler-window capacity
   CalendarQueue<u32> r_release_at_;  ///< deferred r_inflight_ releases

@@ -15,9 +15,9 @@ using isa::Opcode;
 bool Pipeline::reese_priority() const {
   // §4.3: counters watch the R-queue occupancy; when it runs hot, redundant
   // instructions must be scheduled ahead of primary ones or the queue fills
-  // and blocks the whole pipeline.
-  const u64 occupancy_pct = 100 * rqueue_.size() / rqueue_.capacity();
-  return occupancy_pct >= config_.reese.priority_watermark_pct;
+  // and blocks the whole pipeline. The percentage threshold is folded into
+  // an entry count at construction so the per-cycle check is one compare.
+  return rqueue_.size() >= rpriority_min_count_;
 }
 
 void Pipeline::reese_release() {
@@ -37,7 +37,7 @@ void Pipeline::reese_release() {
       break;
     }
 
-    REntry redundant;
+    REntry& redundant = rqueue_.push_slot();
     redundant.inst = entry.inst;
     redundant.pc = entry.pc;
     redundant.seq = entry.seq;
@@ -52,9 +52,11 @@ void Pipeline::reese_release() {
     redundant.p_complete_cycle = entry.complete_cycle;
     redundant.holds_ruu_slot = !config_.reese.early_release;
 
-    // Partial re-execution (§7 future work): re-execute 1 of every k.
+    // Partial re-execution (§7 future work): re-execute 1 of every k. The
+    // counter rotates in [0, k) so the common k=1 case never divides.
     const u32 k = std::max<u32>(1, config_.reese.reexec_interval);
-    redundant.needs_reexec = (reexec_counter_++ % k) == 0;
+    redundant.needs_reexec = reexec_counter_ == 0;
+    if (++reexec_counter_ >= k) reexec_counter_ = 0;
 
     if (fault_hook_ != nullptr) {
       const FaultDecision decision =
@@ -71,7 +73,6 @@ void Pipeline::reese_release() {
       }
     }
 
-    rqueue_.push(redundant);
     ++stats_.rqueue_enqueued;
     trace(TraceKind::kRelease, redundant.seq, redundant.pc, redundant.inst,
           false);
@@ -92,10 +93,21 @@ void Pipeline::reese_release() {
 void Pipeline::reese_issue(u32* budget) {
   // Strict FIFO issue: scan from the head, skip entries already in flight
   // or not selected for re-execution, stop at the first entry that cannot
-  // issue this cycle.
-  for (usize index = 0; index < rqueue_.size() && *budget > 0; ++index) {
+  // issue this cycle. `issued` and `needs_reexec` never revert while an
+  // entry is queued, so the settled head prefix only grows until popped;
+  // r_issue_next_id_ remembers the first candidate so the scan does not
+  // re-skip the prefix every cycle.
+  const usize queue_size = rqueue_.size();
+  if (queue_size == 0) return;
+  const u64 front_id = rqueue_.front().id;
+  if (r_issue_next_id_ < front_id) r_issue_next_id_ = front_id;
+  for (usize index = static_cast<usize>(r_issue_next_id_ - front_id);
+       index < queue_size && *budget > 0; ++index) {
     REntry& entry = rqueue_.at(index);
-    if (!entry.needs_reexec || entry.issued) continue;
+    if (!entry.needs_reexec || entry.issued) {
+      r_issue_next_id_ += entry.id == r_issue_next_id_ ? 1 : 0;
+      continue;
+    }
 
     if (config_.reese.min_separation > 0 &&
         now_ < entry.p_complete_cycle + config_.reese.min_separation) {
@@ -142,6 +154,7 @@ void Pipeline::reese_issue(u32* budget) {
     }
 
     entry.issued = true;
+    r_issue_next_id_ += entry.id == r_issue_next_id_ ? 1 : 0;
     entry.r_issue_cycle = now_;
     trace(TraceKind::kRIssue, entry.seq, entry.pc, entry.inst, false);
     if (config_.reese.window_sharing) ++r_inflight_;
@@ -158,26 +171,33 @@ Pipeline::ReexecOutcome Pipeline::recompute_and_compare(
     unsigned fault_bit) const {
   // Re-run the computation from the stored operands — the same semantics
   // function the P stream used, as in hardware where it is the same ALU.
+  // The comparator is branch-free: each path accumulates a difference word
+  // (XOR of the recomputed and stored values) instead of testing and
+  // short-circuiting, and a single final test decides mismatch. This keeps
+  // the per-comparison work a straight dependency chain the branch
+  // predictor never sees.
   u64 r_value = 0;
-  bool aux_mismatch = false;
+  u64 aux_diff = 0;
   const isa::OpInfo& info = inst.info();
   if (info.exec_class == ExecClass::kLoad) {
     // The reload returns the same architecturally-correct value the P load
     // saw (all older stores have committed; younger ones have not).
     r_value = load_value;
     const isa::ComputeOut out = isa::compute(inst, rs1_value, rs2_value, pc);
-    aux_mismatch = out.addr != mem_addr;
+    aux_diff = out.addr ^ mem_addr;
   } else {
     const isa::ComputeOut out = isa::compute(inst, rs1_value, rs2_value, pc);
     if (info.exec_class == ExecClass::kStore) {
       r_value = out.value;
-      aux_mismatch = out.addr != mem_addr;
+      aux_diff = out.addr ^ mem_addr;
     } else if (isa::is_cond_branch(inst.op)) {
       r_value = out.taken ? 1 : 0;
-      aux_mismatch = out.taken && out.target != p_next;
+      // Not-taken branches carry no target to verify; the all-ones/all-zeros
+      // mask zeroes the target term without a second branch.
+      aux_diff = (out.target ^ p_next) & (0 - static_cast<u64>(out.taken));
     } else if (isa::is_jump(inst.op)) {
       r_value = out.value;  // link value
-      aux_mismatch = out.target != p_next;
+      aux_diff = out.target ^ p_next;
     } else if (inst.op == Opcode::kOut) {
       r_value = rs1_value;
     } else {
@@ -186,7 +206,8 @@ Pipeline::ReexecOutcome Pipeline::recompute_and_compare(
   }
 
   if (flip_r) r_value = flip_bit(r_value, fault_bit);
-  return ReexecOutcome{r_value, (r_value != p_result) || aux_mismatch};
+  const u64 diff = (r_value ^ p_result) | aux_diff;
+  return ReexecOutcome{r_value, diff != 0};
 }
 
 void Pipeline::reese_complete(u64 entry_id) {
@@ -211,8 +232,11 @@ void Pipeline::reese_complete(u64 entry_id) {
 }
 
 void Pipeline::reese_commit() {
-  for (u32 committed = 0; committed < config_.commit_width && !rqueue_.empty();
-       ++committed) {
+  // Stats deltas accumulate locally and post once per commit group, not per
+  // instruction, so the hot loop touches only the queue and the entry.
+  u32 group = 0;
+  u32 skipped = 0;
+  while (group < config_.commit_width && !rqueue_.empty()) {
     REntry& entry = rqueue_.front();
     if (entry.needs_reexec && !entry.completed) break;
 
@@ -244,14 +268,16 @@ void Pipeline::reese_commit() {
       fault_hook_->on_undetected(entry.seq);
     }
 
-    if (!entry.needs_reexec) ++stats_.rskipped;
+    skipped += entry.needs_reexec ? 0 : 1;
     if (entry.holds_ruu_slot) free_ruu_head();
     if (entry.inst.op == Opcode::kHalt) halted_ = true;
-    ++stats_.committed;
     trace(TraceKind::kCommit, entry.seq, entry.pc, entry.inst, false);
     rqueue_.pop_front();
+    ++group;
     if (halted_) break;
   }
+  stats_.committed += group;
+  stats_.rskipped += skipped;
 }
 
 }  // namespace reese::core

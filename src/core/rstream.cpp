@@ -2,15 +2,38 @@
 
 #include <cassert>
 
+#include "common/snapshot.h"
+
 namespace reese::core {
 
 u64 RStreamQueue::push(const REntry& entry) {
   assert(!full());
-  REntry& slot = entries_[(head_ + count_) % entries_.size()];
+  u32 tail = head_ + count_;
+  if (tail >= ring_size_) tail -= ring_size_;
+  REntry& slot = entries_[tail];
   slot = entry;
   slot.id = next_id_++;
   ++count_;
   return slot.id;
+}
+
+REntry& RStreamQueue::push_slot() {
+  assert(!full());
+  u32 tail = head_ + count_;
+  if (tail >= ring_size_) tail -= ring_size_;
+  REntry& slot = entries_[tail];
+  slot.id = next_id_++;
+  slot.needs_reexec = true;
+  slot.issued = false;
+  slot.completed = false;
+  slot.mismatch = false;
+  slot.holds_ruu_slot = false;
+  slot.faulted = false;
+  slot.flip_r = false;
+  slot.fault_bit = 0;
+  slot.fault_cycle = 0;
+  ++count_;
+  return slot;
 }
 
 REntry& RStreamQueue::by_id(u64 id) {
@@ -22,6 +45,17 @@ REntry& RStreamQueue::by_id(u64 id) {
   REntry& entry = at(index);
   assert(entry.id == id);
   return entry;
+}
+
+void RStreamQueue::save(SnapshotWriter* writer) const {
+  assert(count_ == 0 && "R-stream queue must be drained before snapshot");
+  writer->put_u64(next_id_);
+}
+
+void RStreamQueue::load(SnapshotReader* reader) {
+  next_id_ = reader->get_u64();
+  head_ = 0;
+  count_ = 0;
 }
 
 }  // namespace reese::core

@@ -14,6 +14,11 @@
 #include "common/types.h"
 #include "isa/instruction.h"
 
+namespace reese {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace reese
+
 namespace reese::core {
 
 struct REntry {
@@ -62,7 +67,9 @@ struct REntry {
 class RStreamQueue {
  public:
   explicit RStreamQueue(u32 capacity)
-      : entries_(std::max<u32>(capacity, 1)), capacity_(capacity) {}
+      : entries_(std::max<u32>(capacity, 1)),
+        capacity_(capacity),
+        ring_size_(std::max<u32>(capacity, 1)) {}
 
   bool full() const { return count_ >= capacity_; }
   bool empty() const { return count_ == 0; }
@@ -73,9 +80,15 @@ class RStreamQueue {
   /// full() first.
   u64 push(const REntry& entry);
 
+  /// Tail-slot emplace: returns a recycled slot for the caller to fill in
+  /// place, skipping push()'s stack-copy of the whole REntry. The id is
+  /// assigned and the R-stream progress/fault flags are reset here; the
+  /// caller owns every field it reads later. Caller must check full() first.
+  REntry& push_slot();
+
   REntry& front() { return entries_[head_]; }
   void pop_front() {
-    head_ = (head_ + 1) % entries_.size();
+    if (++head_ == ring_size_) head_ = 0;
     --count_;
   }
 
@@ -85,13 +98,27 @@ class RStreamQueue {
   REntry& by_id(u64 id);
 
   /// Program-order access for the in-order R issue scan (0 = head).
-  REntry& at(usize index) { return entries_[(head_ + index) % entries_.size()]; }
+  /// The ring size is a config value, not a power of two, so `%` compiles
+  /// to a hardware divide; index < count_ <= ring_size_ bounds the sum
+  /// under 2*ring_size_, so one compare-subtract wraps it.
+  REntry& at(usize index) {
+    u32 position = head_ + static_cast<u32>(index);
+    if (position >= ring_size_) position -= ring_size_;
+    return entries_[position];
+  }
+
+  /// Checkpoint serialization. Only called on a drained (empty) queue —
+  /// what persists across a snapshot is the id counter, which keeps the
+  /// FIFO-consecutive id contract intact across a restore.
+  void save(SnapshotWriter* writer) const;
+  void load(SnapshotReader* reader);
 
  private:
   std::vector<REntry> entries_;
   u32 head_ = 0;
   u32 count_ = 0;
   u32 capacity_;
+  u32 ring_size_;
   u64 next_id_ = 1;
 };
 

@@ -88,6 +88,11 @@ struct CoreStats {
   u64 cycle_class_total() const;
   /// One-line "busy 62.1%, rqueue-full 11.0%, ..." rendering.
   std::string cycle_class_summary() const;
+
+  /// Checkpoint serialization: every counter and distribution, so a
+  /// restored run reports stats identical to an uninterrupted one.
+  void save(SnapshotWriter* writer) const;
+  void load(SnapshotReader* reader);
 };
 
 /// Export every CoreStats counter/gauge into `registry` under the

@@ -12,6 +12,11 @@
 //    execution.
 #pragma once
 
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "common/bitutil.h"
 #include "common/types.h"
 #include "isa/arch_state.h"
 #include "isa/instruction.h"
@@ -27,12 +32,187 @@ struct ComputeOut {
   Addr addr = 0;       ///< effective address for loads/stores
 };
 
+namespace detail {
+
+inline double as_double(u64 bits) { return std::bit_cast<double>(bits); }
+inline u64 as_bits(double value) { return std::bit_cast<u64>(value); }
+
+/// RISC-V style total semantics for division: x/0 = -1 (all ones for
+/// unsigned), INT_MIN/-1 = INT_MIN; remainders follow.
+inline u64 int_div(u64 a, u64 b, bool is_signed, bool want_remainder) {
+  if (b == 0) {
+    return want_remainder ? a : ~u64{0};
+  }
+  if (is_signed) {
+    const i64 sa = static_cast<i64>(a);
+    const i64 sb = static_cast<i64>(b);
+    if (sa == INT64_MIN && sb == -1) {
+      return want_remainder ? 0 : static_cast<u64>(INT64_MIN);
+    }
+    return static_cast<u64>(want_remainder ? sa % sb : sa / sb);
+  }
+  return want_remainder ? a % b : a / b;
+}
+
+inline u64 mulh(u64 a, u64 b) {
+  const __int128 product = static_cast<__int128>(static_cast<i64>(a)) *
+                           static_cast<__int128>(static_cast<i64>(b));
+  return static_cast<u64>(static_cast<unsigned __int128>(product) >> 64);
+}
+
+}  // namespace detail
+
 /// Pure SRV semantics. `rs1_value`/`rs2_value` are the operand *values*
 /// (integer or FP bit pattern as the opcode demands). Does not touch any
 /// state; loads produce only the effective address (the memory read itself
 /// is the caller's business).
-ComputeOut compute(const Instruction& inst, u64 rs1_value, u64 rs2_value,
-                   Addr pc);
+///
+/// Header-inline: runs once per dispatched instruction inside step() and
+/// once per R-stream re-execution inside the comparator — both hot paths.
+inline ComputeOut compute(const Instruction& inst, u64 a, u64 b, Addr pc) {
+  ComputeOut out;
+  const i64 imm = inst.imm;
+  switch (inst.op) {
+    case Opcode::kAdd: out.value = a + b; break;
+    case Opcode::kSub: out.value = a - b; break;
+    case Opcode::kAnd: out.value = a & b; break;
+    case Opcode::kOr: out.value = a | b; break;
+    case Opcode::kXor: out.value = a ^ b; break;
+    case Opcode::kSll: out.value = a << (b & 63); break;
+    case Opcode::kSrl: out.value = a >> (b & 63); break;
+    case Opcode::kSra:
+      out.value = static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+      break;
+    case Opcode::kSlt:
+      out.value = static_cast<i64>(a) < static_cast<i64>(b) ? 1 : 0;
+      break;
+    case Opcode::kSltu: out.value = a < b ? 1 : 0; break;
+
+    case Opcode::kMul: out.value = a * b; break;
+    case Opcode::kMulh: out.value = detail::mulh(a, b); break;
+    case Opcode::kDiv: out.value = detail::int_div(a, b, true, false); break;
+    case Opcode::kDivu: out.value = detail::int_div(a, b, false, false); break;
+    case Opcode::kRem: out.value = detail::int_div(a, b, true, true); break;
+    case Opcode::kRemu: out.value = detail::int_div(a, b, false, true); break;
+
+    case Opcode::kAddi: out.value = a + static_cast<u64>(imm); break;
+    case Opcode::kAndi: out.value = a & static_cast<u64>(imm); break;
+    case Opcode::kOri: out.value = a | static_cast<u64>(imm); break;
+    case Opcode::kXori: out.value = a ^ static_cast<u64>(imm); break;
+    case Opcode::kSlli: out.value = a << (imm & 63); break;
+    case Opcode::kSrli: out.value = a >> (imm & 63); break;
+    case Opcode::kSrai:
+      out.value = static_cast<u64>(static_cast<i64>(a) >> (imm & 63));
+      break;
+    case Opcode::kSlti:
+      out.value = static_cast<i64>(a) < imm ? 1 : 0;
+      break;
+    case Opcode::kSltiu:
+      out.value = a < static_cast<u64>(imm) ? 1 : 0;
+      break;
+
+    case Opcode::kLui:
+      out.value = static_cast<u64>(imm) << 14;
+      break;
+
+    case Opcode::kLb: case Opcode::kLbu: case Opcode::kLh: case Opcode::kLhu:
+    case Opcode::kLw: case Opcode::kLwu: case Opcode::kLd: case Opcode::kFld:
+      out.addr = a + static_cast<u64>(imm);
+      break;
+
+    case Opcode::kSb: case Opcode::kSh: case Opcode::kSw: case Opcode::kSd:
+    case Opcode::kFsd:
+      out.addr = a + static_cast<u64>(imm);
+      out.value = b;  // value to store
+      break;
+
+    case Opcode::kBeq: out.taken = (a == b); break;
+    case Opcode::kBne: out.taken = (a != b); break;
+    case Opcode::kBlt:
+      out.taken = static_cast<i64>(a) < static_cast<i64>(b);
+      break;
+    case Opcode::kBge:
+      out.taken = static_cast<i64>(a) >= static_cast<i64>(b);
+      break;
+    case Opcode::kBltu: out.taken = a < b; break;
+    case Opcode::kBgeu: out.taken = a >= b; break;
+
+    case Opcode::kJal:
+      out.taken = true;
+      out.target = pc + 4 * static_cast<u64>(imm);
+      out.value = pc + 4;  // return address
+      break;
+    case Opcode::kJalr:
+      out.taken = true;
+      out.target = (a + static_cast<u64>(imm)) & ~u64{1};
+      out.value = pc + 4;
+      break;
+
+    case Opcode::kFadd:
+      out.value = detail::as_bits(detail::as_double(a) + detail::as_double(b));
+      break;
+    case Opcode::kFsub:
+      out.value = detail::as_bits(detail::as_double(a) - detail::as_double(b));
+      break;
+    case Opcode::kFmul:
+      out.value = detail::as_bits(detail::as_double(a) * detail::as_double(b));
+      break;
+    case Opcode::kFdiv:
+      out.value = detail::as_bits(detail::as_double(a) / detail::as_double(b));
+      break;
+    case Opcode::kFsqrt:
+      out.value = detail::as_bits(std::sqrt(detail::as_double(a)));
+      break;
+    case Opcode::kFmin:
+      out.value =
+          detail::as_bits(std::fmin(detail::as_double(a), detail::as_double(b)));
+      break;
+    case Opcode::kFmax:
+      out.value =
+          detail::as_bits(std::fmax(detail::as_double(a), detail::as_double(b)));
+      break;
+    case Opcode::kFneg: out.value = a ^ (u64{1} << 63); break;
+    case Opcode::kFcvtDL:
+      out.value = detail::as_bits(static_cast<double>(static_cast<i64>(a)));
+      break;
+    case Opcode::kFcvtLD: {
+      const double d = detail::as_double(a);
+      // Saturating truncation; NaN maps to 0.
+      i64 v;
+      if (std::isnan(d)) {
+        v = 0;
+      } else if (d >= 9.2233720368547758e18) {
+        v = INT64_MAX;
+      } else if (d <= -9.2233720368547758e18) {
+        v = INT64_MIN;
+      } else {
+        v = static_cast<i64>(d);
+      }
+      out.value = static_cast<u64>(v);
+      break;
+    }
+    case Opcode::kFeq:
+      out.value = detail::as_double(a) == detail::as_double(b) ? 1 : 0;
+      break;
+    case Opcode::kFlt:
+      out.value = detail::as_double(a) < detail::as_double(b) ? 1 : 0;
+      break;
+    case Opcode::kFle:
+      out.value = detail::as_double(a) <= detail::as_double(b) ? 1 : 0;
+      break;
+    case Opcode::kFmvXD: case Opcode::kFmvDX: out.value = a; break;
+
+    case Opcode::kOut: out.value = a; break;
+    case Opcode::kHalt: case Opcode::kNop: break;
+    case Opcode::kCount: assert(false && "invalid opcode"); break;
+  }
+
+  if (is_cond_branch(inst.op)) {
+    out.target = pc + 4 * static_cast<u64>(imm);
+    out.value = out.taken ? 1 : 0;
+  }
+  return out;
+}
 
 /// Side effects + values produced by one full step().
 struct StepOut {
@@ -47,6 +227,59 @@ struct StepOut {
 /// Execute `inst` at state->pc: read operands, compute, access `data`,
 /// update registers/pc/halt/out-hash. The caller guarantees `inst` is the
 /// instruction at state->pc.
-StepOut step(ArchState* state, const Instruction& inst, DataSpace* data);
+///
+/// Templated over the data-space type: the pipeline's dispatch-time
+/// execution runs once per simulated instruction, and calling through the
+/// DataSpace vtable there costs an indirect branch per memory op. Callers
+/// holding a concrete space (DirectDataSpace, SpecOverlay) instantiate with
+/// that type and get direct, inlinable accesses; Space = DataSpace still
+/// works through the virtual interface.
+template <typename Space>
+StepOut step(ArchState* state, const Instruction& inst, Space* data) {
+  const OpInfo& info = inst.info();
+  StepOut out;
+
+  if (info.reads_rs1) {
+    out.rs1_value = info.is_fp_rs1 ? state->f(inst.rs1) : state->x(inst.rs1);
+  }
+  if (info.reads_rs2) {
+    out.rs2_value = info.is_fp_rs2 ? state->f(inst.rs2) : state->x(inst.rs2);
+  }
+
+  out.compute = compute(inst, out.rs1_value, out.rs2_value, state->pc);
+  out.next_pc = out.compute.taken ? out.compute.target : state->pc + 4;
+
+  switch (info.exec_class) {
+    case ExecClass::kLoad: {
+      u64 loaded = data->load(out.compute.addr, info.mem_bytes);
+      if (info.load_signed && info.mem_bytes < 8) {
+        loaded = static_cast<u64>(sign_extend(loaded, 8 * info.mem_bytes));
+      }
+      out.result = loaded;
+      break;
+    }
+    case ExecClass::kStore:
+      data->store(out.compute.addr, info.mem_bytes, out.compute.value);
+      out.result = out.compute.value;
+      break;
+    default:
+      out.result = out.compute.value;
+      break;
+  }
+
+  if (info.writes_rd) {
+    if (info.is_fp_rd) {
+      state->set_f(inst.rd, out.result);
+    } else {
+      state->set_x(inst.rd, out.result);
+    }
+    out.wrote_reg = true;
+  }
+  if (inst.op == Opcode::kOut) state->emit_out(out.rs1_value);
+  if (inst.op == Opcode::kHalt) state->halted = true;
+
+  state->pc = out.next_pc;
+  return out;
+}
 
 }  // namespace reese::isa

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/bitutil.h"
+#include "common/snapshot.h"
 #include "common/stats.h"
 
 namespace reese::mem {
@@ -139,6 +140,59 @@ void Cache::invalidate_all() {
     if (line.valid && line.dirty) ++stats_.writebacks;
     line = Line{};
   }
+}
+
+void Cache::save(SnapshotWriter* writer) const {
+  writer->put_u64(lines_.size());
+  for (const Line& line : lines_) {
+    writer->put_u64(line.tag);
+    writer->put_bool(line.valid);
+    writer->put_bool(line.dirty);
+    writer->put_u64(line.stamp);
+  }
+  writer->put_u64(stats_.accesses);
+  writer->put_u64(stats_.hits);
+  writer->put_u64(stats_.misses);
+  writer->put_u64(stats_.read_accesses);
+  writer->put_u64(stats_.write_accesses);
+  writer->put_u64(stats_.evictions);
+  writer->put_u64(stats_.writebacks);
+  writer->put_u64(tick_);
+  writer->put_u64(rng_.state());
+}
+
+void Cache::load(SnapshotReader* reader) {
+  const u64 line_count = reader->get_u64();
+  if (!reader->ok()) return;
+  if (line_count != lines_.size()) {
+    reader->fail("cache '" + config_.name +
+                 "' geometry mismatch (snapshot built with a different "
+                 "configuration)");
+    return;
+  }
+  for (Line& line : lines_) {
+    line.tag = reader->get_u64();
+    line.valid = reader->get_bool();
+    line.dirty = reader->get_bool();
+    line.stamp = reader->get_u64();
+  }
+  stats_.accesses = reader->get_u64();
+  stats_.hits = reader->get_u64();
+  stats_.misses = reader->get_u64();
+  stats_.read_accesses = reader->get_u64();
+  stats_.write_accesses = reader->get_u64();
+  stats_.evictions = reader->get_u64();
+  stats_.writebacks = reader->get_u64();
+  tick_ = reader->get_u64();
+  rng_.set_state(reader->get_u64());
+}
+
+void FlatMemoryLevel::save(SnapshotWriter* writer) const {
+  writer->put_u64(accesses_);
+}
+
+void FlatMemoryLevel::load(SnapshotReader* reader) {
+  accesses_ = reader->get_u64();
 }
 
 }  // namespace reese::mem

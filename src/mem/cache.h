@@ -13,6 +13,11 @@
 #include "common/rng.h"
 #include "common/types.h"
 
+namespace reese {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace reese
+
 namespace reese::mem {
 
 enum class ReplacementPolicy : u8 { kLru, kFifo, kRandom };
@@ -72,6 +77,9 @@ class FlatMemoryLevel final : public MemoryLevel {
   const std::string& name() const override { return name_; }
   u64 accesses() const { return accesses_; }
 
+  void save(SnapshotWriter* writer) const;
+  void load(SnapshotReader* reader);
+
  private:
   u32 latency_;
   std::string name_;
@@ -99,6 +107,12 @@ class Cache final : public MemoryLevel {
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
   const std::string& name() const override { return config_.name; }
+
+  /// Checkpoint serialization: tag array, stats, LRU tick, RNG state. The
+  /// geometry comes from the config, so load() into a cache built with a
+  /// different line count latches a reader error.
+  void save(SnapshotWriter* writer) const;
+  void load(SnapshotReader* reader);
 
  private:
   struct Line {

@@ -1,5 +1,6 @@
 #include "mem/hierarchy.h"
 
+#include "common/snapshot.h"
 #include "common/strutil.h"
 
 namespace reese::mem {
@@ -23,6 +24,24 @@ u32 Hierarchy::data_access(Addr addr, bool is_write) {
   u32 latency = dl1_->access(addr, is_write);
   if (config_.enable_tlbs) latency += dtlb_->access(addr);
   return latency;
+}
+
+void Hierarchy::save(SnapshotWriter* writer) const {
+  dram_->save(writer);
+  ul2_->save(writer);
+  il1_->save(writer);
+  dl1_->save(writer);
+  itlb_->save(writer);
+  dtlb_->save(writer);
+}
+
+void Hierarchy::load(SnapshotReader* reader) {
+  dram_->load(reader);
+  ul2_->load(reader);
+  il1_->load(reader);
+  dl1_->load(reader);
+  itlb_->load(reader);
+  dtlb_->load(reader);
 }
 
 std::string Hierarchy::report() const {

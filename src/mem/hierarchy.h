@@ -62,6 +62,10 @@ class Hierarchy {
 
   u64 dram_accesses() const { return dram_->accesses(); }
 
+  /// Checkpoint serialization of every level's tag/stat state.
+  void save(SnapshotWriter* writer) const;
+  void load(SnapshotReader* reader);
+
   /// Multi-line summary for reports.
   std::string report() const;
 

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/snapshot.h"
+
 namespace reese::mem {
 
 MainMemory::MainMemory(const MainMemory& other) { *this = other; }
@@ -56,19 +58,9 @@ MainMemory::Page& MainMemory::touch_page(Addr addr) {
   return *slot;
 }
 
-u8 MainMemory::load_u8(Addr addr) const {
-  const Page* page = find_page(addr);
-  if (page == nullptr) return 0;
-  return (*page)[addr & (kPageSize - 1)];
-}
-
-void MainMemory::store_u8(Addr addr, u8 value) {
-  touch_page(addr)[addr & (kPageSize - 1)] = value;
-}
-
-u64 MainMemory::load(Addr addr, unsigned bytes) const {
+u64 MainMemory::load_slow(Addr addr, unsigned bytes) const {
   assert(bytes >= 1 && bytes <= 8);
-  // Fast path: access within one page.
+  // In-page access that missed the page cache.
   const usize offset = addr & (kPageSize - 1);
   if (offset + bytes <= kPageSize) {
     const Page* page = find_page(addr);
@@ -77,6 +69,7 @@ u64 MainMemory::load(Addr addr, unsigned bytes) const {
     std::memcpy(&value, page->data() + offset, bytes);
     return value;
   }
+  // Page-straddling access: byte loop (each byte re-enters the fast path).
   u64 value = 0;
   for (unsigned i = 0; i < bytes; ++i) {
     value |= static_cast<u64>(load_u8(addr + i)) << (8 * i);
@@ -84,7 +77,7 @@ u64 MainMemory::load(Addr addr, unsigned bytes) const {
   return value;
 }
 
-void MainMemory::store(Addr addr, unsigned bytes, u64 value) {
+void MainMemory::store_slow(Addr addr, unsigned bytes, u64 value) {
   assert(bytes >= 1 && bytes <= 8);
   const usize offset = addr & (kPageSize - 1);
   if (offset + bytes <= kPageSize) {
@@ -136,6 +129,36 @@ u64 MainMemory::content_hash() const {
     }
   }
   return hash;
+}
+
+void MainMemory::save(SnapshotWriter* writer) const {
+  std::vector<u64> indices;
+  indices.reserve(pages_.size());
+  for (const auto& [page_index, page] : pages_) indices.push_back(page_index);
+  std::sort(indices.begin(), indices.end());
+
+  writer->put_u64(indices.size());
+  for (u64 index : indices) {
+    writer->put_u64(index);
+    writer->put_bytes(pages_.at(index)->data(), kPageSize);
+  }
+  writer->put_u64(content_hash());
+}
+
+void MainMemory::load(SnapshotReader* reader) {
+  pages_.clear();
+  invalidate_page_cache();
+  const u64 page_count = reader->get_u64();
+  for (u64 i = 0; i < page_count && reader->ok(); ++i) {
+    const u64 index = reader->get_u64();
+    auto page = std::make_unique<Page>();
+    reader->get_bytes(page->data(), kPageSize);
+    pages_.emplace(index, std::move(page));
+  }
+  const u64 stored_hash = reader->get_u64();
+  if (reader->ok() && stored_hash != content_hash()) {
+    reader->fail("memory image hash mismatch after restore");
+  }
 }
 
 }  // namespace reese::mem

@@ -7,10 +7,16 @@
 #pragma once
 
 #include <array>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 
 #include "common/types.h"
+
+namespace reese {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace reese
 
 namespace reese::mem {
 
@@ -30,13 +36,45 @@ class MainMemory {
   MainMemory(MainMemory&& other) noexcept;
   MainMemory& operator=(MainMemory&& other) noexcept;
 
-  u8 load_u8(Addr addr) const;
-  void store_u8(Addr addr, u8 value);
+  // The load/store fast path is inline: when the access hits the cached
+  // page (the overwhelmingly common case — see the cache comment below) it
+  // indexes the page's flat byte array directly, with no out-of-line call.
+  // Misses, first touches, and page-straddling accesses take the _slow
+  // out-of-line path.
+
+  u8 load_u8(Addr addr) const {
+    if ((addr >> kPageBits) == cached_index_) {
+      return (*cached_page_)[addr & (kPageSize - 1)];
+    }
+    return static_cast<u8>(load_slow(addr, 1));
+  }
+  void store_u8(Addr addr, u8 value) {
+    if ((addr >> kPageBits) == cached_index_) {
+      (*cached_page_)[addr & (kPageSize - 1)] = value;
+      return;
+    }
+    store_slow(addr, 1, value);
+  }
 
   /// Load `bytes` (1..8) little-endian; unallocated memory reads as zero.
-  u64 load(Addr addr, unsigned bytes) const;
+  u64 load(Addr addr, unsigned bytes) const {
+    const usize offset = addr & (kPageSize - 1);
+    if ((addr >> kPageBits) == cached_index_ && offset + bytes <= kPageSize) {
+      u64 value = 0;
+      std::memcpy(&value, cached_page_->data() + offset, bytes);
+      return value;
+    }
+    return load_slow(addr, bytes);
+  }
   /// Store the low `bytes` (1..8) of `value` little-endian.
-  void store(Addr addr, unsigned bytes, u64 value);
+  void store(Addr addr, unsigned bytes, u64 value) {
+    const usize offset = addr & (kPageSize - 1);
+    if ((addr >> kPageBits) == cached_index_ && offset + bytes <= kPageSize) {
+      std::memcpy(cached_page_->data() + offset, &value, bytes);
+      return;
+    }
+    store_slow(addr, bytes, value);
+  }
 
   /// Bulk copy-in used by the program loader.
   void write_block(Addr addr, const u8* data, usize size);
@@ -48,11 +86,20 @@ class MainMemory {
   /// equivalence fingerprint used by tests (golden ISS vs pipeline).
   u64 content_hash() const;
 
+  /// Checkpoint serialization: a sparse page dump (every allocated page,
+  /// address-ordered) followed by the content hash, which load() recomputes
+  /// and verifies so a corrupted memory image fails loudly at restore time.
+  void save(SnapshotWriter* writer) const;
+  void load(SnapshotReader* reader);
+
  private:
   using Page = std::array<u8, kPageSize>;
 
   const Page* find_page(Addr addr) const;
   Page& touch_page(Addr addr);
+
+  u64 load_slow(Addr addr, unsigned bytes) const;
+  void store_slow(Addr addr, unsigned bytes, u64 value);
 
   void invalidate_page_cache() const {
     cached_index_ = kNoPage;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/bitutil.h"
+#include "common/snapshot.h"
 
 namespace reese::mem {
 
@@ -50,6 +51,37 @@ u32 Tlb::access(Addr addr) {
   }
   entries_[set_base + victim] = Entry{vpn, true, tick_};
   return config_.miss_latency;
+}
+
+void Tlb::save(SnapshotWriter* writer) const {
+  writer->put_u64(entries_.size());
+  for (const Entry& entry : entries_) {
+    writer->put_u64(entry.vpn);
+    writer->put_bool(entry.valid);
+    writer->put_u64(entry.stamp);
+  }
+  writer->put_u64(stats_.accesses);
+  writer->put_u64(stats_.misses);
+  writer->put_u64(tick_);
+}
+
+void Tlb::load(SnapshotReader* reader) {
+  const u64 entry_count = reader->get_u64();
+  if (!reader->ok()) return;
+  if (entry_count != entries_.size()) {
+    reader->fail("tlb '" + config_.name +
+                 "' geometry mismatch (snapshot built with a different "
+                 "configuration)");
+    return;
+  }
+  for (Entry& entry : entries_) {
+    entry.vpn = reader->get_u64();
+    entry.valid = reader->get_bool();
+    entry.stamp = reader->get_u64();
+  }
+  stats_.accesses = reader->get_u64();
+  stats_.misses = reader->get_u64();
+  tick_ = reader->get_u64();
 }
 
 }  // namespace reese::mem

@@ -10,6 +10,11 @@
 
 #include "common/types.h"
 
+namespace reese {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace reese
+
 namespace reese::mem {
 
 struct TlbConfig {
@@ -34,6 +39,9 @@ class Tlb {
 
   const TlbStats& stats() const { return stats_; }
   const TlbConfig& config() const { return config_; }
+
+  void save(SnapshotWriter* writer) const;
+  void load(SnapshotReader* reader);
 
  private:
   struct Entry {

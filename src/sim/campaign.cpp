@@ -6,8 +6,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "common/diag.h"
+#include "common/snapshot.h"
 #include "common/strutil.h"
 #include "common/thread_pool.h"
 #include "sim/experiment.h"
@@ -29,6 +31,114 @@ void accumulate_stratum(StratumCount* stratum, const faults::FaultRecord& r) {
   } else {
     ++stratum->undetected;
   }
+}
+
+// Campaign cells checkpoint at whole-cell granularity: a ".done" record
+// holds the finished CampaignCell, bound to the budget/rate/cell-seed so a
+// record from a differently-shaped campaign is ignored and the cell
+// re-runs (see CampaignSpec::checkpoint).
+constexpr u32 kCampaignCellTag = 0x43414D50;  // "CAMP"
+
+void put_stratum(SnapshotWriter* writer, const StratumCount& stratum) {
+  writer->put_u64(stratum.injected);
+  writer->put_u64(stratum.detected);
+  writer->put_u64(stratum.undetected);
+}
+
+void get_stratum(SnapshotReader* reader, StratumCount* stratum) {
+  stratum->injected = reader->get_u64();
+  stratum->detected = reader->get_u64();
+  stratum->undetected = reader->get_u64();
+}
+
+void save_campaign_cell(const std::string& path, u64 instructions,
+                        double rate, u64 cell_seed, const CampaignCell& cell) {
+  SnapshotWriter writer;
+  writer.put_section(kCampaignCellTag);
+  writer.put_u64(instructions);
+  writer.put_f64(rate);
+  writer.put_u64(cell_seed);
+  writer.put_u64(cell.injected);
+  writer.put_u64(cell.detected);
+  writer.put_u64(cell.undetected);
+  writer.put_u64(cell.pending);
+  writer.put_u64(cell.duplicate_reports);
+  writer.put_u64(cell.committed);
+  writer.put_u64(cell.cycles);
+  writer.put_u64(cell.latency_sum);
+  writer.put_u64(cell.latency_count);
+  writer.put_u64(cell.latency_min);
+  writer.put_u64(cell.latency_max);
+  writer.put_u64(cell.latency_overflow);
+  writer.put_u64(cell.latency_buckets.size());
+  for (u64 bucket : cell.latency_buckets) writer.put_u64(bucket);
+  for (const StratumCount& stratum : cell.by_class) {
+    put_stratum(&writer, stratum);
+  }
+  put_stratum(&writer, cell.p_side);
+  put_stratum(&writer, cell.r_side);
+  writer.put_u64(cell.by_pc.size());
+  for (const auto& [pc, stratum] : cell.by_pc) {
+    writer.put_u64(pc);
+    writer.put_u64(stratum.injected);
+    writer.put_u64(stratum.detected);
+    writer.put_u64(stratum.undetected);
+    writer.put_u64(stratum.ace);
+    writer.put_u64(stratum.masked);
+    writer.put_u64(stratum.window_pending);
+    writer.put_u64(stratum.window_sum);
+  }
+  std::string error;
+  if (!writer.write_file(path, kSnapshotFormatVersion, &error)) {
+    std::fprintf(stderr, "campaign: %s\n", error.c_str());
+  }
+}
+
+bool load_campaign_cell(const std::string& path, u64 instructions,
+                        double rate, u64 cell_seed, CampaignCell* cell) {
+  SnapshotReader reader;
+  if (!reader.open_file(path, kSnapshotFormatVersion)) return false;
+  if (!reader.expect_section(kCampaignCellTag)) return false;
+  if (reader.get_u64() != instructions) return false;
+  if (reader.get_f64() != rate) return false;
+  if (reader.get_u64() != cell_seed) return false;
+  CampaignCell loaded;
+  loaded.injected = reader.get_u64();
+  loaded.detected = reader.get_u64();
+  loaded.undetected = reader.get_u64();
+  loaded.pending = reader.get_u64();
+  loaded.duplicate_reports = reader.get_u64();
+  loaded.committed = reader.get_u64();
+  loaded.cycles = reader.get_u64();
+  loaded.latency_sum = reader.get_u64();
+  loaded.latency_count = reader.get_u64();
+  loaded.latency_min = reader.get_u64();
+  loaded.latency_max = reader.get_u64();
+  loaded.latency_overflow = reader.get_u64();
+  const u64 bucket_count = reader.get_u64();
+  if (!reader.ok() || bucket_count > kLatencyBucketCount) return false;
+  loaded.latency_buckets.resize(bucket_count);
+  for (u64& bucket : loaded.latency_buckets) bucket = reader.get_u64();
+  for (StratumCount& stratum : loaded.by_class) {
+    get_stratum(&reader, &stratum);
+  }
+  get_stratum(&reader, &loaded.p_side);
+  get_stratum(&reader, &loaded.r_side);
+  const u64 pc_count = reader.get_u64();
+  for (u64 i = 0; reader.ok() && i < pc_count; ++i) {
+    const Addr pc = reader.get_u64();
+    PcStratum& stratum = loaded.by_pc[pc];
+    stratum.injected = reader.get_u64();
+    stratum.detected = reader.get_u64();
+    stratum.undetected = reader.get_u64();
+    stratum.ace = reader.get_u64();
+    stratum.masked = reader.get_u64();
+    stratum.window_pending = reader.get_u64();
+    stratum.window_sum = reader.get_u64();
+  }
+  if (!reader.ok() || !reader.at_end()) return false;
+  *cell = std::move(loaded);
+  return true;
 }
 
 }  // namespace
@@ -335,6 +445,20 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
   if (spec.quick) spec.replicas = 1;
   if (spec.replicas == 0) spec.replicas = 1;
   if (spec.instructions == 0) spec.instructions = spec.quick ? 20'000 : 60'000;
+  if (spec.checkpoint.dir.empty() && spec.checkpoint.interval == 0 &&
+      !spec.checkpoint.resume) {
+    spec.checkpoint = default_checkpoint();
+  }
+  if (!spec.checkpoint.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(spec.checkpoint.dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "campaign: cannot create checkpoint dir %s: %s\n",
+                   spec.checkpoint.dir.c_str(), ec.message().c_str());
+      std::exit(1);
+    }
+  }
+  const CheckpointOptions& ckpt = spec.checkpoint;
 
   CampaignResult result;
   result.spec = spec;
@@ -389,6 +513,34 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
     const u64 cell_seed = derive_cell_seed(spec.seed, job.variant_index,
                                            job.workload_index, job.replica);
 
+    CampaignCell& cell = result.matrix.cells[job.variant_index]
+                             [job.workload_index][job.replica];
+    const auto account_cell = [&](u64 committed) {
+      const u64 done = cells_done.fetch_add(1, std::memory_order_relaxed) + 1;
+      const u64 committed_now =
+          committed_total.fetch_add(committed, std::memory_order_relaxed) +
+          committed;
+      if (cells_counter != nullptr) cells_counter->inc();
+      if (committed_counter != nullptr) committed_counter->inc(committed);
+      if (spec.progress) {
+        spec.progress({done, static_cast<u64>(jobs.size()), committed_now});
+      }
+    };
+
+    std::string done_path;
+    if (!ckpt.dir.empty()) {
+      done_path =
+          ckpt.dir + "/" +
+          format("campaign-v%zu-w%zu-r%zu.done", job.variant_index,
+                 job.workload_index, job.replica);
+    }
+    if (ckpt.resume && !done_path.empty() &&
+        load_campaign_cell(done_path, spec.instructions, spec.rate, cell_seed,
+                           &cell)) {
+      account_cell(cell.committed);
+      return;
+    }
+
     workloads::Workload workload_image;
     if (!spec.programs.empty()) {
       // Fixed image: the replica axis still varies the injector seed, so
@@ -437,8 +589,6 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
     // can over-count masking for at most the last few in-flight values.
     injector.finalize_windows();
 
-    CampaignCell& cell = result.matrix.cells[job.variant_index]
-                             [job.workload_index][job.replica];
     cell.injected = injector.injected();
     cell.detected = injector.detected();
     cell.undetected = injector.undetected();
@@ -482,18 +632,12 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
       }
     }
 
-    const u64 done = cells_done.fetch_add(1, std::memory_order_relaxed) + 1;
-    const u64 committed_now =
-        committed_total.fetch_add(sim_result.committed,
-                                  std::memory_order_relaxed) +
-        sim_result.committed;
-    if (cells_counter != nullptr) cells_counter->inc();
-    if (committed_counter != nullptr) {
-      committed_counter->inc(sim_result.committed);
+    if (!done_path.empty()) {
+      save_campaign_cell(done_path, spec.instructions, spec.rate, cell_seed,
+                         cell);
     }
-    if (spec.progress) {
-      spec.progress({done, static_cast<u64>(jobs.size()), committed_now});
-    }
+
+    account_cell(sim_result.committed);
   };
 
   const u32 workers =

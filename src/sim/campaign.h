@@ -28,6 +28,7 @@
 #include "core/config.h"
 #include "faults/injector.h"
 #include "isa/program.h"
+#include "sim/checkpoint.h"
 #include "sim/progress.h"
 
 namespace reese::sim {
@@ -83,6 +84,15 @@ struct CampaignSpec {
   /// Optional metrics registry: each finished cell bumps the
   /// reese_grid_* counters with kind="campaign". Must outlive the run.
   metrics::Registry* metrics = nullptr;
+  /// Checkpoint policy (DESIGN.md §14). Campaign cells persist at whole-
+  /// cell granularity only: each finished cell writes its CampaignCell to
+  /// a ".done" record in `dir`, and with `resume` those cells are skipped
+  /// on the next run (mid-cell snapshots are not taken — the injector's
+  /// in-flight fault windows are not part of the snapshot surface, and
+  /// cells are short relative to experiment cells). `interval` is
+  /// therefore ignored here. Left default, the process-wide
+  /// default_checkpoint() applies.
+  CheckpointOptions checkpoint;
 };
 
 /// Per-stratum injection counts (a stratum = exec class or fault side).

@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
 #include "common/diag.h"
+#include "common/snapshot.h"
 #include "common/strutil.h"
 #include "common/thread_pool.h"
 #include "sim/simulator.h"
@@ -226,6 +228,45 @@ void maybe_write_csv(const ExperimentResult& result) {
 
 u32 g_default_jobs = 0;
 
+// One finished grid cell persisted as a ".done" record so a resumed grid
+// skips the cell outright. The record is bound to the budget and workload
+// seed: a record from a differently-shaped run is ignored (the cell simply
+// re-runs), never misused.
+constexpr u32 kCellRecordTag = 0x43454C4C;  // "CELL"
+
+void save_cell_record(const std::string& path, u64 instructions, u64 seed,
+                      const ExperimentCell& cell) {
+  SnapshotWriter writer;
+  writer.put_section(kCellRecordTag);
+  writer.put_u64(instructions);
+  writer.put_u64(seed);
+  writer.put_u32(static_cast<u32>(cell.stop));
+  writer.put_f64(cell.ipc);
+  writer.put_u64(cell.cycles);
+  writer.put_u64(cell.committed);
+  std::string error;
+  if (!writer.write_file(path, kSnapshotFormatVersion, &error)) {
+    std::fprintf(stderr, "experiment: %s\n", error.c_str());
+  }
+}
+
+bool load_cell_record(const std::string& path, u64 instructions, u64 seed,
+                      ExperimentCell* cell) {
+  SnapshotReader reader;
+  if (!reader.open_file(path, kSnapshotFormatVersion)) return false;
+  if (!reader.expect_section(kCellRecordTag)) return false;
+  if (reader.get_u64() != instructions) return false;
+  if (reader.get_u64() != seed) return false;
+  ExperimentCell loaded;
+  loaded.stop = static_cast<core::StopReason>(reader.get_u32());
+  loaded.ipc = reader.get_f64();
+  loaded.cycles = reader.get_u64();
+  loaded.committed = reader.get_u64();
+  if (!reader.ok() || !reader.at_end()) return false;
+  *cell = loaded;
+  return true;
+}
+
 }  // namespace
 
 void set_default_jobs(u32 jobs) { g_default_jobs = jobs; }
@@ -255,6 +296,20 @@ ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
   if (spec.models.empty()) spec.models = standard_models();
   if (spec.workloads.empty()) spec.workloads = workloads::spec_like_names();
   if (spec.instructions == 0) spec.instructions = default_instruction_budget();
+  if (spec.checkpoint.dir.empty() && spec.checkpoint.interval == 0 &&
+      !spec.checkpoint.resume) {
+    spec.checkpoint = default_checkpoint();
+  }
+  if (!spec.checkpoint.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(spec.checkpoint.dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "experiment: cannot create checkpoint dir %s: %s\n",
+                   spec.checkpoint.dir.c_str(), ec.message().c_str());
+      std::exit(1);
+    }
+  }
+  const CheckpointOptions& ckpt = spec.checkpoint;
 
   std::vector<u64> seeds = {spec.seed};
   seeds.insert(seeds.end(), spec.extra_seeds.begin(),
@@ -317,6 +372,35 @@ ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
     }
     const Job job = jobs[job_index];
 
+    ExperimentCell& cell =
+        result.cells[job.workload_index][job.model_index][job.seed_index];
+    const auto account_cell = [&](u64 committed) {
+      const u64 done = cells_done.fetch_add(1, std::memory_order_relaxed) + 1;
+      const u64 committed_now =
+          committed_total.fetch_add(committed, std::memory_order_relaxed) +
+          committed;
+      if (cells_counter != nullptr) cells_counter->inc();
+      if (committed_counter != nullptr) committed_counter->inc(committed);
+      if (spec.progress) {
+        spec.progress({done, static_cast<u64>(jobs.size()), committed_now});
+      }
+    };
+
+    // Cell checkpoint files: "<slug>-wW-mM-sS.done" holds a finished
+    // cell's result, "<...>.snap" a mid-cell pipeline snapshot.
+    std::string cell_base;
+    if (!ckpt.dir.empty()) {
+      cell_base = ckpt.dir + "/" + slugify(spec.title) +
+                  format("-w%zu-m%zu-s%zu", job.workload_index,
+                         job.model_index, job.seed_index);
+    }
+    if (ckpt.resume && !cell_base.empty() &&
+        load_cell_record(cell_base + ".done", spec.instructions,
+                         seeds[job.seed_index], &cell)) {
+      account_cell(cell.committed);
+      return;
+    }
+
     workloads::WorkloadOptions options;
     options.seed = seeds[job.seed_index];
     options.iterations = 0;  // run forever; budget bounds the simulation
@@ -329,7 +413,19 @@ ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
     }
     Simulator simulator(std::move(workload).value(),
                         apply_model(spec.base, spec.models[job.model_index]));
-    const SimResult sim_result = simulator.run(spec.instructions);
+    SimResult sim_result;
+    if (!cell_base.empty()) {
+      std::string error;
+      sim_result =
+          run_with_checkpoints(&simulator, spec.instructions, ckpt.interval,
+                               cell_base + ".snap", ckpt.resume, &error);
+      if (!error.empty()) {
+        std::fprintf(stderr, "experiment: %s\n", error.c_str());
+        std::exit(1);
+      }
+    } else {
+      sim_result = simulator.run(spec.instructions);
+    }
     if (sim_result.stop != core::StopReason::kCommitTarget) {
       std::fprintf(stderr,
                    "experiment: %s/%s stopped early (%s) after %llu insts, "
@@ -347,25 +443,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec_in) {
       }
       std::exit(1);
     }
-    ExperimentCell& cell =
-        result.cells[job.workload_index][job.model_index][job.seed_index];
     cell.ipc = sim_result.ipc;
     cell.cycles = sim_result.cycles;
     cell.committed = sim_result.committed;
     cell.stop = sim_result.stop;
+    if (!cell_base.empty()) {
+      save_cell_record(cell_base + ".done", spec.instructions,
+                       seeds[job.seed_index], cell);
+      std::remove((cell_base + ".snap").c_str());
+    }
 
-    const u64 done = cells_done.fetch_add(1, std::memory_order_relaxed) + 1;
-    const u64 committed_now =
-        committed_total.fetch_add(sim_result.committed,
-                                  std::memory_order_relaxed) +
-        sim_result.committed;
-    if (cells_counter != nullptr) cells_counter->inc();
-    if (committed_counter != nullptr) {
-      committed_counter->inc(sim_result.committed);
-    }
-    if (spec.progress) {
-      spec.progress({done, static_cast<u64>(jobs.size()), committed_now});
-    }
+    account_cell(sim_result.committed);
   };
 
   const u32 workers = resolve_job_count(

@@ -16,6 +16,7 @@
 #include "common/metrics.h"
 #include "core/config.h"
 #include "core/pipeline.h"
+#include "sim/checkpoint.h"
 #include "sim/progress.h"
 #include "workloads/workload.h"
 
@@ -76,6 +77,15 @@ struct ExperimentSpec {
   /// reese_grid_committed_instructions_total counters (kind="experiment").
   /// Must outlive the run.
   metrics::Registry* metrics = nullptr;
+  /// Checkpoint policy (DESIGN.md §14). When `dir` is set, every finished
+  /// cell writes a ".done" record there and, with a non-zero `interval`,
+  /// long cells snapshot mid-run every `interval` committed instructions;
+  /// with `resume`, done cells are skipped and partial cells restored, so
+  /// a killed grid continues bit-identically (the interval is part of the
+  /// result's identity — see sim/checkpoint.h). Left default, the
+  /// process-wide default_checkpoint() from --checkpoint-interval /
+  /// --resume-from applies.
+  CheckpointOptions checkpoint;
 };
 
 /// Raw outcome of one grid cell's simulation (one workload/model/seed run).

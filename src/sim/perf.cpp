@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/diag.h"
 #include "common/strutil.h"
@@ -127,6 +128,14 @@ PerfReport run_perf(const PerfOptions& options_in) {
 
 std::string PerfReport::json() const {
   std::string out = "{\n";
+  // Commit anchor: bench_diff.py records which commit (and budget) a
+  // baseline artifact was measured at, so regressions are attributed to a
+  // concrete revision instead of "some older run". $GITHUB_SHA in CI,
+  // $REESE_GIT_SHA for local A/B runs, empty when neither is set.
+  const char* sha = std::getenv("GITHUB_SHA");
+  if (sha == nullptr || *sha == '\0') sha = std::getenv("REESE_GIT_SHA");
+  out += format("  \"git_sha\": \"%s\",\n",
+                json_escape(sha == nullptr ? "" : sha).c_str());
   out += format("  \"instructions\": %llu,\n",
                 static_cast<unsigned long long>(instructions));
   out += format("  \"reps\": %u,\n", options.reps);

@@ -127,6 +127,33 @@ bool parse_jobs_field(const json::Value& object, u32* out,
   return true;
 }
 
+/// Checkpoint policy ("checkpoint": {"dir", "interval", "resume"}), passed
+/// through to ExperimentSpec/CampaignSpec::checkpoint (DESIGN.md §14). The
+/// dir is required when the object is present — a snapshot has to land
+/// somewhere the client can find it again.
+bool parse_checkpoint_field(const json::Value& object, CheckpointOptions* out,
+                            std::string* error) {
+  const json::Value* value = object.find("checkpoint");
+  if (value == nullptr) return true;
+  if (!value->is_object()) {
+    *error = "\"checkpoint\" must be an object";
+    return false;
+  }
+  if (!check_allowed_keys(*value, {"dir", "interval", "resume"}, error)) {
+    return false;
+  }
+  const json::Value* dir = value->find("dir");
+  if (dir == nullptr || !dir->is_string() || dir->string.empty()) {
+    *error = "\"checkpoint.dir\" must be a non-empty string";
+    return false;
+  }
+  out->dir = dir->string;
+  if (!parse_u64_field(*value, "interval", &out->interval, error)) {
+    return false;
+  }
+  return parse_bool_field(*value, "resume", &out->resume, error);
+}
+
 bool parse_timeout_field(const json::Value& object,
                          const ServiceConfig& config, double* out,
                          std::string* error) {
@@ -262,14 +289,15 @@ http::Response SimulationService::submit(const http::Request& request,
     if (!check_allowed_keys(body,
                             {"workloads", "variants", "replicas",
                              "instructions", "rate", "seed", "jobs", "quick",
-                             "timeout_s"},
+                             "timeout_s", "checkpoint"},
                             &error) ||
         !parse_string_list_field(body, "workloads", &spec.workloads, &error) ||
         !parse_u64_field(body, "instructions", &spec.instructions, &error) ||
         !parse_u64_field(body, "seed", &spec.seed, &error) ||
         !parse_double_field(body, "rate", &spec.rate, &error) ||
         !parse_bool_field(body, "quick", &spec.quick, &error) ||
-        !parse_jobs_field(body, &spec.jobs, &error)) {
+        !parse_jobs_field(body, &spec.jobs, &error) ||
+        !parse_checkpoint_field(body, &spec.checkpoint, &error)) {
       return error_response(400, error);
     }
     u64 replicas = spec.replicas;
@@ -321,13 +349,15 @@ http::Response SimulationService::submit(const http::Request& request,
     std::vector<std::string> model_slugs;
     if (!check_allowed_keys(body,
                             {"title", "workloads", "models", "instructions",
-                             "seed", "extra_seeds", "jobs", "timeout_s"},
+                             "seed", "extra_seeds", "jobs", "timeout_s",
+                             "checkpoint"},
                             &error) ||
         !parse_string_list_field(body, "workloads", &spec.workloads, &error) ||
         !parse_string_list_field(body, "models", &model_slugs, &error) ||
         !parse_u64_field(body, "instructions", &spec.instructions, &error) ||
         !parse_u64_field(body, "seed", &spec.seed, &error) ||
-        !parse_jobs_field(body, &spec.jobs, &error)) {
+        !parse_jobs_field(body, &spec.jobs, &error) ||
+        !parse_checkpoint_field(body, &spec.checkpoint, &error)) {
       return error_response(400, error);
     }
     if (const json::Value* title = body.find("title")) {

@@ -38,8 +38,10 @@ class Simulator {
 };
 
 /// Instruction budget for figure reproduction: $REESE_SIM_INSTR if set,
-/// otherwise 300k (the kernels' IPC converges well before that; the paper
-/// ran 100M on real SPEC binaries).
+/// otherwise 1M — the smallest budget at which the figures' per-model
+/// overhead is converged (within 0.3pp of a 10M reference; see
+/// EXPERIMENTS.md). The paper ran 100M on real SPEC binaries; the
+/// `overnight` target reproduces that scale.
 u64 default_instruction_budget();
 
 /// Deadlock guard for Simulator::run: $REESE_SIM_CYCLE_LIMIT if set and

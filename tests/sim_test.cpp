@@ -162,7 +162,7 @@ TEST(Experiment, MultiSeedProducesStdev) {
 TEST(Budget, EnvOverride) {
   // No env set in tests: default value.
   unsetenv("REESE_SIM_INSTR");
-  EXPECT_EQ(default_instruction_budget(), 300'000u);
+  EXPECT_EQ(default_instruction_budget(), 1'000'000u);
   setenv("REESE_SIM_INSTR", "12345", 1);
   EXPECT_EQ(default_instruction_budget(), 12'345u);
   unsetenv("REESE_SIM_INSTR");

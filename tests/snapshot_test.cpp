@@ -1,0 +1,276 @@
+// Checkpoint/restore tests (DESIGN.md §14): a snapshot taken mid-run and
+// restored into a fresh pipeline must continue bit-identically — same
+// SimResult, same serialized end state — and the experiment/campaign
+// runners must resume a partially-checkpointed grid to the exact matrix an
+// uninterrupted run produces. Damaged inputs (corrupt, truncated, wrong
+// format version, wrong cell) must be rejected with a clean error.
+#include "sim/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/snapshot.h"
+#include "sim/campaign.h"
+#include "sim/experiment.h"
+#include "workloads/workload.h"
+
+namespace reese::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "reese_snapshot_test_" + name;
+}
+
+std::unique_ptr<Simulator> make_sim(const std::string& workload_name,
+                                    u64 seed) {
+  workloads::WorkloadOptions options;
+  options.seed = seed;
+  options.iterations = 0;
+  auto workload = workloads::make_workload(workload_name, options);
+  EXPECT_TRUE(workload.ok());
+  return std::make_unique<Simulator>(
+      std::move(workload).value(),
+      core::with_reese(core::starting_config()));
+}
+
+/// Drain and serialize the pipeline: the strongest equality we can ask of
+/// two runs is that their whole persisted state is the same bytes.
+std::vector<u8> drained_state_bytes(Simulator* simulator) {
+  EXPECT_TRUE(simulator->pipeline().drain_to_barrier());
+  SnapshotWriter writer;
+  simulator->pipeline().save_state(&writer);
+  return writer.bytes();
+}
+
+TEST(SnapshotTest, MidRunRestoreContinuesBitIdentically) {
+  const std::string path = temp_path("midrun.snap");
+  auto original = make_sim("gcc", 0x5EED);
+  original->run(20'000);
+
+  std::string error;
+  ASSERT_TRUE(save_snapshot(original.get(), path, &error)) << error;
+
+  auto restored = make_sim("gcc", 0x5EED);
+  ASSERT_TRUE(load_snapshot(restored.get(), path, &error)) << error;
+
+  // Both now hold the drained state at ~20k committed; run both out.
+  const SimResult a = original->run(60'000);
+  const SimResult b = restored->run(60'000);
+  EXPECT_EQ(a.stop, core::StopReason::kCommitTarget);
+  EXPECT_EQ(a.stop, b.stop);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(drained_state_bytes(original.get()),
+            drained_state_bytes(restored.get()));
+  fs::remove(path);
+}
+
+TEST(SnapshotTest, KilledRunResumesToUninterruptedResult) {
+  const std::string path = temp_path("resume.snap");
+  fs::remove(path);
+  std::string error;
+
+  // Reference: an uninterrupted checkpointed run (same interval — the
+  // drains at each boundary are part of the result's identity).
+  const std::string ref_path = temp_path("resume_ref.snap");
+  fs::remove(ref_path);
+  auto reference = make_sim("li", 0xFEED);
+  const SimResult ref = run_with_checkpoints(reference.get(), 50'000, 10'000,
+                                             ref_path, false, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(ref.stop, core::StopReason::kCommitTarget);
+
+  // "Kill" a second run partway: stop it mid-chunk at 25k. The snapshot on
+  // disk holds the 20k boundary; the 20k..25k progress is lost, as after a
+  // real kill.
+  auto killed = make_sim("li", 0xFEED);
+  run_with_checkpoints(killed.get(), 25'000, 10'000, path, false, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_TRUE(fs::exists(path));
+
+  auto resumed = make_sim("li", 0xFEED);
+  const SimResult res = run_with_checkpoints(resumed.get(), 50'000, 10'000,
+                                             path, true, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(ref.stop, res.stop);
+  EXPECT_EQ(ref.ipc, res.ipc);
+  EXPECT_EQ(ref.cycles, res.cycles);
+  EXPECT_EQ(ref.committed, res.committed);
+  EXPECT_EQ(drained_state_bytes(reference.get()),
+            drained_state_bytes(resumed.get()));
+  fs::remove(path);
+  fs::remove(ref_path);
+}
+
+ExperimentSpec grid_spec(u32 jobs) {
+  ExperimentSpec spec;
+  spec.title = "snapshot resume grid";
+  spec.base = core::starting_config();
+  spec.models = {Model::kBaseline, Model::kReese};
+  spec.workloads = {"gcc", "li"};
+  spec.instructions = 5'000;
+  spec.extra_seeds = {0xAB12};
+  spec.jobs = jobs;
+  return spec;
+}
+
+TEST(SnapshotTest, ExperimentGridResumesUnderJobs) {
+  const std::string dir = temp_path("grid");
+  fs::remove_all(dir);
+  const ExperimentResult reference = run_experiment(grid_spec(1));
+
+  // Done-record granularity (interval 0): cell results are unchanged by
+  // checkpointing, so the checkpointed grid must equal the plain one.
+  ExperimentSpec spec = grid_spec(2);
+  spec.checkpoint.dir = dir;
+  const ExperimentResult first = run_experiment(spec);
+  EXPECT_EQ(reference.cells, first.cells);
+
+  // A ".done" record exists per cell (2 workloads x 2 models x 2 seeds).
+  usize records = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    records += entry.path().extension() == ".done" ? 1 : 0;
+  }
+  EXPECT_EQ(records, 8u);
+
+  // Simulate a killed grid: drop some records, corrupt another, and resume
+  // under a different worker count. The matrix must still match.
+  fs::remove(dir + "/snapshot_resume_grid-w0-m0-s0.done");
+  fs::remove(dir + "/snapshot_resume_grid-w1-m1-s1.done");
+  {
+    std::FILE* file =
+        std::fopen((dir + "/snapshot_resume_grid-w0-m1-s0.done").c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fputs("garbage", file);
+    std::fclose(file);
+  }
+  spec = grid_spec(4);
+  spec.checkpoint.dir = dir;
+  spec.checkpoint.resume = true;
+  const ExperimentResult resumed = run_experiment(spec);
+  EXPECT_EQ(reference.cells, resumed.cells);
+  EXPECT_EQ(reference.ipc, resumed.ipc);
+  EXPECT_EQ(reference.ipc_stdev, resumed.ipc_stdev);
+  fs::remove_all(dir);
+}
+
+CampaignSpec campaign_spec(u32 jobs) {
+  CampaignSpec spec;
+  spec.workloads = {"gcc"};
+  spec.replicas = 2;
+  spec.instructions = 5'000;
+  spec.jobs = jobs;
+  return spec;
+}
+
+TEST(SnapshotTest, CampaignResumesToIdenticalMatrix) {
+  const std::string dir = temp_path("campaign");
+  fs::remove_all(dir);
+  const CampaignResult reference = run_campaign(campaign_spec(1));
+
+  CampaignSpec spec = campaign_spec(2);
+  spec.checkpoint.dir = dir;
+  const CampaignResult first = run_campaign(spec);
+  EXPECT_EQ(reference.matrix, first.matrix);
+
+  // 5 variants x 1 workload x 2 replicas = 10 whole-cell records.
+  usize records = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    records += entry.path().extension() == ".done" ? 1 : 0;
+  }
+  EXPECT_EQ(records, 10u);
+
+  fs::remove(dir + "/campaign-v0-w0-r0.done");
+  fs::remove(dir + "/campaign-v3-w0-r1.done");
+  spec = campaign_spec(4);
+  spec.checkpoint.dir = dir;
+  spec.checkpoint.resume = true;
+  const CampaignResult resumed = run_campaign(spec);
+  EXPECT_EQ(reference.matrix, resumed.matrix);
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotTest, CorruptSnapshotIsRejected) {
+  const std::string path = temp_path("corrupt.snap");
+  auto sim = make_sim("gcc", 1);
+  sim->run(2'000);
+  std::string error;
+  ASSERT_TRUE(save_snapshot(sim.get(), path, &error)) << error;
+
+  // Flip one byte in the middle of the payload.
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(file, nullptr);
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, size / 2, SEEK_SET);
+  const int byte = std::fgetc(file);
+  std::fseek(file, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0x40, file);
+  std::fclose(file);
+
+  auto fresh = make_sim("gcc", 1);
+  EXPECT_FALSE(load_snapshot(fresh.get(), path, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  fs::remove(path);
+}
+
+TEST(SnapshotTest, TruncatedSnapshotIsRejected) {
+  const std::string path = temp_path("truncated.snap");
+  auto sim = make_sim("gcc", 1);
+  sim->run(2'000);
+  std::string error;
+  ASSERT_TRUE(save_snapshot(sim.get(), path, &error)) << error;
+
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size / 2);
+
+  auto fresh = make_sim("gcc", 1);
+  EXPECT_FALSE(load_snapshot(fresh.get(), path, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  fs::remove(path);
+}
+
+TEST(SnapshotTest, VersionMismatchIsRejected) {
+  const std::string path = temp_path("version.snap");
+  SnapshotWriter writer;
+  writer.put_u64(42);
+  std::string error;
+  ASSERT_TRUE(writer.write_file(path, kSnapshotFormatVersion + 1, &error))
+      << error;
+
+  auto fresh = make_sim("gcc", 1);
+  EXPECT_FALSE(load_snapshot(fresh.get(), path, &error));
+  EXPECT_NE(error.find("format version"), std::string::npos) << error;
+  fs::remove(path);
+}
+
+TEST(SnapshotTest, WrongCellFingerprintIsRejected) {
+  const std::string path = temp_path("fingerprint.snap");
+  auto sim = make_sim("gcc", 1);
+  sim->run(2'000);
+  std::string error;
+  ASSERT_TRUE(save_snapshot(sim.get(), path, &error)) << error;
+
+  auto other = make_sim("li", 1);
+  EXPECT_FALSE(load_snapshot(other.get(), path, &error));
+  EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+  fs::remove(path);
+}
+
+TEST(SnapshotTest, MissingSnapshotIsRejected) {
+  auto sim = make_sim("gcc", 1);
+  std::string error;
+  EXPECT_FALSE(load_snapshot(sim.get(), temp_path("nonexistent.snap"), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace reese::sim

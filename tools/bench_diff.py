@@ -2,6 +2,7 @@
 """Compare two benchmark reports produced by this repo's harnesses.
 
 Usage: bench_diff.py BEFORE.json AFTER.json [--threshold PCT] [--markdown PATH]
+       bench_diff.py REPORT.json --validate
 
 Auto-detects the report kind:
   * BENCH_perf.json (bench/perf_kips): per-workload kIPS table with the
@@ -16,6 +17,14 @@ Auto-detects the report kind:
     static srv-vuln ranking and measured per-PC fault outcomes. Exits 1
     when any program's rho_window drops by more than --rho-threshold
     (default 0.15, absolute), or a previously-passing program now fails.
+  * BENCH_overnight.json (bench/overnight_bench, schema
+    reese-overnight-v1): per-figure average IPC at paper scale. Exits 1
+    when any figure/model average drops by more than --threshold percent.
+
+--validate checks a single report's shape against its schema (currently
+reese-overnight-v1) without comparing anything; exits 2 on a malformed
+report. CI uses this to gate the artifact upload on well-formedness while
+keeping the overnight numbers themselves non-gating.
 
 --markdown PATH appends a GitHub-flavoured markdown rendition of the same
 table to PATH (use $GITHUB_STEP_SUMMARY in CI to surface the diff on the
@@ -73,9 +82,113 @@ def report_kind(report):
         return "fault"
     if report.get("schema") == "reese-avf-v1":
         return "avf"
+    if report.get("schema") == "reese-overnight-v1":
+        return "overnight"
     if "aggregate_kips" in report or "workloads" in report:
         return "perf"
     return "unknown"
+
+
+def validate_overnight(report):
+    """Returns a list of schema problems (empty when well-formed)."""
+    problems = []
+    if report.get("schema") != "reese-overnight-v1":
+        return [f"schema is {report.get('schema')!r}, "
+                f"expected 'reese-overnight-v1'"]
+    if not isinstance(report.get("instructions"), int) \
+            or report["instructions"] <= 0:
+        problems.append("'instructions' must be a positive integer")
+    if not isinstance(report.get("git_sha"), str):
+        problems.append("'git_sha' must be a string (may be empty)")
+    figures = report.get("figures")
+    if not isinstance(figures, list) or not figures:
+        return problems + ["'figures' must be a non-empty array"]
+    for i, fig in enumerate(figures):
+        where = f"figures[{i}]"
+        if not isinstance(fig, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        name = fig.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where} needs a non-empty 'name'")
+        where = f"figures[{i}] ({name})"
+        workloads = fig.get("workloads")
+        models = fig.get("models")
+        for key, value in (("workloads", workloads), ("models", models)):
+            if not isinstance(value, list) or not value \
+                    or not all(isinstance(v, str) for v in value):
+                problems.append(f"{where}: '{key}' must be a non-empty "
+                                f"array of strings")
+        for key in ("average", "overhead_pct"):
+            values = fig.get(key)
+            if not isinstance(values, list) \
+                    or not all(isinstance(v, (int, float)) for v in values) \
+                    or (isinstance(models, list) and len(values) != len(models)):
+                problems.append(f"{where}: '{key}' must be numbers, one per "
+                                f"model")
+        ipc = fig.get("ipc")
+        if not isinstance(ipc, list) \
+                or (isinstance(workloads, list) and len(ipc) != len(workloads)) \
+                or not all(isinstance(row, list)
+                           and (not isinstance(models, list)
+                                or len(row) == len(models))
+                           and all(isinstance(v, (int, float)) for v in row)
+                           for row in ipc):
+            problems.append(f"{where}: 'ipc' must be a workloads x models "
+                            f"number matrix")
+        if not isinstance(fig.get("wall_seconds"), (int, float)):
+            problems.append(f"{where}: 'wall_seconds' must be a number")
+    return problems
+
+
+def diff_overnight(before, after, threshold, md):
+    before_figs = {f.get("name"): f for f in before.get("figures", [])}
+    after_figs = {f.get("name"): f for f in after.get("figures", [])}
+
+    if before.get("instructions") != after.get("instructions"):
+        print(f"bench_diff: warning: overnight budgets differ "
+              f"({before.get('instructions')} vs {after.get('instructions')})",
+              file=sys.stderr)
+
+    md.add("### Paper-scale figures (overnight)")
+    md.add()
+    md.add("| figure | model | before | after | change |")
+    md.add("|---|---|---:|---:|---:|")
+    print(f"{'figure':<18}{'model':<18}{'before':>9}{'after':>9}{'change':>9}")
+    regressions = []
+    for name in sorted(set(before_figs) | set(after_figs)):
+        b = before_figs.get(name)
+        a = after_figs.get(name)
+        if b is None or a is None:
+            side = "before" if b is None else "after"
+            print(f"{name:<18}{'(missing in ' + side + ')':>30}")
+            md.add(f"| {name} | (missing in {side}) | | | |")
+            continue
+        models = b.get("models", [])
+        for m, model in enumerate(models):
+            if m >= len(a.get("average", [])) or m >= len(b.get("average", [])):
+                continue
+            b_avg = b["average"][m]
+            a_avg = a["average"][m]
+            change = pct_change(b_avg, a_avg)
+            print(f"{name:<18}{model:<18}{b_avg:>9.3f}{a_avg:>9.3f}"
+                  f"{change:>+8.1f}%")
+            flag = " :warning:" if change < -threshold else ""
+            md.add(f"| {name} | {model} | {b_avg:.3f} | {a_avg:.3f} | "
+                   f"{change:+.1f}%{flag} |")
+            if change < -threshold:
+                regressions.append((f"{name}/{model}", change))
+
+    for name, change in regressions:
+        print(f"bench_diff: REGRESSION {name}: {change:+.1f}% "
+              f"(threshold -{threshold}%)", file=sys.stderr)
+    md.add()
+    if regressions:
+        md.add(f"**{len(regressions)} regression(s)** beyond the "
+               f"-{threshold}% threshold.")
+    else:
+        md.add(f"No regressions beyond the -{threshold}% threshold.")
+    return 1 if regressions else 0
 
 
 def diff_perf(before, after, threshold, md):
@@ -90,8 +203,18 @@ def diff_perf(before, after, threshold, md):
               f"kIPS are still comparable but cache behaviour may not be",
               file=sys.stderr)
 
+    b_sha = before.get("git_sha", "")
+    a_sha = after.get("git_sha", "")
+    if b_sha or a_sha:
+        print(f"baseline @ {b_sha or '(unanchored)'} -> "
+              f"after @ {a_sha or '(unanchored)'}")
+
     md.add("### Simulator throughput (perf_kips)")
     md.add()
+    if b_sha or a_sha:
+        md.add(f"Baseline commit: `{b_sha or '(unanchored)'}` → "
+               f"`{a_sha or '(unanchored)'}`")
+        md.add()
     md.add("| workload | before (kIPS) | after (kIPS) | change |")
     md.add("|---|---:|---:|---:|")
     print(f"{'workload':<12}{'before':>12}{'after':>12}{'change':>10}")
@@ -264,7 +387,10 @@ def diff_avf(before, after, rho_threshold, md):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("before")
-    parser.add_argument("after")
+    parser.add_argument("after", nargs="?")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check a single report instead of "
+                             "diffing two (currently reese-overnight-v1)")
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="regression threshold: percent kIPS drop (perf) "
                              "or coverage percentage points (fault); "
@@ -278,6 +404,27 @@ def main():
     args = parser.parse_args()
 
     before = load(args.before)
+
+    if args.validate:
+        kind = report_kind(before)
+        if kind != "overnight":
+            print(f"bench_diff: --validate supports reese-overnight-v1 "
+                  f"reports, got kind {kind}", file=sys.stderr)
+            sys.exit(2)
+        problems = validate_overnight(before)
+        for problem in problems:
+            print(f"bench_diff: {args.before}: {problem}", file=sys.stderr)
+        if problems:
+            sys.exit(2)
+        print(f"bench_diff: {args.before}: valid reese-overnight-v1 "
+              f"({len(before['figures'])} figures, "
+              f"{before['instructions']} instructions/cell)")
+        sys.exit(0)
+
+    if args.after is None:
+        print("bench_diff: AFTER.json required unless --validate",
+              file=sys.stderr)
+        sys.exit(2)
     after = load(args.after)
 
     kinds = (report_kind(before), report_kind(after))
@@ -291,6 +438,8 @@ def main():
         status = diff_fault(before, after, args.threshold, md)
     elif kinds[0] == "avf":
         status = diff_avf(before, after, args.rho_threshold, md)
+    elif kinds[0] == "overnight":
+        status = diff_overnight(before, after, args.threshold, md)
     else:
         status = diff_perf(before, after, args.threshold, md)
     md.flush()
