@@ -58,16 +58,32 @@ void SnapshotWriter::put_string(const std::string& value) {
   put_bytes(reinterpret_cast<const u8*>(value.data()), value.size());
 }
 
-bool SnapshotWriter::write_file(const std::string& path, u32 version,
-                                std::string* error) const {
-  std::vector<u8> file(kHeaderSize);
+namespace {
+
+std::vector<u8> render_container(const std::vector<u8>& payload, u32 version) {
+  std::vector<u8> file;
+  file.reserve(kHeaderSize + payload.size() + 8);
+  file.resize(kHeaderSize);
   std::memcpy(file.data(), kSnapshotMagic, 8);
   write_le(file.data() + 8, version, 4);
-  write_le(file.data() + 12, buf_.size(), 8);
-  file.insert(file.end(), buf_.begin(), buf_.end());
+  write_le(file.data() + 12, payload.size(), 8);
+  file.insert(file.end(), payload.begin(), payload.end());
   u8 trailer[8];
   write_le(trailer, snapshot_fnv1a(file.data(), file.size()), 8);
   file.insert(file.end(), trailer, trailer + 8);
+  return file;
+}
+
+}  // namespace
+
+std::string SnapshotWriter::to_buffer(u32 version) const {
+  const std::vector<u8> file = render_container(buf_, version);
+  return std::string(reinterpret_cast<const char*>(file.data()), file.size());
+}
+
+bool SnapshotWriter::write_file(const std::string& path, u32 version,
+                                std::string* error) const {
+  const std::vector<u8> file = render_container(buf_, version);
 
   const std::string tmp = path + ".tmp";
   FILE* fp = std::fopen(tmp.c_str(), "wb");
@@ -111,42 +127,52 @@ bool SnapshotReader::open_file(const std::string& path, u32 expected_version) {
   }
   std::fclose(fp);
 
-  if (file.size() < kHeaderSize + 8) {
-    error_ = "snapshot " + path + " is truncated (no header)";
+  return open_container(file.data(), file.size(), "snapshot " + path,
+                        expected_version);
+}
+
+bool SnapshotReader::open_buffer(std::string_view data, u32 expected_version) {
+  ok_ = false;
+  pos_ = 0;
+  buf_.clear();
+  return open_container(reinterpret_cast<const u8*>(data.data()), data.size(),
+                        "snapshot buffer", expected_version);
+}
+
+bool SnapshotReader::open_container(const u8* data, usize size,
+                                    const std::string& label,
+                                    u32 expected_version) {
+  if (size < kHeaderSize + 8) {
+    error_ = label + " is truncated (no header)";
     return false;
   }
-  if (std::memcmp(file.data(), kSnapshotMagic, 8) != 0) {
-    error_ = "snapshot " + path + " has bad magic (not a REESE snapshot)";
+  if (std::memcmp(data, kSnapshotMagic, 8) != 0) {
+    error_ = label + " has bad magic (not a REESE snapshot)";
     return false;
   }
-  version_ = static_cast<u32>(read_le(file.data() + 8, 4));
+  version_ = static_cast<u32>(read_le(data + 8, 4));
   if (version_ != expected_version) {
-    error_ = format("snapshot %s is format version %u, expected %u",
-                    path.c_str(), version_, expected_version);
+    error_ = format("%s is format version %u, expected %u", label.c_str(),
+                    version_, expected_version);
     return false;
   }
-  const u64 payload_size = read_le(file.data() + 12, 8);
-  if (file.size() != kHeaderSize + payload_size + 8) {
-    error_ = format("snapshot %s is truncated: header claims %llu payload "
-                    "bytes, file has %llu",
-                    path.c_str(),
+  const u64 payload_size = read_le(data + 12, 8);
+  if (size != kHeaderSize + payload_size + 8) {
+    error_ = format("%s is truncated: header claims %llu payload "
+                    "bytes, container has %llu",
+                    label.c_str(),
                     static_cast<unsigned long long>(payload_size),
-                    static_cast<unsigned long long>(
-                        file.size() >= kHeaderSize + 8
-                            ? file.size() - kHeaderSize - 8
-                            : 0));
+                    static_cast<unsigned long long>(size - kHeaderSize - 8));
     return false;
   }
-  const u64 stored = read_le(file.data() + kHeaderSize + payload_size, 8);
-  const u64 computed =
-      snapshot_fnv1a(file.data(), kHeaderSize + payload_size);
+  const u64 stored = read_le(data + kHeaderSize + payload_size, 8);
+  const u64 computed = snapshot_fnv1a(data, kHeaderSize + payload_size);
   if (stored != computed) {
-    error_ = "snapshot " + path + " failed its checksum (corrupt)";
+    error_ = label + " failed its checksum (corrupt)";
     return false;
   }
 
-  buf_.assign(file.begin() + kHeaderSize,
-              file.begin() + kHeaderSize + payload_size);
+  buf_.assign(data + kHeaderSize, data + kHeaderSize + payload_size);
   ok_ = true;
   error_.clear();
   return true;

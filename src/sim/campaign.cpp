@@ -37,7 +37,9 @@ void accumulate_stratum(StratumCount* stratum, const faults::FaultRecord& r) {
 // holds the finished CampaignCell, bound to the budget/rate/cell-seed so a
 // record from a differently-shaped campaign is ignored and the cell
 // re-runs (see CampaignSpec::checkpoint).
-constexpr u32 kCampaignCellTag = 0x43414D50;  // "CAMP"
+constexpr u32 kCampaignCellTag = 0x43414D50;    // "CAMP"
+// Wire form of a whole (shard) matrix: identity fields + every cell.
+constexpr u32 kCampaignMatrixTag = 0x4D545258;  // "MTRX"
 
 void put_stratum(SnapshotWriter* writer, const StratumCount& stratum) {
   writer->put_u64(stratum.injected);
@@ -51,6 +53,79 @@ void get_stratum(SnapshotReader* reader, StratumCount* stratum) {
   stratum->undetected = reader->get_u64();
 }
 
+void put_campaign_cell(SnapshotWriter* writer, const CampaignCell& cell) {
+  writer->put_u64(cell.injected);
+  writer->put_u64(cell.detected);
+  writer->put_u64(cell.undetected);
+  writer->put_u64(cell.pending);
+  writer->put_u64(cell.duplicate_reports);
+  writer->put_u64(cell.committed);
+  writer->put_u64(cell.cycles);
+  writer->put_u64(cell.latency_sum);
+  writer->put_u64(cell.latency_count);
+  writer->put_u64(cell.latency_min);
+  writer->put_u64(cell.latency_max);
+  writer->put_u64(cell.latency_overflow);
+  writer->put_u64(cell.latency_buckets.size());
+  for (u64 bucket : cell.latency_buckets) writer->put_u64(bucket);
+  for (const StratumCount& stratum : cell.by_class) {
+    put_stratum(writer, stratum);
+  }
+  put_stratum(writer, cell.p_side);
+  put_stratum(writer, cell.r_side);
+  writer->put_u64(cell.by_pc.size());
+  for (const auto& [pc, stratum] : cell.by_pc) {
+    writer->put_u64(pc);
+    writer->put_u64(stratum.injected);
+    writer->put_u64(stratum.detected);
+    writer->put_u64(stratum.undetected);
+    writer->put_u64(stratum.ace);
+    writer->put_u64(stratum.masked);
+    writer->put_u64(stratum.window_pending);
+    writer->put_u64(stratum.window_sum);
+  }
+}
+
+bool get_campaign_cell(SnapshotReader* reader, CampaignCell* cell) {
+  CampaignCell loaded;
+  loaded.injected = reader->get_u64();
+  loaded.detected = reader->get_u64();
+  loaded.undetected = reader->get_u64();
+  loaded.pending = reader->get_u64();
+  loaded.duplicate_reports = reader->get_u64();
+  loaded.committed = reader->get_u64();
+  loaded.cycles = reader->get_u64();
+  loaded.latency_sum = reader->get_u64();
+  loaded.latency_count = reader->get_u64();
+  loaded.latency_min = reader->get_u64();
+  loaded.latency_max = reader->get_u64();
+  loaded.latency_overflow = reader->get_u64();
+  const u64 bucket_count = reader->get_u64();
+  if (!reader->ok() || bucket_count > kLatencyBucketCount) return false;
+  loaded.latency_buckets.resize(bucket_count);
+  for (u64& bucket : loaded.latency_buckets) bucket = reader->get_u64();
+  for (StratumCount& stratum : loaded.by_class) {
+    get_stratum(reader, &stratum);
+  }
+  get_stratum(reader, &loaded.p_side);
+  get_stratum(reader, &loaded.r_side);
+  const u64 pc_count = reader->get_u64();
+  for (u64 i = 0; reader->ok() && i < pc_count; ++i) {
+    const Addr pc = reader->get_u64();
+    PcStratum& stratum = loaded.by_pc[pc];
+    stratum.injected = reader->get_u64();
+    stratum.detected = reader->get_u64();
+    stratum.undetected = reader->get_u64();
+    stratum.ace = reader->get_u64();
+    stratum.masked = reader->get_u64();
+    stratum.window_pending = reader->get_u64();
+    stratum.window_sum = reader->get_u64();
+  }
+  if (!reader->ok()) return false;
+  *cell = std::move(loaded);
+  return true;
+}
+
 void save_campaign_cell(const std::string& path, u64 instructions,
                         double rate, u64 cell_seed, const CampaignCell& cell) {
   SnapshotWriter writer;
@@ -58,36 +133,7 @@ void save_campaign_cell(const std::string& path, u64 instructions,
   writer.put_u64(instructions);
   writer.put_f64(rate);
   writer.put_u64(cell_seed);
-  writer.put_u64(cell.injected);
-  writer.put_u64(cell.detected);
-  writer.put_u64(cell.undetected);
-  writer.put_u64(cell.pending);
-  writer.put_u64(cell.duplicate_reports);
-  writer.put_u64(cell.committed);
-  writer.put_u64(cell.cycles);
-  writer.put_u64(cell.latency_sum);
-  writer.put_u64(cell.latency_count);
-  writer.put_u64(cell.latency_min);
-  writer.put_u64(cell.latency_max);
-  writer.put_u64(cell.latency_overflow);
-  writer.put_u64(cell.latency_buckets.size());
-  for (u64 bucket : cell.latency_buckets) writer.put_u64(bucket);
-  for (const StratumCount& stratum : cell.by_class) {
-    put_stratum(&writer, stratum);
-  }
-  put_stratum(&writer, cell.p_side);
-  put_stratum(&writer, cell.r_side);
-  writer.put_u64(cell.by_pc.size());
-  for (const auto& [pc, stratum] : cell.by_pc) {
-    writer.put_u64(pc);
-    writer.put_u64(stratum.injected);
-    writer.put_u64(stratum.detected);
-    writer.put_u64(stratum.undetected);
-    writer.put_u64(stratum.ace);
-    writer.put_u64(stratum.masked);
-    writer.put_u64(stratum.window_pending);
-    writer.put_u64(stratum.window_sum);
-  }
+  put_campaign_cell(&writer, cell);
   std::string error;
   if (!writer.write_file(path, kSnapshotFormatVersion, &error)) {
     std::fprintf(stderr, "campaign: %s\n", error.c_str());
@@ -103,39 +149,7 @@ bool load_campaign_cell(const std::string& path, u64 instructions,
   if (reader.get_f64() != rate) return false;
   if (reader.get_u64() != cell_seed) return false;
   CampaignCell loaded;
-  loaded.injected = reader.get_u64();
-  loaded.detected = reader.get_u64();
-  loaded.undetected = reader.get_u64();
-  loaded.pending = reader.get_u64();
-  loaded.duplicate_reports = reader.get_u64();
-  loaded.committed = reader.get_u64();
-  loaded.cycles = reader.get_u64();
-  loaded.latency_sum = reader.get_u64();
-  loaded.latency_count = reader.get_u64();
-  loaded.latency_min = reader.get_u64();
-  loaded.latency_max = reader.get_u64();
-  loaded.latency_overflow = reader.get_u64();
-  const u64 bucket_count = reader.get_u64();
-  if (!reader.ok() || bucket_count > kLatencyBucketCount) return false;
-  loaded.latency_buckets.resize(bucket_count);
-  for (u64& bucket : loaded.latency_buckets) bucket = reader.get_u64();
-  for (StratumCount& stratum : loaded.by_class) {
-    get_stratum(&reader, &stratum);
-  }
-  get_stratum(&reader, &loaded.p_side);
-  get_stratum(&reader, &loaded.r_side);
-  const u64 pc_count = reader.get_u64();
-  for (u64 i = 0; reader.ok() && i < pc_count; ++i) {
-    const Addr pc = reader.get_u64();
-    PcStratum& stratum = loaded.by_pc[pc];
-    stratum.injected = reader.get_u64();
-    stratum.detected = reader.get_u64();
-    stratum.undetected = reader.get_u64();
-    stratum.ace = reader.get_u64();
-    stratum.masked = reader.get_u64();
-    stratum.window_pending = reader.get_u64();
-    stratum.window_sum = reader.get_u64();
-  }
+  if (!get_campaign_cell(&reader, &loaded)) return false;
   if (!reader.ok() || !reader.at_end()) return false;
   *cell = std::move(loaded);
   return true;
@@ -429,7 +443,7 @@ std::string CampaignResult::csv() const {
   return out;
 }
 
-CampaignResult run_campaign(const CampaignSpec& spec_in) {
+CampaignSpec resolve_campaign_defaults(const CampaignSpec& spec_in) {
   CampaignSpec spec = spec_in;
   if (spec.variants.empty()) spec.variants = standard_campaign_variants();
   if (!spec.programs.empty()) {
@@ -449,6 +463,11 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
       !spec.checkpoint.resume) {
     spec.checkpoint = default_checkpoint();
   }
+  return spec;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec_in) {
+  CampaignSpec spec = resolve_campaign_defaults(spec_in);
   if (!spec.checkpoint.dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(spec.checkpoint.dir, ec);
@@ -510,8 +529,12 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
     }
     const Job job = jobs[job_index];
     const CampaignVariant& variant = spec.variants[job.variant_index];
+    // Seed and checkpoint identity use the *global* replica index, so a
+    // shard covering replicas [replica_begin, replica_begin + n) runs
+    // exactly the cells the single-node run would (DESIGN.md §15).
+    const usize global_replica = spec.replica_begin + job.replica;
     const u64 cell_seed = derive_cell_seed(spec.seed, job.variant_index,
-                                           job.workload_index, job.replica);
+                                           job.workload_index, global_replica);
 
     CampaignCell& cell = result.matrix.cells[job.variant_index]
                              [job.workload_index][job.replica];
@@ -532,7 +555,7 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
       done_path =
           ckpt.dir + "/" +
           format("campaign-v%zu-w%zu-r%zu.done", job.variant_index,
-                 job.workload_index, job.replica);
+                 job.workload_index, global_replica);
     }
     if (ckpt.resume && !done_path.empty() &&
         load_campaign_cell(done_path, spec.instructions, spec.rate, cell_seed,
@@ -652,6 +675,203 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
 
   result.cancelled = cancelled.load(std::memory_order_relaxed);
   return result;
+}
+
+std::vector<CampaignSpec> split_campaign_spec(const CampaignSpec& resolved,
+                                              usize shards) {
+  std::vector<CampaignSpec> out;
+  if (shards == 0) return out;
+  const u32 replicas = resolved.replicas;
+  const u32 base = replicas / static_cast<u32>(shards);
+  const u32 extra = replicas % static_cast<u32>(shards);
+  u32 begin = resolved.replica_begin;
+  for (usize s = 0; s < shards; ++s) {
+    const u32 count = base + (s < extra ? 1 : 0);
+    if (count == 0) continue;
+    CampaignSpec shard = resolved;
+    shard.replica_begin = begin;
+    shard.replicas = count;
+    // Defaults are already resolved; quick left set would clamp the shard
+    // back to one replica on the worker.
+    shard.quick = false;
+    // Hooks belong to whoever dispatches the shard, not to the template.
+    shard.cancel = nullptr;
+    shard.progress = nullptr;
+    shard.metrics = nullptr;
+    out.push_back(std::move(shard));
+    begin += count;
+  }
+  return out;
+}
+
+CampaignMatrix make_campaign_matrix(const CampaignSpec& resolved) {
+  CampaignMatrix matrix;
+  matrix.cells.assign(
+      resolved.variants.size(),
+      std::vector<std::vector<CampaignCell>>(
+          resolved.workloads.size(),
+          std::vector<CampaignCell>(resolved.replicas)));
+  return matrix;
+}
+
+std::string serialize_campaign_matrix(const CampaignResult& result) {
+  const CampaignSpec& spec = result.spec;
+  SnapshotWriter writer;
+  writer.put_section(kCampaignMatrixTag);
+  writer.put_u64(spec.seed);
+  writer.put_u64(spec.instructions);
+  writer.put_f64(spec.rate);
+  writer.put_u32(spec.replica_begin);
+  writer.put_u32(spec.replicas);
+  writer.put_u32(static_cast<u32>(spec.variants.size()));
+  for (const CampaignVariant& variant : spec.variants) {
+    writer.put_string(variant.label);
+  }
+  writer.put_u32(static_cast<u32>(spec.workloads.size()));
+  for (const std::string& name : spec.workloads) writer.put_string(name);
+  for (const auto& workloads : result.matrix.cells) {
+    for (const auto& replicas : workloads) {
+      for (const CampaignCell& cell : replicas) {
+        put_campaign_cell(&writer, cell);
+      }
+    }
+  }
+  return writer.to_buffer(kSnapshotFormatVersion);
+}
+
+bool deserialize_campaign_matrix(std::string_view data, CampaignWire* wire,
+                                 std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  SnapshotReader reader;
+  if (!reader.open_buffer(data, kSnapshotFormatVersion)) {
+    return fail(reader.error());
+  }
+  if (!reader.expect_section(kCampaignMatrixTag)) return fail(reader.error());
+  CampaignWire loaded;
+  loaded.seed = reader.get_u64();
+  loaded.instructions = reader.get_u64();
+  loaded.rate = reader.get_f64();
+  loaded.replica_begin = reader.get_u32();
+  const u32 replicas = reader.get_u32();
+  const u32 variant_count = reader.get_u32();
+  if (!reader.ok() || variant_count > 1024) {
+    return fail("campaign matrix: bad variant count");
+  }
+  for (u32 v = 0; v < variant_count; ++v) {
+    loaded.variant_labels.push_back(reader.get_string());
+  }
+  const u32 workload_count = reader.get_u32();
+  if (!reader.ok() || workload_count > 4096) {
+    return fail("campaign matrix: bad workload count");
+  }
+  for (u32 w = 0; w < workload_count; ++w) {
+    loaded.workload_names.push_back(reader.get_string());
+  }
+  loaded.matrix.cells.assign(
+      variant_count, std::vector<std::vector<CampaignCell>>(
+                         workload_count, std::vector<CampaignCell>(replicas)));
+  for (auto& workloads : loaded.matrix.cells) {
+    for (auto& cells : workloads) {
+      for (CampaignCell& cell : cells) {
+        if (!get_campaign_cell(&reader, &cell)) {
+          return fail("campaign matrix: truncated or corrupt cell payload");
+        }
+      }
+    }
+  }
+  if (!reader.ok() || !reader.at_end()) {
+    return fail(reader.ok() ? "campaign matrix: trailing bytes"
+                            : reader.error());
+  }
+  *wire = std::move(loaded);
+  return true;
+}
+
+bool place_shard(const CampaignSpec& resolved, const CampaignWire& shard,
+                 CampaignMatrix* merged, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = "shard identity: " + message;
+    return false;
+  };
+  if (shard.seed != resolved.seed) {
+    return fail(format("seed 0x%llx != campaign 0x%llx",
+                       static_cast<unsigned long long>(shard.seed),
+                       static_cast<unsigned long long>(resolved.seed)));
+  }
+  if (shard.instructions != resolved.instructions) {
+    return fail(format("instruction budget %llu != campaign %llu",
+                       static_cast<unsigned long long>(shard.instructions),
+                       static_cast<unsigned long long>(resolved.instructions)));
+  }
+  if (shard.rate != resolved.rate) {
+    return fail(format("rate %g != campaign %g", shard.rate, resolved.rate));
+  }
+  if (shard.variant_labels.size() != resolved.variants.size()) {
+    return fail(format("%zu variants != campaign %zu",
+                       shard.variant_labels.size(), resolved.variants.size()));
+  }
+  for (usize v = 0; v < resolved.variants.size(); ++v) {
+    if (shard.variant_labels[v] != resolved.variants[v].label) {
+      return fail(format("variant %zu is \"%s\", campaign has \"%s\"", v,
+                         shard.variant_labels[v].c_str(),
+                         resolved.variants[v].label.c_str()));
+    }
+  }
+  if (shard.workload_names.size() != resolved.workloads.size()) {
+    return fail(format("%zu workloads != campaign %zu",
+                       shard.workload_names.size(),
+                       resolved.workloads.size()));
+  }
+  for (usize w = 0; w < resolved.workloads.size(); ++w) {
+    if (shard.workload_names[w] != resolved.workloads[w]) {
+      return fail(format("workload %zu is \"%s\", campaign has \"%s\"", w,
+                         shard.workload_names[w].c_str(),
+                         resolved.workloads[w].c_str()));
+    }
+  }
+  const usize shard_replicas =
+      shard.matrix.cells.empty() || shard.matrix.cells[0].empty()
+          ? 0
+          : shard.matrix.cells[0][0].size();
+  if (shard.replica_begin < resolved.replica_begin ||
+      shard.replica_begin - resolved.replica_begin + shard_replicas >
+          resolved.replicas) {
+    return fail(format("replica range [%u, %zu) outside campaign [%u, %zu)",
+                       shard.replica_begin,
+                       shard.replica_begin + shard_replicas,
+                       resolved.replica_begin,
+                       resolved.replica_begin + resolved.replicas));
+  }
+  if (merged->cells.size() != resolved.variants.size() ||
+      (merged->cells.size() > 0 &&
+       (merged->cells[0].size() != resolved.workloads.size() ||
+        merged->cells[0][0].size() != resolved.replicas))) {
+    return fail("merge target not shaped by make_campaign_matrix");
+  }
+
+  const usize offset = shard.replica_begin - resolved.replica_begin;
+  static const CampaignCell kEmptyCell;
+  for (usize v = 0; v < shard.matrix.cells.size(); ++v) {
+    for (usize w = 0; w < shard.matrix.cells[v].size(); ++w) {
+      for (usize r = 0; r < shard.matrix.cells[v][w].size(); ++r) {
+        if (!(merged->cells[v][w][offset + r] == kEmptyCell)) {
+          return fail(format("cell (v%zu, w%zu, r%zu) already placed", v, w,
+                             offset + r));
+        }
+      }
+    }
+  }
+  for (usize v = 0; v < shard.matrix.cells.size(); ++v) {
+    for (usize w = 0; w < shard.matrix.cells[v].size(); ++w) {
+      for (usize r = 0; r < shard.matrix.cells[v][w].size(); ++r) {
+        merged->cells[v][w][offset + r] = shard.matrix.cells[v][w][r];
+      }
+    }
+  }
+  return true;
 }
 
 bool write_campaign_report(const CampaignResult& result,

@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/metrics.h"
@@ -93,6 +94,14 @@ struct CampaignSpec {
   /// therefore ignored here. Left default, the process-wide
   /// default_checkpoint() applies.
   CheckpointOptions checkpoint;
+  /// Global index of this spec's first replica. 0 for a whole campaign; a
+  /// shard produced by split_campaign_spec carries its offset here, so the
+  /// cell seed (derive_cell_seed) and the checkpoint ".done" record name
+  /// are computed from the *global* replica index `replica_begin + r`.
+  /// That is the whole shard-identity contract: a shard runs exactly the
+  /// cells the single-node run would, making sharding a pure partition of
+  /// the replica axis (DESIGN.md §15).
+  u32 replica_begin = 0;
 };
 
 /// Per-stratum injection counts (a stratum = exec class or fault side).
@@ -203,6 +212,65 @@ u64 derive_cell_seed(u64 campaign_seed, usize variant_index,
 /// Run the campaign across the thread pool (spec.jobs; same worker
 /// resolution and sequential jobs==1 reference path as run_experiment).
 CampaignResult run_campaign(const CampaignSpec& spec);
+
+// --- Sharding (fleet mode, DESIGN.md §15) -----------------------------------
+//
+// A campaign shards along the replica axis only: because every cell seeds
+// from derive_cell_seed(seed, v, w, global_replica) and writes only its own
+// matrix slot, a shard covering replicas [begin, begin + n) computes
+// exactly the cells a single-node run would — merging shards back is pure
+// placement, and the merged matrix (hence json()/csv()) is byte-identical
+// to the single-node run. place_shard() enforces that contract instead of
+// assuming it.
+
+/// Resolve every defaulted CampaignSpec field (variants, workloads,
+/// quick-mode replica clamp, instruction budget, checkpoint policy) exactly
+/// as run_campaign does, without running anything. Sharding must split a
+/// *resolved* spec — otherwise each worker would re-resolve defaults that
+/// depend on fields the shard narrows.
+CampaignSpec resolve_campaign_defaults(const CampaignSpec& spec);
+
+/// Split a resolved spec into up to `shards` sub-specs covering contiguous
+/// replica ranges (sizes differ by at most one; fewer shards come back when
+/// replicas < shards). Each shard carries replica_begin, has quick cleared
+/// (defaults are already resolved) and drops the parent's cancel/progress/
+/// metrics hooks — dispatchers attach their own.
+std::vector<CampaignSpec> split_campaign_spec(const CampaignSpec& resolved,
+                                              usize shards);
+
+/// An empty matrix shaped [variants][workloads][replicas] for `resolved`,
+/// the merge target for place_shard.
+CampaignMatrix make_campaign_matrix(const CampaignSpec& resolved);
+
+/// A shard result as it travels over the wire: the identity fields that
+/// bind it to its parent campaign plus the per-cell matrix (lossless,
+/// unlike the aggregated json() report).
+struct CampaignWire {
+  u64 seed = 0;
+  u64 instructions = 0;
+  double rate = 0.0;
+  u32 replica_begin = 0;
+  std::vector<std::string> variant_labels;
+  std::vector<std::string> workload_names;
+  CampaignMatrix matrix;
+};
+
+/// Serialize a (shard) result's full per-cell matrix plus identity fields
+/// into the snapshot container wire form (served as ?format=cells).
+std::string serialize_campaign_matrix(const CampaignResult& result);
+
+/// Parse and validate a serialize_campaign_matrix buffer (magic, version,
+/// checksum, shape). False with a diagnostic in `*error` on any mismatch.
+bool deserialize_campaign_matrix(std::string_view data, CampaignWire* wire,
+                                 std::string* error);
+
+/// Place a shard's cells into `merged` (shaped by make_campaign_matrix for
+/// `resolved`). Verifies the shard identity contract first — seed, budget,
+/// rate, variant labels and workload names must match, the replica range
+/// must fit, and no target slot may already be filled — and returns false
+/// with a diagnostic instead of merging a shard from a different campaign.
+bool place_shard(const CampaignSpec& resolved, const CampaignWire& shard,
+                 CampaignMatrix* merged, std::string* error);
 
 /// Write `result.json()` to `path`; returns false (with a message on
 /// stderr) if the file cannot be written.

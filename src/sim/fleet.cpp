@@ -1,0 +1,433 @@
+#include "sim/fleet.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/diag.h"
+#include "common/http.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/strutil.h"
+
+namespace reese::sim::fleet {
+
+namespace {
+
+http::RequestOptions wire_options(const FleetConfig& config, double deadline_s,
+                                  u64 jitter_seed) {
+  http::RequestOptions options;
+  options.deadline_s = deadline_s;
+  options.max_retries = config.max_retries;
+  options.backoff_ms = config.backoff_ms;
+  options.backoff_max_ms = config.backoff_max_ms;
+  options.jitter_seed = jitter_seed;
+  if (!config.auth_token.empty()) {
+    options.headers.push_back(
+        {"Authorization", "Bearer " + config.auth_token});
+  }
+  return options;
+}
+
+std::string worker_name(const Worker& worker) {
+  return format("%s:%u", worker.host.c_str(), worker.port);
+}
+
+/// Shared dispatch state: one shard queue, one merge target. Worker
+/// threads block on `cv` for pending shards (a dead worker's shard comes
+/// *back* onto the queue, so survivors must wake up for it).
+struct Dispatch {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<usize> pending;
+  usize completed = 0;
+  usize total = 0;
+  u32 alive_workers = 0;
+  bool fatal = false;
+  bool cancelled = false;
+  std::string error;
+  u64 cells_done = 0;
+  u64 cells_total = 0;
+  u64 committed = 0;
+  CampaignMatrix merged;
+
+  void fail(const std::string& message) {
+    if (!fatal) {
+      fatal = true;
+      error = message;
+    }
+  }
+  bool finished() const {
+    return fatal || cancelled || completed == total;
+  }
+};
+
+enum class ShardOutcome {
+  kDone,        ///< placed into the merged matrix
+  kRequeue,     ///< worker is alive but lost the job (restart); retry shard
+  kWorkerDead,  ///< transport gone past the retry budget; requeue + exit
+  kFatal,       ///< deterministic failure; campaign aborted
+  kCancelled,   ///< spec.cancel fired
+};
+
+ShardOutcome run_shard(http::Client* client, const Worker& worker,
+                       const FleetConfig& config,
+                       const CampaignSpec& resolved,
+                       const CampaignSpec& shard, Dispatch* dispatch,
+                       const std::function<bool()>& cancel) {
+  const u64 jitter_seed =
+      SplitMix64(resolved.seed ^ (static_cast<u64>(shard.replica_begin) + 1))
+          .next();
+  const http::RequestOptions request_options =
+      wire_options(config, config.request_deadline_s, jitter_seed);
+
+  const auto fatal = [&](const std::string& message) {
+    std::lock_guard<std::mutex> lock(dispatch->mutex);
+    dispatch->fail(message);
+    return ShardOutcome::kFatal;
+  };
+
+  // Submit the shard.
+  const std::string body =
+      campaign_spec_json(shard, config.shard_timeout_s);
+  http::Response response =
+      client->request("POST", "/v1/campaigns", body, request_options);
+  if (response.status == 0) return ShardOutcome::kWorkerDead;
+  if (response.status != 202) {
+    const std::string detail(trim(response.body));
+    return fatal(format("worker %s rejected shard r[%u,%u): %d %s",
+                        worker_name(worker).c_str(), shard.replica_begin,
+                        shard.replica_begin + shard.replicas, response.status,
+                        detail.c_str()));
+  }
+  Result<json::Value> accepted = json::parse_json(response.body);
+  const json::Value* id_value =
+      accepted.ok() ? accepted.value().find("id") : nullptr;
+  if (id_value == nullptr || !id_value->is_integer) {
+    return fatal(format("worker %s returned an unparseable submit response",
+                        worker_name(worker).c_str()));
+  }
+  const u64 job_id = id_value->uint_value;
+  const std::string job_path = format("/v1/jobs/%llu",
+                                      static_cast<unsigned long long>(job_id));
+
+  // Poll until the shard job reaches a terminal state.
+  while (true) {
+    if (cancel && cancel()) {
+      std::lock_guard<std::mutex> lock(dispatch->mutex);
+      dispatch->cancelled = true;
+      return ShardOutcome::kCancelled;
+    }
+    response = client->request("GET", job_path, "", request_options);
+    if (response.status == 0) return ShardOutcome::kWorkerDead;
+    if (response.status == 404 || response.status == 410) {
+      // The worker restarted (fresh job table) or pruned the job: it is
+      // alive, it just lost our work — resubmit the shard.
+      return ShardOutcome::kRequeue;
+    }
+    if (response.status != 200) {
+      return fatal(format("worker %s: job %llu status fetch failed: %d",
+                          worker_name(worker).c_str(),
+                          static_cast<unsigned long long>(job_id),
+                          response.status));
+    }
+    Result<json::Value> status = json::parse_json(response.body);
+    const json::Value* state =
+        status.ok() ? status.value().find("state") : nullptr;
+    if (state == nullptr || !state->is_string()) {
+      return fatal(format("worker %s returned an unparseable job status",
+                          worker_name(worker).c_str()));
+    }
+    if (state->string == "done") break;
+    if (state->string == "failed" || state->string == "timeout") {
+      // Deterministic on re-dispatch too (same cells, same budget): abort
+      // with the worker's diagnosis instead of looping the fleet on it.
+      const json::Value* job_error = status.value().find("error");
+      return fatal(format(
+          "worker %s: shard r[%u,%u) ended in state %s%s%s",
+          worker_name(worker).c_str(), shard.replica_begin,
+          shard.replica_begin + shard.replicas, state->string.c_str(),
+          job_error != nullptr && job_error->is_string() ? ": " : "",
+          job_error != nullptr && job_error->is_string()
+              ? job_error->string.c_str()
+              : ""));
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        config.poll_interval_ms > 0.0 ? config.poll_interval_ms : 50.0));
+  }
+
+  // Fetch the lossless per-cell matrix and merge it.
+  response = client->request(
+      "GET", job_path + "/result?format=cells", "",
+      wire_options(config, config.fetch_deadline_s, jitter_seed));
+  if (response.status == 0) return ShardOutcome::kWorkerDead;
+  if (response.status == 404 || response.status == 410) {
+    return ShardOutcome::kRequeue;
+  }
+  if (response.status != 200) {
+    return fatal(format("worker %s: shard result fetch failed: %d",
+                        worker_name(worker).c_str(), response.status));
+  }
+  CampaignWire wire;
+  std::string wire_error;
+  if (!deserialize_campaign_matrix(response.body, &wire, &wire_error)) {
+    return fatal(format("worker %s: %s", worker_name(worker).c_str(),
+                        wire_error.c_str()));
+  }
+
+  u64 shard_committed = 0;
+  u64 shard_cells = 0;
+  for (const auto& workloads : wire.matrix.cells) {
+    for (const auto& cells : workloads) {
+      for (const CampaignCell& cell : cells) {
+        shard_committed += cell.committed;
+        ++shard_cells;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(dispatch->mutex);
+  if (!place_shard(resolved, wire, &dispatch->merged, &wire_error)) {
+    dispatch->fail(format("worker %s: %s", worker_name(worker).c_str(),
+                          wire_error.c_str()));
+    return ShardOutcome::kFatal;
+  }
+  ++dispatch->completed;
+  dispatch->cells_done += shard_cells;
+  dispatch->committed += shard_committed;
+  return ShardOutcome::kDone;
+}
+
+void worker_loop(const FleetConfig& config, const Worker& worker,
+                 const CampaignSpec& resolved,
+                 const std::vector<CampaignSpec>& shards,
+                 Dispatch* dispatch) {
+  // One persistent keep-alive connection per worker thread: submit, every
+  // poll and the result fetch ride the same socket.
+  http::Client client(worker.host, worker.port);
+  while (true) {
+    usize shard_index = 0;
+    {
+      std::unique_lock<std::mutex> lock(dispatch->mutex);
+      dispatch->cv.wait(lock, [dispatch] {
+        return dispatch->finished() || !dispatch->pending.empty();
+      });
+      if (dispatch->finished()) return;
+      shard_index = dispatch->pending.front();
+      dispatch->pending.pop_front();
+    }
+
+    const ShardOutcome outcome =
+        run_shard(&client, worker, config, resolved, shards[shard_index],
+                  dispatch, resolved.cancel);
+    switch (outcome) {
+      case ShardOutcome::kDone: {
+        u64 done = 0;
+        u64 total = 0;
+        u64 committed = 0;
+        {
+          std::lock_guard<std::mutex> lock(dispatch->mutex);
+          done = dispatch->cells_done;
+          total = dispatch->cells_total;
+          committed = dispatch->committed;
+        }
+        if (resolved.progress) resolved.progress({done, total, committed});
+        dispatch->cv.notify_all();
+        break;
+      }
+      case ShardOutcome::kRequeue: {
+        {
+          std::lock_guard<std::mutex> lock(dispatch->mutex);
+          dispatch->pending.push_front(shard_index);
+        }
+        dispatch->cv.notify_all();
+        break;
+      }
+      case ShardOutcome::kWorkerDead: {
+        {
+          std::lock_guard<std::mutex> lock(dispatch->mutex);
+          dispatch->pending.push_front(shard_index);
+          --dispatch->alive_workers;
+          if (dispatch->alive_workers == 0 &&
+              dispatch->completed < dispatch->total) {
+            dispatch->fail("every worker became unreachable with shards "
+                           "still pending");
+          }
+        }
+        std::fprintf(stderr,
+                     "fleet: worker %s unreachable; re-dispatching shard\n",
+                     worker_name(worker).c_str());
+        dispatch->cv.notify_all();
+        return;
+      }
+      case ShardOutcome::kFatal:
+      case ShardOutcome::kCancelled:
+        dispatch->cv.notify_all();
+        return;
+    }
+  }
+}
+
+}  // namespace
+
+bool parse_worker_address(const std::string& address, Worker* out,
+                          std::string* error) {
+  const usize colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    if (error != nullptr) {
+      *error = "worker address must be host:port, got \"" + address + "\"";
+    }
+    return false;
+  }
+  i64 port = 0;
+  if (!parse_int(std::string_view(address).substr(colon + 1), &port) ||
+      port < 1 || port > 65535) {
+    if (error != nullptr) {
+      *error = "bad port in worker address \"" + address + "\"";
+    }
+    return false;
+  }
+  out->host = address.substr(0, colon);
+  out->port = static_cast<u16>(port);
+  return true;
+}
+
+bool load_workers_file(const std::string& path, std::vector<Worker>* out,
+                       std::string* error) {
+  FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open workers file " + path;
+    return false;
+  }
+  std::string contents;
+  char chunk[4096];
+  usize got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    contents.append(chunk, got);
+  }
+  std::fclose(file);
+
+  for (std::string_view raw_line : split(contents, '\n')) {
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    Worker worker;
+    if (!parse_worker_address(std::string(line), &worker, error)) {
+      return false;
+    }
+    out->push_back(std::move(worker));
+  }
+  if (out->empty()) {
+    if (error != nullptr) *error = "workers file " + path + " lists no workers";
+    return false;
+  }
+  return true;
+}
+
+bool probe_worker(const Worker& worker, const FleetConfig& config) {
+  const http::Response response = http::request(
+      worker.host, worker.port, "GET", "/v1/healthz", "",
+      wire_options(config, config.probe_deadline_s, /*jitter_seed=*/0));
+  return response.status == 200;
+}
+
+std::string campaign_spec_json(const CampaignSpec& shard, double timeout_s) {
+  // Every field is the *resolved* value: a worker must not re-resolve
+  // defaults (and must never see quick=true, which would clamp the shard
+  // back to one replica).
+  std::string out = "{";
+  out += "\"workloads\": [";
+  for (usize w = 0; w < shard.workloads.size(); ++w) {
+    out += format("%s\"%s\"", w == 0 ? "" : ", ",
+                  json_escape(shard.workloads[w]).c_str());
+  }
+  out += "], \"variants\": [";
+  for (usize v = 0; v < shard.variants.size(); ++v) {
+    out += format("%s\"%s\"", v == 0 ? "" : ", ",
+                  json_escape(shard.variants[v].label).c_str());
+  }
+  out += format("], \"replicas\": %u", shard.replicas);
+  out += format(", \"replica_begin\": %u", shard.replica_begin);
+  out += format(", \"instructions\": %llu",
+                static_cast<unsigned long long>(shard.instructions));
+  // %.17g round-trips an IEEE double exactly, so the worker's injector
+  // sees bit-identical rate.
+  out += format(", \"rate\": %.17g", shard.rate);
+  out += format(", \"seed\": %llu",
+                static_cast<unsigned long long>(shard.seed));
+  if (timeout_s > 0.0) out += format(", \"timeout_s\": %g", timeout_s);
+  out += "}";
+  return out;
+}
+
+bool run_fleet_campaign(const FleetConfig& config, const CampaignSpec& spec,
+                        CampaignResult* result, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (config.workers.empty()) return fail("fleet has no workers configured");
+
+  const CampaignSpec resolved = resolve_campaign_defaults(spec);
+  if (!resolved.programs.empty()) {
+    return fail("fleet mode cannot ship fixed program images to workers");
+  }
+  // The wire spec names variants by label; anything outside the standard
+  // set would silently resolve differently on the worker.
+  const std::vector<CampaignVariant> standard = standard_campaign_variants();
+  for (const CampaignVariant& variant : resolved.variants) {
+    bool known = false;
+    for (const CampaignVariant& candidate : standard) {
+      if (candidate.label == variant.label) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return fail("fleet mode supports standard campaign variants only, "
+                  "got \"" + variant.label + "\"");
+    }
+  }
+
+  std::vector<Worker> alive;
+  for (const Worker& worker : config.workers) {
+    if (probe_worker(worker, config)) {
+      alive.push_back(worker);
+    } else {
+      std::fprintf(stderr, "fleet: worker %s failed its health probe\n",
+                   worker_name(worker).c_str());
+    }
+  }
+  if (alive.empty()) return fail("no reachable workers");
+
+  const usize shard_target =
+      std::min<usize>(resolved.replicas,
+                      alive.size() * std::max(1u, config.shards_per_worker));
+  const std::vector<CampaignSpec> shards =
+      split_campaign_spec(resolved, shard_target);
+
+  Dispatch dispatch;
+  dispatch.total = shards.size();
+  for (usize s = 0; s < shards.size(); ++s) dispatch.pending.push_back(s);
+  dispatch.alive_workers = static_cast<u32>(alive.size());
+  dispatch.cells_total = static_cast<u64>(resolved.variants.size()) *
+                         resolved.workloads.size() * resolved.replicas;
+  dispatch.merged = make_campaign_matrix(resolved);
+
+  std::vector<std::thread> threads;
+  threads.reserve(alive.size());
+  for (const Worker& worker : alive) {
+    threads.emplace_back(worker_loop, std::cref(config), std::cref(worker),
+                         std::cref(resolved), std::cref(shards), &dispatch);
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  if (dispatch.fatal) return fail(dispatch.error);
+  result->spec = resolved;
+  result->matrix = std::move(dispatch.merged);
+  result->cancelled = dispatch.cancelled;
+  return true;
+}
+
+}  // namespace reese::sim::fleet

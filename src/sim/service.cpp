@@ -12,10 +12,18 @@ namespace reese::sim {
 
 namespace {
 
-/// Finished jobs kept for result fetches; beyond this the oldest finished
-/// jobs are pruned at submit time so a long-lived daemon's job table stays
-/// bounded (queued/running jobs are never pruned).
-constexpr usize kMaxRetainedJobs = 256;
+/// Pruned-id memory bound (see SimulationService::pruned_ids_).
+constexpr usize kMaxPrunedIds = 4096;
+
+/// The bearer token on a request, or "" when absent/malformed. Doubles as
+/// the tenant identity for quota accounting.
+std::string request_token(const http::Request& request) {
+  const auto it = request.headers.find("authorization");
+  if (it == request.headers.end()) return "";
+  const std::string_view value = trim(it->second);
+  if (!starts_with(value, "Bearer ")) return "";
+  return std::string(trim(value.substr(7)));
+}
 
 http::Response json_response(int status, std::string body) {
   return http::Response{status, "application/json", std::move(body)};
@@ -200,6 +208,7 @@ ServiceStats SimulationService::stats() const {
   stats.timeouts = timeouts_;
   stats.failed = failed_;
   stats.rejected_queue_full = rejected_queue_full_;
+  stats.rejected_quota = rejected_quota_;
   stats.total_committed = total_committed_;
   stats.total_wall_seconds = total_wall_seconds_;
   return stats;
@@ -208,8 +217,20 @@ ServiceStats SimulationService::stats() const {
 http::Response SimulationService::handle(const http::Request& request) {
   const std::string& path = request.path;
   if (path == "/v1/healthz") {
+    // Liveness stays reachable without credentials: probes and load
+    // balancers must be able to tell "down" from "locked out".
     if (request.method != "GET") return error_response(405, "use GET");
     return json_response(200, "{\"ok\": true}\n");
+  }
+  if (!config_.auth_tokens.empty()) {
+    const std::string token = request_token(request);
+    const bool known =
+        !token.empty() &&
+        std::find(config_.auth_tokens.begin(), config_.auth_tokens.end(),
+                  token) != config_.auth_tokens.end();
+    if (!known) {
+      return error_response(401, "missing or invalid bearer token");
+    }
   }
   if (path == "/v1/stats") {
     if (request.method != "GET") return error_response(405, "use GET");
@@ -288,8 +309,8 @@ http::Response SimulationService::submit(const http::Request& request,
     spec.jobs = config_.grid_jobs;
     if (!check_allowed_keys(body,
                             {"workloads", "variants", "replicas",
-                             "instructions", "rate", "seed", "jobs", "quick",
-                             "timeout_s", "checkpoint"},
+                             "replica_begin", "instructions", "rate", "seed",
+                             "jobs", "quick", "timeout_s", "checkpoint"},
                             &error) ||
         !parse_string_list_field(body, "workloads", &spec.workloads, &error) ||
         !parse_u64_field(body, "instructions", &spec.instructions, &error) ||
@@ -304,10 +325,21 @@ http::Response SimulationService::submit(const http::Request& request,
     if (!parse_u64_field(body, "replicas", &replicas, &error)) {
       return error_response(400, error);
     }
-    if (replicas < 1 || replicas > 10'000) {
-      return error_response(400, "\"replicas\" must be in [1, 10000]");
+    // Million-replica specs are the fleet's whole point; the real guard
+    // against runaway grids is the cell cap below.
+    if (replicas < 1 || replicas > 1'000'000) {
+      return error_response(400, "\"replicas\" must be in [1, 1000000]");
     }
     spec.replicas = static_cast<u32>(replicas);
+    u64 replica_begin = 0;
+    if (!parse_u64_field(body, "replica_begin", &replica_begin, &error)) {
+      return error_response(400, error);
+    }
+    if (replica_begin + replicas > 1'000'000'000) {
+      return error_response(
+          400, "\"replica_begin\" + \"replicas\" must not exceed 1000000000");
+    }
+    spec.replica_begin = static_cast<u32>(replica_begin);
     if (spec.rate <= 0.0 || spec.rate > 1.0) {
       return error_response(400, "\"rate\" must be in (0, 1]");
     }
@@ -413,16 +445,39 @@ http::Response SimulationService::submit(const http::Request& request,
                     static_cast<unsigned long long>(config_.max_cells)));
   }
 
+  job.tenant = request_token(request);
+
   u64 id = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (config_.tenant_max_active > 0) {
+      u32 active = 0;
+      for (const auto& [jid, entry] : jobs_) {
+        (void)jid;
+        if (entry.tenant == job.tenant &&
+            (entry.state == JobState::kQueued ||
+             entry.state == JobState::kRunning)) {
+          ++active;
+        }
+      }
+      if (active >= config_.tenant_max_active) {
+        ++rejected_quota_;
+        return error_response(
+            429, format("tenant quota exceeded (%u active jobs; cap %u)",
+                        active, config_.tenant_max_active));
+      }
+    }
     id = next_id_++;
     job.id = id;
     job.submitted_at = std::chrono::steady_clock::now();
     jobs_.emplace(id, std::move(job));
     ++submitted_;
     // Bound the table: drop the oldest finished jobs beyond the retention
-    // window. Ids are monotonic, so map order is submission order.
+    // window (ids are monotonic, so map order is submission order) —
+    // preferring jobs whose result a client already fetched. A
+    // never-fetched result is evicted only when fetched ones cannot cover
+    // the excess; its id is remembered so a later fetch gets 410 Gone
+    // instead of the 404 an id never issued gets.
     usize finished = 0;
     for (const auto& [jid, entry] : jobs_) {
       (void)jid;
@@ -431,16 +486,26 @@ http::Response SimulationService::submit(const http::Request& request,
         ++finished;
       }
     }
-    for (auto it = jobs_.begin();
-         finished > kMaxRetainedJobs && it != jobs_.end();) {
-      if (it->second.state != JobState::kQueued &&
-          it->second.state != JobState::kRunning) {
-        it = jobs_.erase(it);
-        --finished;
-      } else {
-        ++it;
+    const auto prune_pass = [this, &finished](bool fetched_only) {
+      for (auto it = jobs_.begin();
+           finished > config_.max_retained_jobs && it != jobs_.end();) {
+        const Job& entry = it->second;
+        const bool is_finished = entry.state != JobState::kQueued &&
+                                 entry.state != JobState::kRunning;
+        if (is_finished && (entry.fetched || !fetched_only)) {
+          if (pruned_ids_.size() >= kMaxPrunedIds) {
+            pruned_ids_.erase(pruned_ids_.begin());
+          }
+          pruned_ids_.insert(it->first);
+          it = jobs_.erase(it);
+          --finished;
+        } else {
+          ++it;
+        }
       }
-    }
+    };
+    prune_pass(/*fetched_only=*/true);
+    prune_pass(/*fetched_only=*/false);
   }
 
   if (!queue_.try_enqueue([this, id] { run_job(id); })) {
@@ -465,14 +530,14 @@ http::Response SimulationService::submit(const http::Request& request,
 http::Response SimulationService::job_status(u64 id) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return error_response(404, "no such job");
+  if (it == jobs_.end()) return missing_job(id);
   return json_response(200, job_status_json(it->second));
 }
 
 http::Response SimulationService::job_progress(u64 id) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return error_response(404, "no such job");
+  if (it == jobs_.end()) return missing_job(id);
   const Job& job = it->second;
 
   // Elapsed wall time: frozen at the recorded duration once the job
@@ -508,19 +573,31 @@ http::Response SimulationService::job_progress(u64 id) {
   return json_response(200, out);
 }
 
+http::Response SimulationService::missing_job(u64 id) {
+  // Caller holds mutex_. A pruned id gets a distinct 410 so a client can
+  // tell "your result existed but aged out" from "you never submitted
+  // this" — re-submission is the right reaction to the former only.
+  return pruned_ids_.count(id) != 0
+             ? error_response(410,
+                              "job result pruned by the retention window")
+             : error_response(404, "no such job");
+}
+
 http::Response SimulationService::job_result(u64 id,
                                              const http::Request& request) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return error_response(404, "no such job");
-  const Job& job = it->second;
+  if (it == jobs_.end()) return missing_job(id);
+  Job& job = it->second;
   switch (job.state) {
     case JobState::kQueued:
     case JobState::kRunning:
       return json_response(202, job_status_json(it->second));
     case JobState::kFailed:
+      job.fetched = true;
       return error_response(500, "job failed: " + job.error);
     case JobState::kTimeout:
+      job.fetched = true;
       return error_response(
           408, format("job exceeded its %g s wall-clock timeout",
                       job.timeout_s));
@@ -529,13 +606,28 @@ http::Response SimulationService::job_result(u64 id,
   }
 
   const auto format_it = request.query.find("format");
-  const bool want_csv =
-      format_it != request.query.end() && format_it->second == "csv";
-  if (format_it != request.query.end() && !want_csv &&
-      format_it->second != "json") {
-    return error_response(400, "format must be \"json\" or \"csv\"");
+  const std::string fmt =
+      format_it == request.query.end() ? "json" : format_it->second;
+  const bool want_csv = fmt == "csv";
+  // "cells" is the lossless per-cell matrix in snapshot wire form — what
+  // the fleet coordinator merges; the JSON report aggregates per variant
+  // and cannot reconstruct shard cells.
+  const bool want_cells = fmt == "cells";
+  if (fmt != "json" && !want_csv && !want_cells) {
+    return error_response(400,
+                          "format must be \"json\", \"csv\" or \"cells\"");
   }
+  if (want_cells && !job.is_campaign) {
+    return error_response(400,
+                          "format \"cells\" applies to campaign jobs only");
+  }
+  job.fetched = true;
   if (job.is_campaign) {
+    if (want_cells) {
+      return http::Response{
+          200, "application/octet-stream",
+          serialize_campaign_matrix(*job.campaign_result)};
+    }
     return want_csv
                ? http::Response{200, "text/csv", job.campaign_result->csv()}
                : json_response(200, job.campaign_result->json());
@@ -562,6 +654,8 @@ http::Response SimulationService::stats_response() {
                 static_cast<unsigned long long>(stats.failed));
   out += format("  \"rejected_queue_full\": %llu,\n",
                 static_cast<unsigned long long>(stats.rejected_queue_full));
+  out += format("  \"rejected_quota\": %llu,\n",
+                static_cast<unsigned long long>(stats.rejected_quota));
   out += format("  \"total_committed_instructions\": %llu,\n",
                 static_cast<unsigned long long>(stats.total_committed));
   out += format("  \"total_wall_seconds\": %.6f,\n",
@@ -595,6 +689,8 @@ void export_service_stats(metrics::Registry* registry,
               "Jobs finished in state failed");
   set_counter("reese_service_rejected_queue_full_total",
               stats.rejected_queue_full, "Submits refused with 429");
+  set_counter("reese_service_rejected_quota_total", stats.rejected_quota,
+              "Submits refused by the per-tenant active-job cap");
   set_counter("reese_service_committed_instructions_total",
               stats.total_committed,
               "Instructions committed across finished jobs");
@@ -661,6 +757,8 @@ void SimulationService::run_job(u64 id) {
   };
 
   bool cancelled = false;
+  bool runner_failed = false;
+  std::string runner_error;
   u64 committed = 0;
   std::optional<ExperimentResult> experiment_result;
   std::optional<CampaignResult> campaign_result;
@@ -668,12 +766,26 @@ void SimulationService::run_job(u64 id) {
     campaign_spec.cancel = expired;
     campaign_spec.progress = progress;
     campaign_spec.metrics = &registry_;
-    campaign_result = run_campaign(campaign_spec);
-    cancelled = campaign_result->cancelled;
-    for (const auto& per_workload : campaign_result->matrix.cells) {
-      for (const auto& per_replica : per_workload) {
-        for (const CampaignCell& cell : per_replica) {
-          committed += cell.committed;
+    if (config_.campaign_runner) {
+      // Coordinator mode: the fleet dispatcher executes the campaign on
+      // worker daemons (sim/fleet.h) under the same cancel/progress hooks.
+      CampaignResult fleet_result;
+      if (config_.campaign_runner(campaign_spec, &fleet_result,
+                                  &runner_error)) {
+        campaign_result = std::move(fleet_result);
+      } else {
+        runner_failed = true;
+      }
+    } else {
+      campaign_result = run_campaign(campaign_spec);
+    }
+    if (campaign_result.has_value()) {
+      cancelled = campaign_result->cancelled;
+      for (const auto& per_workload : campaign_result->matrix.cells) {
+        for (const auto& per_replica : per_workload) {
+          for (const CampaignCell& cell : per_replica) {
+            committed += cell.committed;
+          }
         }
       }
     }
@@ -701,7 +813,11 @@ void SimulationService::run_job(u64 id) {
   Job& job = it->second;
   job.wall_seconds = wall_seconds;
   job.committed = committed;
-  if (cancelled) {
+  if (runner_failed) {
+    job.state = JobState::kFailed;
+    job.error = runner_error;
+    ++failed_;
+  } else if (cancelled) {
     job.state = JobState::kTimeout;
     ++timeouts_;
   } else {

@@ -34,10 +34,13 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "common/http.h"
 #include "common/metrics.h"
@@ -65,6 +68,23 @@ struct ServiceConfig {
   /// upper bound a spec may request.
   double default_timeout_s = 300.0;
   double max_timeout_s = 3600.0;
+  /// Bearer tokens accepted on every endpoint except /v1/healthz. Empty =
+  /// open service (no Authorization header required). Each token doubles
+  /// as a tenant identity for the quota below.
+  std::vector<std::string> auth_tokens;
+  /// Queued+running jobs one tenant (= one token; one anonymous tenant
+  /// when auth is off) may hold; a submit beyond it is a 429 so one tenant
+  /// fanning a million-replica spec cannot starve the fleet. 0 = no cap.
+  u32 tenant_max_active = 0;
+  /// Retained finished jobs; beyond this the oldest finished jobs are
+  /// pruned at submit time, preferring jobs whose result was fetched.
+  usize max_retained_jobs = 256;
+  /// Campaign executor override: the fleet coordinator (sim/fleet.h) plugs
+  /// in here so campaign jobs dispatch to workers instead of running
+  /// locally. Must honor the spec's cancel/progress hooks; returns false
+  /// with a diagnostic to fail the job. Experiments always run locally.
+  std::function<bool(const CampaignSpec&, CampaignResult*, std::string*)>
+      campaign_runner;
 };
 
 enum class JobState { kQueued, kRunning, kDone, kTimeout, kFailed };
@@ -80,6 +100,7 @@ struct ServiceStats {
   u64 timeouts = 0;
   u64 failed = 0;
   u64 rejected_queue_full = 0;
+  u64 rejected_quota = 0;      ///< submits refused by the per-tenant cap
   u64 total_committed = 0;     ///< instructions across finished jobs
   double total_wall_seconds = 0.0;  ///< execution time across finished jobs
   /// Cumulative simulation throughput: thousands of committed
@@ -121,7 +142,9 @@ class SimulationService {
     u64 id = 0;
     bool is_campaign = false;
     JobState state = JobState::kQueued;
-    std::string error;  ///< for kFailed
+    std::string tenant;    ///< auth token that submitted it ("" = anonymous)
+    bool fetched = false;  ///< a client has seen the terminal state
+    std::string error;     ///< for kFailed
     double timeout_s = 0.0;
     std::chrono::steady_clock::time_point submitted_at;
     std::chrono::steady_clock::time_point started_at;  ///< set at kRunning
@@ -141,6 +164,8 @@ class SimulationService {
   };
 
   http::Response submit(const http::Request& request, bool is_campaign);
+  /// 410 for a pruned id, 404 otherwise (caller holds mutex_).
+  http::Response missing_job(u64 id);
   http::Response job_status(u64 id);
   http::Response job_progress(u64 id);
   http::Response job_result(u64 id, const http::Request& request);
@@ -158,6 +183,12 @@ class SimulationService {
   u64 timeouts_ = 0;
   u64 failed_ = 0;
   u64 rejected_queue_full_ = 0;
+  u64 rejected_quota_ = 0;
+  /// Ids of finished jobs evicted by retention pruning: their result fetch
+  /// answers 410 Gone, distinct from 404 for an id never issued. Bounded
+  /// (oldest ids fall off — a sufficiently ancient pruned id degrades to
+  /// 404, which is the best a bounded daemon can promise).
+  std::set<u64> pruned_ids_;
   u64 total_committed_ = 0;
   double total_wall_seconds_ = 0.0;
   /// Daemon-wide registry behind GET /v1/metrics. Grid runners bump its

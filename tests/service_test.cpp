@@ -13,6 +13,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -250,6 +251,182 @@ TEST(Service, FullQueueAnswers429) {
   EXPECT_GT(stats.kips(), 0.0);
 }
 
+TEST(Service, BearerTokenGatesEverythingButHealthz) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.auth_tokens = {"tenant-a", "tenant-b"};
+  SimulationService service(config);
+
+  // Health stays probe-able without credentials; everything else is 401.
+  EXPECT_EQ(service.handle(make_request("GET", "/v1/healthz")).status, 200);
+  const http::Response denied =
+      service.handle(make_request("GET", "/v1/stats"));
+  EXPECT_EQ(denied.status, 401) << denied.body;
+  EXPECT_TRUE(JsonChecker(denied.body).valid()) << denied.body;
+
+  http::Request wrong = make_request("GET", "/v1/stats");
+  wrong.headers["authorization"] = "Bearer nope";
+  EXPECT_EQ(service.handle(wrong).status, 401);
+  wrong.headers["authorization"] = "Basic dXNlcjpwdw==";  // wrong scheme
+  EXPECT_EQ(service.handle(wrong).status, 401);
+
+  http::Request right = make_request("GET", "/v1/stats");
+  right.headers["authorization"] = "Bearer tenant-b";
+  EXPECT_EQ(service.handle(right).status, 200);
+}
+
+TEST(Service, TenantQuotaRejectsTheGreedyTenantOnly) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.auth_tokens = {"greedy", "modest"};
+  config.tenant_max_active = 1;
+  SimulationService service(config);
+
+  const std::string slow_spec =
+      R"({"workloads": ["gcc"], "models": ["baseline"],
+          "instructions": 3000000})";
+  http::Request submit = make_request("POST", "/v1/experiments", slow_spec);
+  submit.headers["authorization"] = "Bearer greedy";
+  EXPECT_EQ(service.handle(submit).status, 202);
+
+  // Same tenant, second active job: over quota.
+  const http::Response over = service.handle(submit);
+  EXPECT_EQ(over.status, 429) << over.body;
+  EXPECT_NE(over.body.find("quota"), std::string::npos) << over.body;
+  EXPECT_EQ(service.stats().rejected_quota, 1u);
+
+  // A different tenant is not punished for the greedy one.
+  submit.headers["authorization"] = "Bearer modest";
+  EXPECT_EQ(service.handle(submit).status, 202);
+
+  service.drain();
+  // Finished jobs stop counting against the quota.
+  submit.headers["authorization"] = "Bearer greedy";
+  const std::string quick_spec =
+      R"({"workloads": ["gcc"], "models": ["baseline"],
+          "instructions": 1000})";
+  http::Request again = make_request("POST", "/v1/experiments", quick_spec);
+  again.headers["authorization"] = "Bearer greedy";
+  EXPECT_EQ(service.handle(again).status, 202);
+  service.drain();
+}
+
+TEST(Service, PruningPrefersFetchedResultsAndAnswers410) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_retained_jobs = 2;
+  SimulationService service(config);
+  const std::string spec =
+      R"({"workloads": ["gcc"], "models": ["baseline"],
+          "instructions": 1000})";
+
+  // Three finished jobs; fetch only job 2's result.
+  const std::string job1 = submit_ok(&service, "/v1/experiments", spec);
+  EXPECT_EQ(wait_for_job(&service, job1), "done");
+  const std::string job2 = submit_ok(&service, "/v1/experiments", spec);
+  EXPECT_EQ(wait_for_job(&service, job2), "done");
+  const std::string job3 = submit_ok(&service, "/v1/experiments", spec);
+  EXPECT_EQ(wait_for_job(&service, job3), "done");
+  EXPECT_EQ(service.handle(result_request(job2)).status, 200);
+
+  // The next submit prunes down to the retention window. The fetched job
+  // (2) must go first — jobs 1 and 3 were never fetched, and the old bug
+  // was evicting the oldest id regardless, losing never-delivered results.
+  const std::string job4 = submit_ok(&service, "/v1/experiments", spec);
+  EXPECT_EQ(wait_for_job(&service, job4), "done");
+
+  const http::Response pruned = service.handle(result_request(job2));
+  EXPECT_EQ(pruned.status, 410) << pruned.body;
+  EXPECT_TRUE(JsonChecker(pruned.body).valid()) << pruned.body;
+  EXPECT_EQ(service.handle(result_request(job1)).status, 200)
+      << "never-fetched result was pruned while a fetched one existed";
+  EXPECT_EQ(service.handle(result_request(job3)).status, 200);
+  // An id the service never issued stays a plain 404.
+  EXPECT_EQ(service.handle(make_request("GET", "/v1/jobs/99/result")).status,
+            404);
+}
+
+TEST(Service, ResultFormatCellsRoundTripsTheCampaignMatrix) {
+  ServiceConfig config;
+  config.workers = 1;
+  SimulationService service(config);
+  const std::string id_path = submit_ok(
+      &service, "/v1/campaigns",
+      R"({"workloads": ["gcc"], "quick": true, "instructions": 5000})");
+  EXPECT_EQ(wait_for_job(&service, id_path), "done");
+
+  const http::Response cells =
+      service.handle(result_request(id_path, "cells"));
+  ASSERT_EQ(cells.status, 200) << cells.body;
+  EXPECT_EQ(cells.content_type, "application/octet-stream");
+
+  sim::CampaignSpec direct;
+  direct.workloads = {"gcc"};
+  direct.quick = true;
+  direct.instructions = 5000;
+  direct.jobs = 1;
+  const sim::CampaignResult expected = sim::run_campaign(direct);
+  sim::CampaignWire wire;
+  std::string error;
+  ASSERT_TRUE(sim::deserialize_campaign_matrix(cells.body, &wire, &error))
+      << error;
+  EXPECT_TRUE(wire.matrix == expected.matrix);
+
+  // cells is a campaign-only view: an experiment result cannot provide it.
+  const std::string exp_path = submit_ok(
+      &service, "/v1/experiments",
+      R"({"workloads": ["gcc"], "models": ["baseline"],
+          "instructions": 1000})");
+  EXPECT_EQ(wait_for_job(&service, exp_path), "done");
+  EXPECT_EQ(service.handle(result_request(exp_path, "cells")).status, 400);
+}
+
+TEST(Service, AcceptsMillionReplicaSpecsThroughTheCampaignRunnerHook) {
+  // Coordinator mode: a campaign_runner intercepts campaign jobs (the
+  // fleet dispatcher in reesed --coordinator) and the cell cap is raised
+  // by the fleet size, so million-replica specs must pass validation and
+  // reach the hook instead of the local run_campaign.
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_cells = 4u * 1000 * 1000;
+  std::atomic<u32> runner_replicas{0};
+  config.campaign_runner = [&](const sim::CampaignSpec& spec,
+                               sim::CampaignResult* result, std::string*) {
+    runner_replicas = spec.replicas;
+    result->spec = sim::resolve_campaign_defaults(spec);
+    result->spec.replicas = 0;  // keep the stub matrix legitimately empty
+    result->matrix = sim::make_campaign_matrix(result->spec);
+    return true;
+  };
+  SimulationService service(config);
+  const std::string id_path = submit_ok(
+      &service, "/v1/campaigns",
+      R"({"workloads": ["gcc"], "variants": ["baseline"],
+          "replicas": 1000000, "instructions": 100})");
+  EXPECT_EQ(wait_for_job(&service, id_path), "done");
+  EXPECT_EQ(runner_replicas.load(), 1000000u);
+
+  // Beyond the per-spec replica bound stays a 400 regardless of the cap.
+  const http::Response absurd = service.handle(make_request(
+      "POST", "/v1/campaigns",
+      R"({"workloads": ["gcc"], "variants": ["baseline"],
+          "replicas": 1000001})"));
+  EXPECT_EQ(absurd.status, 400) << absurd.body;
+
+  // A runner that reports failure turns the job into state "failed".
+  config.campaign_runner = [](const sim::CampaignSpec&, sim::CampaignResult*,
+                              std::string* error) {
+    *error = "fleet exploded";
+    return false;
+  };
+  SimulationService failing(config);
+  const std::string failed_path = submit_ok(
+      &failing, "/v1/campaigns",
+      R"({"workloads": ["gcc"], "quick": true, "instructions": 1000})");
+  EXPECT_EQ(wait_for_job(&failing, failed_path), "failed");
+}
+
 TEST(Service, StatsBodyIsValidJson) {
   SimulationService service;
   const http::Response response =
@@ -430,19 +607,21 @@ struct Daemon {
   FILE* stdout_stream = nullptr;
 };
 
-/// Fork reesed on an ephemeral port; parse the port from its first stdout
-/// line ("reesed: listening on 127.0.0.1:PORT").
-Daemon start_reesed() {
+/// Fork reesed (on an ephemeral port by default; a restart reuses a fixed
+/// one); parse the port from its first stdout line
+/// ("reesed: listening on 127.0.0.1:PORT").
+Daemon start_reesed(int port = 0) {
   Daemon daemon;
   int out_pipe[2];
   if (pipe(out_pipe) != 0) return daemon;
+  const std::string port_arg = format("%d", port);
   const pid_t pid = fork();
   if (pid == 0) {
     dup2(out_pipe[1], STDOUT_FILENO);
     close(out_pipe[0]);
     close(out_pipe[1]);
-    execl(REESE_REESED_BIN, "reesed", "--port", "0", "--workers", "1",
-          static_cast<char*>(nullptr));
+    execl(REESE_REESED_BIN, "reesed", "--port", port_arg.c_str(), "--workers",
+          "1", static_cast<char*>(nullptr));
     _exit(127);
   }
   close(out_pipe[1]);
@@ -539,6 +718,67 @@ TEST(ReesedBinary, ClientDrivesExperimentAndCampaignThenSigtermDrains) {
   EXPECT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);
   if (daemon.stdout_stream != nullptr) fclose(daemon.stdout_stream);
+}
+
+TEST(ReesedBinary, ClientRetriesRideOutADaemonKillAndRestart) {
+  // The flaky-fan-out regression: a daemon dies (SIGKILL — no drain, no
+  // goodbye) and comes back on the same port. A client started during the
+  // outage with --retries must bridge it instead of failing on the first
+  // refused connect; without --retries that first connect is a hard error.
+  Daemon first = start_reesed();
+  ASSERT_GT(first.pid, 0);
+  ASSERT_GT(first.port, 0);
+  const int port = first.port;
+  ASSERT_EQ(kill(first.pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(first.pid, &status, 0), first.pid);
+  if (first.stdout_stream != nullptr) fclose(first.stdout_stream);
+
+  const std::string spec_path = testing::TempDir() + "/reese_restart.json";
+  {
+    std::ofstream spec(spec_path);
+    spec << R"({"workloads": ["gcc"], "quick": true, "instructions": 5000})";
+  }
+
+  // No retries: the dead daemon is an immediate transport failure.
+  std::string output;
+  EXPECT_NE(run_client(port, "submit-campaign " + spec_path, &output), 0);
+
+  // With retries: submit while the port is dark, restart the daemon
+  // mid-backoff, and the queued attempts land on the new incarnation.
+  std::string retried_id;
+  int retried_rc = -1;
+  std::thread client_thread([&] {
+    retried_rc = run_client(
+        port,
+        "--retries 12 --retry-backoff-ms 40 submit-campaign " + spec_path,
+        &retried_id);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  Daemon second = start_reesed(port);
+  ASSERT_GT(second.pid, 0);
+  ASSERT_EQ(second.port, port);
+  client_thread.join();
+  ASSERT_EQ(retried_rc, 0) << retried_id;
+  const std::string job_id = std::string(trim(retried_id));
+  ASSERT_FALSE(job_id.empty());
+
+  ASSERT_EQ(run_client(port, "--retries 4 wait " + job_id, &output), 0)
+      << output;
+  EXPECT_EQ(trim(output), "done");
+  ASSERT_EQ(run_client(port, "result " + job_id, &output), 0);
+  sim::CampaignSpec direct;
+  direct.workloads = {"gcc"};
+  direct.quick = true;
+  direct.instructions = 5000;
+  direct.jobs = 1;
+  EXPECT_EQ(output, sim::run_campaign(direct).json());
+
+  ASSERT_EQ(kill(second.pid, SIGTERM), 0);
+  ASSERT_EQ(waitpid(second.pid, &status, 0), second.pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  if (second.stdout_stream != nullptr) fclose(second.stdout_stream);
 }
 
 #endif  // REESE_REESED_BIN && REESE_CLIENT_BIN

@@ -4,7 +4,17 @@
 // its result — without hand-writing HTTP. Exit status 0 only when the
 // server answered the command with a 2xx.
 //
-// Usage: reese_client [--host ADDR] [--port N] <command> [args]
+// Usage: reese_client [--host ADDR] [--port N] [--token TOK] [--retries N]
+//                     [--retry-backoff-ms MS] <command> [args]
+//
+//   --token TOK             send "Authorization: Bearer TOK" on every
+//                           request (daemons started with --auth-token)
+//   --retries N             retry transport failures and 429 backpressure
+//                           up to N times with exponential backoff +
+//                           jitter (default 0: fail fast, exact call
+//                           counts for tests)
+//   --retry-backoff-ms MS   first retry delay (default 100, doubling up
+//                           to 2000)
 //
 //   health                          GET /v1/healthz
 //   stats                           GET /v1/stats
@@ -15,12 +25,17 @@
 //                                   done/total, committed instructions, kIPS
 //   wait ID [--poll-ms N]           poll status until the job leaves
 //                                   queued/running; prints the final state
-//   result ID [--csv]               GET /v1/jobs/ID/result (?format=csv)
+//   result ID [--csv|--cells]       GET /v1/jobs/ID/result (?format=csv or
+//                                   ?format=cells — the binary per-cell
+//                                   campaign matrix the coordinator merges)
 //   metrics                         GET /v1/metrics (Prometheus text)
 //
 // SPEC.json may be "-" to read the spec from stdin. `wait` exits 0 for
 // state "done", 3 for "timeout", 4 for "failed". `result` on a job that
-// timed out surfaces the server's 408.
+// timed out surfaces the server's 408; a job pruned by the daemon's
+// retention window surfaces its 410. With --retries, `wait` rides out a
+// daemon restart between polls instead of failing on the first refused
+// connect.
 #include <unistd.h>
 
 #include <cstdio>
@@ -74,11 +89,17 @@ int fail_transport(const http::Response& response) {
   return 1;
 }
 
+/// Body to stdout, binary-safe (?format=cells is an octet stream).
+void print_body(const http::Response& response) {
+  std::fwrite(response.body.data(), 1, response.body.size(), stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 8642;
+  http::RequestOptions options;
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -94,13 +115,23 @@ int main(int argc, char** argv) {
       host = next_value();
     } else if (std::strcmp(arg, "--port") == 0) {
       port = std::atoi(next_value());
+    } else if (std::strcmp(arg, "--token") == 0) {
+      options.headers.push_back(
+          {"Authorization", std::string("Bearer ") + next_value()});
+    } else if (std::strcmp(arg, "--retries") == 0) {
+      options.max_retries = std::atoi(next_value());
+      if (options.max_retries < 0) options.max_retries = 0;
+    } else if (std::strcmp(arg, "--retry-backoff-ms") == 0) {
+      options.backoff_ms = std::atof(next_value());
+      if (options.backoff_ms < 1.0) options.backoff_ms = 1.0;
     } else {
       break;  // first non-flag argument is the command
     }
   }
   if (i >= argc || port < 1 || port > 65535) {
     std::fprintf(stderr,
-                 "usage: reese_client [--host ADDR] [--port N] "
+                 "usage: reese_client [--host ADDR] [--port N] [--token TOK] "
+                 "[--retries N] [--retry-backoff-ms MS] "
                  "health|stats|metrics|submit-experiment|submit-campaign|"
                  "status|progress|wait|result ...\n");
     return 2;
@@ -112,9 +143,10 @@ int main(int argc, char** argv) {
     const std::string path = command == "health"  ? "/v1/healthz"
                              : command == "stats" ? "/v1/stats"
                                                   : "/v1/metrics";
-    const http::Response response = http::request(host, port16, "GET", path);
+    const http::Response response =
+        http::request(host, port16, "GET", path, "", options);
     if (response.status == 0) return fail_transport(response);
-    std::fputs(response.body.c_str(), stdout);
+    print_body(response);
     return response.status == 200 ? 0 : 1;
   }
 
@@ -130,7 +162,7 @@ int main(int argc, char** argv) {
                                  ? "/v1/experiments"
                                  : "/v1/campaigns";
     const http::Response response =
-        http::request(host, port16, "POST", path, spec);
+        http::request(host, port16, "POST", path, spec, options);
     if (response.status == 0) return fail_transport(response);
     if (response.status != 202) {
       std::fprintf(stderr, "reese_client: submit failed (%d): %s",
@@ -155,9 +187,9 @@ int main(int argc, char** argv) {
       const std::string path = "/v1/jobs/" + id +
                                (command == "progress" ? "/progress" : "");
       const http::Response response =
-          http::request(host, port16, "GET", path);
+          http::request(host, port16, "GET", path, "", options);
       if (response.status == 0) return fail_transport(response);
-      std::fputs(response.body.c_str(), stdout);
+      print_body(response);
       return response.status == 200 ? 0 : 1;
     }
 
@@ -173,7 +205,7 @@ int main(int argc, char** argv) {
       }
       for (;;) {
         const http::Response response =
-            http::request(host, port16, "GET", "/v1/jobs/" + id);
+            http::request(host, port16, "GET", "/v1/jobs/" + id, "", options);
         if (response.status == 0) return fail_transport(response);
         if (response.status != 200) {
           std::fprintf(stderr, "reese_client: status %d: %s",
@@ -193,15 +225,20 @@ int main(int argc, char** argv) {
 
     // result
     std::string path = "/v1/jobs/" + id + "/result";
-    if (i < argc && std::strcmp(argv[i], "--csv") == 0) path += "?format=csv";
-    const http::Response response = http::request(host, port16, "GET", path);
+    if (i < argc && std::strcmp(argv[i], "--csv") == 0) {
+      path += "?format=csv";
+    } else if (i < argc && std::strcmp(argv[i], "--cells") == 0) {
+      path += "?format=cells";
+    }
+    const http::Response response =
+        http::request(host, port16, "GET", path, "", options);
     if (response.status == 0) return fail_transport(response);
     if (response.status != 200) {
       std::fprintf(stderr, "reese_client: status %d: %s", response.status,
                    response.body.c_str());
       return 1;
     }
-    std::fputs(response.body.c_str(), stdout);
+    print_body(response);
     return 0;
   }
 

@@ -8,19 +8,49 @@
 // format for scraping. See DESIGN.md §11–§12 for endpoints and schemas,
 // and tools/reese_client.cpp for a ready-made client.
 //
+// With --coordinator the daemon stops running campaigns itself and fans
+// them across a fleet of plain reesed workers (sim/fleet.h, DESIGN.md
+// §15): campaign specs shard along the replica axis, shards dispatch over
+// keep-alive HTTP, dead workers' shards re-dispatch to survivors, and the
+// merged result is byte-identical to a single-node run. Experiments still
+// run locally.
+//
 // Usage: reesed [--host ADDR] [--port N] [--workers N] [--queue-capacity N]
 //               [--grid-jobs N] [--max-instructions N] [--max-cells N]
-//               [--timeout-s SECONDS]
+//               [--timeout-s SECONDS] [--auth-token TOK]...
+//               [--tenant-max-active N] [--retain-jobs N]
+//               [--coordinator] [--worker HOST:PORT]...
+//               [--workers-file PATH] [--fleet-token TOK]
+//               [--shards-per-worker N]
 //
-//   --host ADDR           bind address (default 127.0.0.1)
-//   --port N              TCP port; 0 picks an ephemeral port (default 8642)
-//   --workers N           concurrent jobs (default 2)
-//   --queue-capacity N    waiting jobs before submits get 429 (default 16)
-//   --grid-jobs N         grid workers per job when a spec omits "jobs"
-//                         (default 1)
-//   --max-instructions N  per-cell budget cap; larger specs are a 400
-//   --max-cells N         grid-size cap (workloads × models × seeds)
-//   --timeout-s SECONDS   default per-job wall-clock timeout (default 300)
+//   --host ADDR            bind address (default 127.0.0.1)
+//   --port N               TCP port; 0 picks an ephemeral port (default 8642)
+//   --workers N            concurrent jobs (default 2)
+//   --queue-capacity N     waiting jobs before submits get 429 (default 16)
+//   --grid-jobs N          grid workers per job when a spec omits "jobs"
+//                          (default 1)
+//   --max-instructions N   per-cell budget cap; larger specs are a 400
+//   --max-cells N          grid-size cap (workloads × models × seeds); in
+//                          coordinator mode the effective cap is this times
+//                          the fleet size
+//   --timeout-s SECONDS    default per-job wall-clock timeout (default 300)
+//   --auth-token TOK       require this bearer token (repeatable; each token
+//                          is one tenant). Without the flag the service is
+//                          open. /v1/healthz never requires a token.
+//   --tenant-max-active N  queued+running jobs one tenant may hold; beyond
+//                          it submits get 429 (default 0 = unlimited)
+//   --retain-jobs N        finished jobs kept for result fetches; pruning
+//                          prefers already-fetched results, and a pruned id
+//                          answers 410 Gone (default 256)
+//   --coordinator          dispatch campaign jobs to the worker fleet
+//   --worker HOST:PORT     add a fleet worker (repeatable)
+//   --workers-file PATH    read workers, one HOST:PORT per line ('#'
+//                          comments and blank lines skipped)
+//   --fleet-token TOK      bearer token sent to workers (when they run with
+//                          --auth-token)
+//   --shards-per-worker N  campaign shards per worker; >1 shrinks the unit
+//                          of re-dispatched work after a worker death
+//                          (default 2)
 //
 // Prints exactly one "reesed: listening on HOST:PORT" line once the socket
 // is bound (tests parse it to discover the ephemeral port). SIGTERM and
@@ -33,6 +63,7 @@
 
 #include "common/http.h"
 #include "common/thread_pool.h"
+#include "sim/fleet.h"
 #include "sim/service.h"
 
 using namespace reese;
@@ -52,6 +83,8 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 8642;
   sim::ServiceConfig config;
+  sim::fleet::FleetConfig fleet;
+  bool coordinator = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -83,6 +116,40 @@ int main(int argc, char** argv) {
           static_cast<u64>(std::strtoull(next_value(), nullptr, 10));
     } else if (std::strcmp(arg, "--timeout-s") == 0) {
       config.default_timeout_s = std::atof(next_value());
+    } else if (std::strcmp(arg, "--auth-token") == 0) {
+      config.auth_tokens.push_back(next_value());
+    } else if (std::strcmp(arg, "--tenant-max-active") == 0) {
+      config.tenant_max_active =
+          static_cast<u32>(std::strtoul(next_value(), nullptr, 10));
+    } else if (std::strcmp(arg, "--retain-jobs") == 0) {
+      config.max_retained_jobs =
+          static_cast<usize>(std::strtoull(next_value(), nullptr, 10));
+    } else if (std::strcmp(arg, "--coordinator") == 0) {
+      coordinator = true;
+    } else if (std::strcmp(arg, "--worker") == 0) {
+      sim::fleet::Worker worker;
+      std::string error;
+      if (!sim::fleet::parse_worker_address(next_value(), &worker, &error)) {
+        std::fprintf(stderr, "reesed: %s\n", error.c_str());
+        return 2;
+      }
+      fleet.workers.push_back(std::move(worker));
+    } else if (std::strcmp(arg, "--workers-file") == 0) {
+      std::string error;
+      if (!sim::fleet::load_workers_file(next_value(), &fleet.workers,
+                                         &error)) {
+        std::fprintf(stderr, "reesed: %s\n", error.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--fleet-token") == 0) {
+      fleet.auth_token = next_value();
+    } else if (std::strcmp(arg, "--shards-per-worker") == 0) {
+      const long value = std::strtol(next_value(), nullptr, 10);
+      if (value < 1) {
+        std::fprintf(stderr, "reesed: --shards-per-worker must be >= 1\n");
+        return 2;
+      }
+      fleet.shards_per_worker = static_cast<u32>(value);
     } else {
       std::fprintf(stderr, "reesed: unknown argument %s\n", arg);
       return 2;
@@ -91,6 +158,30 @@ int main(int argc, char** argv) {
   if (port < 0 || port > 65535) {
     std::fprintf(stderr, "reesed: --port %d is not in [0, 65535]\n", port);
     return 2;
+  }
+  if (coordinator && fleet.workers.empty()) {
+    std::fprintf(stderr,
+                 "reesed: --coordinator needs at least one --worker (or a "
+                 "--workers-file)\n");
+    return 2;
+  }
+  if (!coordinator && !fleet.workers.empty()) {
+    std::fprintf(stderr, "reesed: --worker/--workers-file need "
+                         "--coordinator\n");
+    return 2;
+  }
+
+  if (coordinator) {
+    // A fleet of N workers really can run N times the cell budget; the
+    // per-shard cap on each worker still bounds any single node.
+    config.max_cells *= fleet.workers.size();
+    config.campaign_runner = [fleet](const sim::CampaignSpec& spec,
+                                     sim::CampaignResult* result,
+                                     std::string* error) {
+      return sim::fleet::run_fleet_campaign(fleet, spec, result, error);
+    };
+    std::fprintf(stderr, "reesed: coordinating %zu workers\n",
+                 fleet.workers.size());
   }
 
   sim::SimulationService service(config);
