@@ -136,6 +136,15 @@ class GsharePredictor final : public DirectionPredictor {
   void save_state(SnapshotWriter* writer) const override;
   void load_state(SnapshotReader* reader) override;
 
+  /// Component-site fault campaigns: flip one bit of a 2-bit pattern
+  /// counter. Always lands (the table has no valid bits); returns the
+  /// struck index for bookkeeping.
+  usize flip_counter_bit(u64 cell, unsigned bit) {
+    const usize index = static_cast<usize>(cell % table_.size());
+    table_[index] ^= static_cast<u8>(u8{1} << (bit & 1));
+    return index;
+  }
+
  private:
   usize index_of(Addr pc, u64 history) const {
     return static_cast<usize>(((pc >> 2) ^ history) & (table_.size() - 1));
@@ -211,6 +220,16 @@ class Btb {
 
   void save(SnapshotWriter* writer) const;
   void load(SnapshotReader* reader);
+
+  /// Component-site fault campaigns: flip one bit of a BTB entry's stored
+  /// target. Returns false when the struck entry is invalid (no stored
+  /// state to corrupt — the strike is trivially masked).
+  bool flip_target_bit(u64 cell, unsigned bit) {
+    Entry& entry = entries_[static_cast<usize>(cell % entries_.size())];
+    if (!entry.valid) return false;
+    entry.target ^= Addr{1} << (bit & 63);
+    return true;
+  }
 
  private:
   struct Entry {

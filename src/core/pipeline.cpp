@@ -111,6 +111,11 @@ StopReason Pipeline::run(u64 commit_target, Cycle cycle_limit) {
 }
 
 void Pipeline::cycle() {
+  // Component-site fault campaigns: one strike poll per cycle, before the
+  // stages, so the struck state is what this cycle's stages observe
+  // (site_faults.cpp). kResult keeps this a single predicted-false branch.
+  if (fault_site_ != FaultSite::kResult) poll_site_fault();
+
   // Stall attribution (CycleClass): sample the stall counters around the
   // stage evaluation and charge this cycle to exactly one bucket below.
   const u64 committed_before = stats_.committed;
@@ -532,6 +537,7 @@ void Pipeline::try_issue_slot(u32 slot_index, u32* budget) {
       case LoadPlan::kCache: {
         if (!fu_pool_.try_acquire(FuKind::kMemPort, now_, 1)) return;
         complete_at = now_ + hierarchy_->data_access(entry.mem_addr, false);
+        if (mem_site_armed()) drain_mem_site_events(entry.pc, !entry.spec);
         break;
       }
     }
@@ -670,6 +676,12 @@ void Pipeline::recover_from_mispredict(u32 branch_slot) {
       assert(lsq_[lsq_index_at(lsq_count_ - 1)] == tail_slot);
       --lsq_count_;
     }
+    if (victim.site_faulted) {
+      // The corrupted entry dies with the wrong path: masked by squash.
+      victim.site_faulted = false;
+      report_site_outcome(FaultOutcome::kMasked, victim.pc,
+                          victim.site_fault_cycle);
+    }
     victim.valid = false;
     ++victim.gen;
     victim.consumers.clear();
@@ -727,6 +739,24 @@ bool Pipeline::commit_head_baseline() {
   if (head.is_store()) {
     if (!fu_pool_.try_acquire(FuKind::kMemPort, now_, 1)) return false;
     hierarchy_->data_access(head.mem_addr, true);
+    if (mem_site_armed()) drain_mem_site_events(head.pc, true);
+  }
+
+  if (head.site_faulted) {
+    // No comparator on this path: the corruption reaches commit. It is SDC
+    // when the struck state is architecturally consumed — a written
+    // destination register, store data/address, a branch outcome or an OUT
+    // operand (the same liveness rule the result-flip injector applies) —
+    // and masked otherwise (x0 writes, HALT/NOP).
+    const isa::OpInfo& info = head.inst.info();
+    const bool live =
+        (info.writes_rd &&
+         (info.is_fp_rd || head.inst.rd != isa::kZeroReg)) ||
+        head.is_store() || isa::is_cond_branch(head.inst.op) ||
+        head.inst.op == Opcode::kOut;
+    head.site_faulted = false;
+    report_site_outcome(live ? FaultOutcome::kSdc : FaultOutcome::kMasked,
+                        head.pc, head.site_fault_cycle);
   }
 
   if (fault_hook_ != nullptr && !config_.reese.enabled) {

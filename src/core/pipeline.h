@@ -109,8 +109,13 @@ class Pipeline {
 
   bool halted() const { return halted_; }
 
-  /// Install a fault-injection hook (may be nullptr). Not owned.
-  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  /// Install a fault-injection hook (may be nullptr). Not owned. The
+  /// hook's site() is cached here: a non-kResult site arms the per-cycle
+  /// component-strike poll (site_faults.cpp).
+  void set_fault_hook(FaultHook* hook) {
+    fault_hook_ = hook;
+    fault_site_ = hook != nullptr ? hook->site() : FaultSite::kResult;
+  }
 
   /// Install a pipeline tracer (may be nullptr). Not owned.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
@@ -174,6 +179,11 @@ class Pipeline {
     bool completed = false;
     bool released = false;  ///< copied into the R-queue (early release off)
 
+    // Component-site campaigns: a strike landed in this entry's stored
+    // result (kRuu) or effective address (kLsq) and has not resolved yet.
+    bool site_faulted = false;
+    Cycle site_fault_cycle = 0;
+
     // Franklin-scheme ([24]) dual execution: the entry must execute twice
     // before it may commit; `first_done` marks the primary execution.
     bool first_done = false;
@@ -211,6 +221,8 @@ class Pipeline {
       issued = false;
       completed = false;
       released = false;
+      site_faulted = false;
+      site_fault_cycle = 0;
       first_done = false;
       fr_p_copy = 0;
       fr_faulted = false;
@@ -328,6 +340,31 @@ class Pipeline {
                                       Addr mem_addr, Addr p_next,
                                       u64 p_result, u64 load_value,
                                       bool flip_r, unsigned fault_bit) const;
+
+  // --- component fault sites (site_faults.cpp) -----------------------------
+
+  /// Poll the hook for a strike and deliver it to the targeted structure.
+  /// Called once per cycle (before the stages) when fault_site_ != kResult.
+  void poll_site_fault();
+  void strike_ruu(const SiteStrike& strike);
+  void strike_rqueue(const SiteStrike& strike);
+  void strike_lsq(const SiteStrike& strike);
+  void strike_predictor(const SiteStrike& strike);
+  void strike_btb(const SiteStrike& strike);
+  void strike_dcache(const SiteStrike& strike);
+  void strike_dtlb(const SiteStrike& strike);
+  /// Report a resolved strike (injected_at = the strike cycle).
+  void report_site_outcome(FaultOutcome outcome, Addr pc, Cycle injected_at);
+  /// After a data_access(), convert poison consumptions/clears recorded by
+  /// the D-L1/D-TLB into site outcomes attributed to `pc`. `architectural`
+  /// is false for wrong-path accesses (a squashed consumer masks the upset).
+  void drain_mem_site_events(Addr pc, bool architectural);
+  /// True when the active site poisons memory structures — gates the
+  /// drain calls after the four data-access points.
+  bool mem_site_armed() const {
+    return fault_site_ == FaultSite::kDCache ||
+           fault_site_ == FaultSite::kDTlb;
+  }
 
   // --- Franklin scheme (franklin.cpp) --------------------------------------
 
@@ -491,6 +528,12 @@ class Pipeline {
   bool fetch_done_ = false;  ///< HALT dispatched on the true path
 
   FaultHook* fault_hook_ = nullptr;
+  /// Cached fault_hook_->site(); kResult keeps the component poll disabled
+  /// so legacy campaigns and plain runs pay one branch per cycle.
+  FaultSite fault_site_ = FaultSite::kResult;
+  /// Strike cycles of outstanding D-L1/D-TLB poisons, oldest first
+  /// (site_faults.cpp uses it for detection-latency attribution).
+  std::vector<Cycle> mem_poison_pending_;
   Tracer* tracer_ = nullptr;
 
   /// Emit a trace event if a tracer is installed.

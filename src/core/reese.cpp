@@ -58,6 +58,17 @@ void Pipeline::reese_release() {
     redundant.needs_reexec = reexec_counter_ == 0;
     if (++reexec_counter_ >= k) reexec_counter_ = 0;
 
+    if (entry.site_faulted) {
+      // A component strike (RUU result or LSQ address) travels with the
+      // instruction into the checker. The flipped result seeded BOTH
+      // p_result and r_base_value above — so for loads the comparator sees
+      // two agreeing corrupt copies (REESE's load-data blind spot), while
+      // recomputed classes mismatch and detect.
+      entry.site_faulted = false;
+      redundant.site_faulted = true;
+      redundant.fault_cycle = entry.site_fault_cycle;
+    }
+
     if (fault_hook_ != nullptr) {
       const FaultDecision decision =
           fault_hook_->on_instruction(entry.seq, now_, entry.pc, entry.inst);
@@ -132,6 +143,7 @@ void Pipeline::reese_issue(u32* budget) {
       // access brought the line in, so the access almost always hits).
       if (!fu_pool_.try_acquire(FuKind::kMemPort, now_, 1)) break;
       complete_at = now_ + hierarchy_->data_access(entry.mem_addr, false);
+      if (mem_site_armed()) drain_mem_site_events(entry.pc, true);
     } else if (exec_class == ExecClass::kStore) {
       // Stores re-verify their effective address and value through the
       // memory pipeline (AGU + store-buffer check) or a plain ALU; the
@@ -246,6 +258,7 @@ void Pipeline::reese_commit() {
       // been compared").
       if (!fu_pool_.try_acquire(FuKind::kMemPort, now_, 1)) break;
       hierarchy_->data_access(entry.mem_addr, true);
+      if (mem_site_armed()) drain_mem_site_events(entry.pc, true);
     }
 
     if (entry.mismatch) {
@@ -266,6 +279,19 @@ void Pipeline::reese_commit() {
       // skip, or the flip landed on a value the comparator never sees).
       ++stats_.faults_undetected;
       fault_hook_->on_undetected(entry.seq);
+    }
+
+    if (entry.site_faulted || entry.checker_faulted) {
+      // Component-strike resolution (DESIGN.md §16): a mismatch is a
+      // detection (including false positives from corrupted checker
+      // state); an escaped datapath corruption (site_faulted) commits as
+      // SDC; an escaped checker-only corruption leaves architectural
+      // state correct — masked.
+      const FaultOutcome outcome = entry.mismatch ? FaultOutcome::kDetected
+                                   : entry.site_faulted
+                                       ? FaultOutcome::kSdc
+                                       : FaultOutcome::kMasked;
+      report_site_outcome(outcome, entry.pc, entry.fault_cycle);
     }
 
     skipped += entry.needs_reexec ? 0 : 1;

@@ -32,6 +32,8 @@ REntry& RStreamQueue::push_slot() {
   slot.flip_r = false;
   slot.fault_bit = 0;
   slot.fault_cycle = 0;
+  slot.site_faulted = false;
+  slot.checker_faulted = false;
   ++count_;
   return slot;
 }

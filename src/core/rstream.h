@@ -57,6 +57,15 @@ struct REntry {
   bool flip_r = false;       ///< corrupt the R side instead of the P side
   unsigned fault_bit = 0;
   Cycle fault_cycle = 0;
+
+  // Component-site campaigns (DESIGN.md §16). site_faulted marks an upset
+  // that came in from upstream (RUU/LSQ strike) or hit this slot's stored
+  // values — an escape is SDC. checker_faulted marks corruption of the
+  // checker's own redundant state (operand copies, the reexec flag) — the
+  // architectural value is still correct, so an escape is masked (possibly
+  // with coverage loss) and a mismatch is a false-positive detection.
+  bool site_faulted = false;
+  bool checker_faulted = false;
 };
 
 /// Fixed-capacity ring: the capacity is a hardware parameter known at

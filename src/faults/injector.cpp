@@ -31,10 +31,55 @@ void Injector::finalize_windows() {
   for (OpenWindow& open : open_windows_) {
     if (open.record_index != OpenWindow::kNone) close_window(&open);
   }
+  // Site mode: strikes whose corrupted state was still live at end of run
+  // (in-flight queue entries, unconsumed poisoned lines) never reached an
+  // architectural consumer — masked. Idempotent: once the counts balance,
+  // the difference is zero.
+  const u64 resolved = site_detected_ + site_masked_ + site_sdc_;
+  if (site_fired_ > resolved) site_masked_ += site_fired_ - resolved;
+}
+
+core::SiteStrike Injector::on_site_cycle(Cycle now) {
+  (void)now;
+  if (config_.max_faults != 0 && site_fired_ >= config_.max_faults) return {};
+  if (config_.rate <= 0.0 || !rng_.next_bool(config_.rate)) return {};
+  ++site_fired_;
+  // All randomness stays here so the pipeline's strike handling is a pure
+  // function of the strike — campaigns are bit-identical for any --jobs
+  // split as long as each cell owns its own seeded injector.
+  core::SiteStrike strike;
+  strike.strike = true;
+  strike.cell = rng_.next();
+  strike.bit = static_cast<unsigned>(rng_.next_below(64));
+  strike.field = rng_.next();
+  return strike;
+}
+
+void Injector::on_site_outcome(core::FaultOutcome outcome, Addr pc,
+                               Cycle injected_at, Cycle resolved_at) {
+  switch (outcome) {
+    case core::FaultOutcome::kMasked: ++site_masked_; break;
+    case core::FaultOutcome::kDetected:
+      ++site_detected_;
+      latency_.add(resolved_at - injected_at);
+      break;
+    case core::FaultOutcome::kSdc: ++site_sdc_; break;
+  }
+  if (pc == 0) return;  // strike on dead state: no root cause to attribute
+  SitePcOutcomes& tally = site_by_pc_[pc];
+  ++tally.injected;
+  switch (outcome) {
+    case core::FaultOutcome::kMasked: ++tally.masked; break;
+    case core::FaultOutcome::kDetected: ++tally.detected; break;
+    case core::FaultOutcome::kSdc: ++tally.sdc; break;
+  }
 }
 
 core::FaultDecision Injector::on_instruction(InstSeq seq, Cycle now, Addr pc,
                                              const isa::Instruction& inst) {
+  // Site mode strikes structures per cycle, not instruction results.
+  if (site_mode()) return {};
+
   // Advance the committed-stream ACE tracking before the injection
   // decision: this instruction's reads consume earlier faulted values, and
   // its definition closes the previous value's window even when the

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <array>
+#include <map>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,21 @@ struct InjectorConfig {
 
   /// Cap on total injections (0 = unlimited).
   u64 max_faults = 0;
+
+  /// Which microarchitectural structure to strike (DESIGN.md §16). The
+  /// default, kResult, keeps the classic result-flipping model above; any
+  /// other value switches the injector into site mode: `rate` becomes a
+  /// per-CYCLE strike probability, on_instruction stops injecting, and
+  /// outcomes arrive through on_site_outcome as masked/detected/SDC.
+  core::FaultSite site = core::FaultSite::kResult;
+};
+
+/// Per-static-PC outcome tally in site mode (root-cause attribution).
+struct SitePcOutcomes {
+  u64 injected = 0;
+  u64 detected = 0;
+  u64 masked = 0;
+  u64 sdc = 0;
 };
 
 struct FaultRecord {
@@ -99,6 +115,13 @@ class Injector final : public core::FaultHook {
   void on_detected(InstSeq seq, Cycle injected_at, Cycle detected_at) override;
   void on_undetected(InstSeq seq) override;
 
+  // Site mode (config.site != kResult).
+  core::FaultSite site() const override { return config_.site; }
+  core::SiteStrike on_site_cycle(Cycle now) override;
+  void on_site_outcome(core::FaultOutcome outcome, Addr pc, Cycle injected_at,
+                       Cycle resolved_at) override;
+  void on_checker_loss() override { ++checker_loss_; }
+
   /// Close every still-open ACE window at end of run: a value read at
   /// least once counts as ACE with its window so far; an unread value is
   /// masked (the program produced it and ended without consuming it).
@@ -116,6 +139,21 @@ class Injector final : public core::FaultHook {
   double coverage() const;
   const std::vector<FaultRecord>& records() const { return records_; }
   const Histogram& latency() const { return latency_; }
+
+  bool site_mode() const { return config_.site != core::FaultSite::kResult; }
+  u64 site_fired() const { return site_fired_; }
+  u64 site_detected() const { return site_detected_; }
+  u64 site_masked() const { return site_masked_; }
+  u64 site_sdc() const { return site_sdc_; }
+  /// R-queue needs_reexec kills: instructions that committed unchecked
+  /// because a strike silently disabled their re-execution.
+  u64 checker_loss() const { return checker_loss_; }
+  /// Root-cause attribution: outcomes keyed by the static PC that owned or
+  /// consumed the corrupted state (strikes on dead state carry pc 0 and
+  /// are not attributed). Ordered for deterministic reports.
+  const std::map<Addr, SitePcOutcomes>& site_by_pc() const {
+    return site_by_pc_;
+  }
 
  private:
   /// Unresolved record for `seq`; when `injected_at` is non-null it must
@@ -149,6 +187,17 @@ class Injector final : public core::FaultHook {
   u64 undetected_ = 0;
   u64 duplicate_reports_ = 0;
   Histogram latency_{4, 64};
+
+  // Site-mode counters. site_fired_ counts strikes handed to the pipeline;
+  // every strike resolves to exactly one of detected/masked/sdc, either via
+  // on_site_outcome or (for strikes still unresolved at end of run — queued
+  // poison, in-flight entries) as masked in finalize_windows().
+  u64 site_fired_ = 0;
+  u64 site_detected_ = 0;
+  u64 site_masked_ = 0;
+  u64 site_sdc_ = 0;
+  u64 checker_loss_ = 0;
+  std::map<Addr, SitePcOutcomes> site_by_pc_;
 };
 
 }  // namespace reese::faults

@@ -31,6 +31,7 @@ Cache::Cache(const CacheConfig& config, MemoryLevel* next, u64 seed)
   config_.validate();
   assert(next_ != nullptr && "cache needs a next level");
   lines_.resize(config_.set_count() * config_.associativity);
+  poison_.resize(lines_.size(), 0);
 }
 
 bool Cache::contains(Addr addr) const {
@@ -83,6 +84,18 @@ u32 Cache::access_one_line(Addr addr, bool is_write) {
     Line& line = lines_[set_base + way];
     if (line.valid && line.tag == tag) {
       ++stats_.hits;
+      if (poison_active_ != 0 && poison_[set_base + way] != 0) {
+        // Poisoned line touched: a read consumes the corrupt data (SDC
+        // candidate); a write overwrites it (masked). Either way the
+        // poison is spent.
+        poison_[set_base + way] = 0;
+        --poison_active_;
+        if (is_write) {
+          ++poison_cleared_;
+        } else {
+          ++poison_consumed_;
+        }
+      }
       if (config_.replacement == ReplacementPolicy::kLru) line.stamp = tick_;
       u32 latency = config_.hit_latency;
       if (is_write) {
@@ -106,6 +119,13 @@ u32 Cache::access_one_line(Addr addr, bool is_write) {
   if (allocate) {
     const usize way = victim_way(set_base);
     Line& line = lines_[set_base + way];
+    if (poison_active_ != 0 && poison_[set_base + way] != 0) {
+      // Fill over a poisoned victim: the corrupt data leaves the cache
+      // unread (a dirty writeback of it is charged to the same event).
+      poison_[set_base + way] = 0;
+      --poison_active_;
+      ++poison_cleared_;
+    }
     if (line.valid) {
       ++stats_.evictions;
       if (line.dirty) {
@@ -139,6 +159,11 @@ void Cache::invalidate_all() {
   for (Line& line : lines_) {
     if (line.valid && line.dirty) ++stats_.writebacks;
     line = Line{};
+  }
+  if (poison_active_ != 0) {
+    for (u8& flag : poison_) flag = 0;
+    poison_cleared_ += poison_active_;
+    poison_active_ = 0;
   }
 }
 

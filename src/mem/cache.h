@@ -111,8 +111,43 @@ class Cache final : public MemoryLevel {
   /// Checkpoint serialization: tag array, stats, LRU tick, RNG state. The
   /// geometry comes from the config, so load() into a cache built with a
   /// different line count latches a reader error.
+  /// Poison state (component-site campaigns) is deliberately NOT serialized:
+  /// site campaigns run whole cells without mid-cell snapshots.
   void save(SnapshotWriter* writer) const;
   void load(SnapshotReader* reader);
+
+  // --- component-site fault campaigns (DESIGN.md §16) ----------------------
+  // A poisoned line models a particle strike in the data array: function and
+  // timing are decoupled here, so the corruption cannot change a loaded
+  // value — instead the pipeline observes *when* the poisoned line is next
+  // read (the corrupt data is consumed → potential SDC) versus overwritten
+  // or evicted (masked) and classifies the strike accordingly.
+
+  /// Poison the line selected by `cell` (reduced modulo the line count).
+  /// Returns false if that way is invalid or already poisoned — nothing to
+  /// corrupt, the strike is trivially masked.
+  bool poison_random_line(u64 cell) {
+    const usize index = static_cast<usize>(cell % lines_.size());
+    if (!lines_[index].valid || poison_[index] != 0) return false;
+    poison_[index] = 1;
+    ++poison_active_;
+    return true;
+  }
+  /// Number of poisoned lines whose data was read since the last take — and
+  /// reset the counter. The caller attributes these to the access it just
+  /// simulated.
+  u32 take_poison_consumed() {
+    const u32 count = poison_consumed_;
+    poison_consumed_ = 0;
+    return count;
+  }
+  /// Same for poisoned lines that were overwritten or evicted (masked).
+  u32 take_poison_cleared() {
+    const u32 count = poison_cleared_;
+    poison_cleared_ = 0;
+    return count;
+  }
+  u32 poison_active() const { return poison_active_; }
 
  private:
   struct Line {
@@ -139,6 +174,14 @@ class Cache final : public MemoryLevel {
   CacheStats stats_;
   u64 tick_ = 0;
   SplitMix64 rng_;
+
+  // Component-site poison bitmap, parallel to lines_. poison_active_ != 0
+  // gates every hot-path check so campaigns without cache sites pay one
+  // compare per access.
+  std::vector<u8> poison_;
+  u32 poison_active_ = 0;
+  u32 poison_consumed_ = 0;
+  u32 poison_cleared_ = 0;
 };
 
 }  // namespace reese::mem

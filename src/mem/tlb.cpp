@@ -18,6 +18,7 @@ Tlb::Tlb(const TlbConfig& config) : config_(config) {
   }
   set_count_ = config_.entries / config_.associativity;
   entries_.resize(config_.entries);
+  poison_.resize(entries_.size(), 0);
 }
 
 u32 Tlb::access(Addr addr) {
@@ -29,6 +30,12 @@ u32 Tlb::access(Addr addr) {
   for (u32 way = 0; way < config_.associativity; ++way) {
     Entry& entry = entries_[set_base + way];
     if (entry.valid && entry.vpn == vpn) {
+      if (poison_active_ != 0 && poison_[set_base + way] != 0) {
+        // The access translated through a corrupted entry.
+        poison_[set_base + way] = 0;
+        --poison_active_;
+        ++poison_consumed_;
+      }
       entry.stamp = tick_;
       return 0;
     }
@@ -48,6 +55,12 @@ u32 Tlb::access(Addr addr) {
       oldest = entry.stamp;
       victim = way;
     }
+  }
+  if (poison_active_ != 0 && poison_[set_base + victim] != 0) {
+    // Refill over a poisoned victim: the corrupt translation was never used.
+    poison_[set_base + victim] = 0;
+    --poison_active_;
+    ++poison_cleared_;
   }
   entries_[set_base + victim] = Entry{vpn, true, tick_};
   return config_.miss_latency;

@@ -43,6 +43,33 @@ class Tlb {
   void save(SnapshotWriter* writer) const;
   void load(SnapshotReader* reader);
 
+  // --- component-site fault campaigns (DESIGN.md §16) ----------------------
+  // Same poison model as Cache: a poisoned entry models a corrupted
+  // translation. A later hit on it uses the corrupt translation (SDC
+  // candidate); a refill that overwrites it clears the upset unread
+  // (masked). Poison is not serialized (site campaigns are whole-cell).
+
+  /// Poison the entry selected by `cell` (modulo the entry count). Returns
+  /// false if that entry is invalid or already poisoned.
+  bool poison_random_entry(u64 cell) {
+    const usize index = static_cast<usize>(cell % entries_.size());
+    if (!entries_[index].valid || poison_[index] != 0) return false;
+    poison_[index] = 1;
+    ++poison_active_;
+    return true;
+  }
+  u32 take_poison_consumed() {
+    const u32 count = poison_consumed_;
+    poison_consumed_ = 0;
+    return count;
+  }
+  u32 take_poison_cleared() {
+    const u32 count = poison_cleared_;
+    poison_cleared_ = 0;
+    return count;
+  }
+  u32 poison_active() const { return poison_active_; }
+
  private:
   struct Entry {
     u64 vpn = 0;
@@ -55,6 +82,12 @@ class Tlb {
   std::vector<Entry> entries_;
   TlbStats stats_;
   u64 tick_ = 0;
+
+  // Component-site poison bitmap, parallel to entries_ (see Cache).
+  std::vector<u8> poison_;
+  u32 poison_active_ = 0;
+  u32 poison_consumed_ = 0;
+  u32 poison_cleared_ = 0;
 };
 
 }  // namespace reese::mem

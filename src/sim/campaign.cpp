@@ -61,6 +61,9 @@ void put_campaign_cell(SnapshotWriter* writer, const CampaignCell& cell) {
   writer->put_u64(cell.duplicate_reports);
   writer->put_u64(cell.committed);
   writer->put_u64(cell.cycles);
+  writer->put_u64(cell.masked);
+  writer->put_u64(cell.sdc);
+  writer->put_u64(cell.coverage_loss);
   writer->put_u64(cell.latency_sum);
   writer->put_u64(cell.latency_count);
   writer->put_u64(cell.latency_min);
@@ -95,6 +98,9 @@ bool get_campaign_cell(SnapshotReader* reader, CampaignCell* cell) {
   loaded.duplicate_reports = reader->get_u64();
   loaded.committed = reader->get_u64();
   loaded.cycles = reader->get_u64();
+  loaded.masked = reader->get_u64();
+  loaded.sdc = reader->get_u64();
+  loaded.coverage_loss = reader->get_u64();
   loaded.latency_sum = reader->get_u64();
   loaded.latency_count = reader->get_u64();
   loaded.latency_min = reader->get_u64();
@@ -196,6 +202,51 @@ std::vector<CampaignVariant> standard_campaign_variants() {
   return variants;
 }
 
+std::vector<CampaignVariant> component_base_variants() {
+  std::vector<CampaignVariant> bases;
+  bases.push_back({"reese", core::with_reese(core::starting_config()),
+                   faults::FaultTarget::kEither});
+  bases.push_back(
+      {"baseline", core::starting_config(), faults::FaultTarget::kEither});
+  return bases;
+}
+
+bool fault_site_from_name(std::string_view name, core::FaultSite* site) {
+  for (usize i = 0; i < core::kFaultSiteCount; ++i) {
+    const core::FaultSite candidate = static_cast<core::FaultSite>(i);
+    if (name == core::fault_site_name(candidate)) {
+      *site = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool campaign_variant_by_label(const std::string& label,
+                               CampaignVariant* out) {
+  for (const CampaignVariant& variant : standard_campaign_variants()) {
+    if (variant.label == label) {
+      *out = variant;
+      return true;
+    }
+  }
+  // Component form "base@site", e.g. "reese@rqueue". The '@' never appears
+  // in a standard label, so the two namespaces cannot collide.
+  const usize at = label.find('@');
+  if (at == std::string::npos) return false;
+  const std::string base_name = label.substr(0, at);
+  core::FaultSite site;
+  if (!fault_site_from_name(label.substr(at + 1), &site)) return false;
+  for (const CampaignVariant& base : component_base_variants()) {
+    if (base.label != base_name) continue;
+    *out = base;
+    out->label = label;
+    out->site = site;
+    return true;
+  }
+  return false;
+}
+
 u64 derive_cell_seed(u64 campaign_seed, usize variant_index,
                      usize workload_index, usize replica) {
   // Chain one SplitMix64 step per component: each index perturbs the state
@@ -219,6 +270,9 @@ void CampaignCell::merge(const CampaignCell& other) {
   duplicate_reports += other.duplicate_reports;
   committed += other.committed;
   cycles += other.cycles;
+  masked += other.masked;
+  sdc += other.sdc;
+  coverage_loss += other.coverage_loss;
 
   latency_sum += other.latency_sum;
   if (other.latency_count > 0) {
@@ -353,6 +407,8 @@ std::string CampaignResult::json() const {
                   json_escape(variant.label).c_str());
     out += format("      \"target\": \"%s\",\n",
                   faults::fault_target_name(variant.target));
+    out += format("      \"site\": \"%s\",\n",
+                  core::fault_site_name(variant.site));
     out += format("      \"expect_full_coverage\": %s,\n",
                   variant.expect_full_coverage ? "true" : "false");
     out += format("      \"expect_zero_coverage\": %s,\n",
@@ -365,6 +421,12 @@ std::string CampaignResult::json() const {
                   static_cast<unsigned long long>(total.undetected));
     out += format("      \"pending\": %llu,\n",
                   static_cast<unsigned long long>(total.pending));
+    out += format("      \"masked\": %llu,\n",
+                  static_cast<unsigned long long>(total.masked));
+    out += format("      \"sdc\": %llu,\n",
+                  static_cast<unsigned long long>(total.sdc));
+    out += format("      \"coverage_loss\": %llu,\n",
+                  static_cast<unsigned long long>(total.coverage_loss));
     out += format("      \"coverage\": %.6f,\n", total.coverage());
     out += format("      \"wilson_lower\": %.6f,\n", ci.lower);
     out += format("      \"wilson_upper\": %.6f,\n", ci.upper);
@@ -424,17 +486,22 @@ std::string CampaignResult::json() const {
 
 std::string CampaignResult::csv() const {
   std::string out =
-      "variant,injected,detected,undetected,pending,coverage,wilson_lower,"
-      "wilson_upper,mean_latency,p95_latency\n";
+      "variant,injected,detected,undetected,pending,masked,sdc,"
+      "coverage_loss,coverage,wilson_lower,wilson_upper,mean_latency,"
+      "p95_latency\n";
   for (usize v = 0; v < spec.variants.size(); ++v) {
     const CampaignCell total = variant_total(v);
     const WilsonInterval ci = wilson_interval(total.detected, total.resolved());
-    out += format("%s,%llu,%llu,%llu,%llu,%.6f,%.6f,%.6f,%.3f,%llu\n",
+    out += format("%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.6f,%.6f,%.6f,"
+                  "%.3f,%llu\n",
                   spec.variants[v].label.c_str(),
                   static_cast<unsigned long long>(total.injected),
                   static_cast<unsigned long long>(total.detected),
                   static_cast<unsigned long long>(total.undetected),
                   static_cast<unsigned long long>(total.pending),
+                  static_cast<unsigned long long>(total.masked),
+                  static_cast<unsigned long long>(total.sdc),
+                  static_cast<unsigned long long>(total.coverage_loss),
                   total.coverage(), ci.lower, ci.upper,
                   safe_ratio(total.latency_sum, total.latency_count),
                   static_cast<unsigned long long>(
@@ -445,6 +512,29 @@ std::string CampaignResult::csv() const {
 
 CampaignSpec resolve_campaign_defaults(const CampaignSpec& spec_in) {
   CampaignSpec spec = spec_in;
+  if (!spec.sites.empty()) {
+    // Component axis: cross (base × site). Labels become "base@site" —
+    // the form campaign_variant_by_label resolves, which is how these
+    // variants travel through the service/fleet wire.
+    const std::vector<CampaignVariant> bases =
+        spec.variants.empty() ? component_base_variants() : spec.variants;
+    spec.variants.clear();
+    for (const CampaignVariant& base : bases) {
+      for (core::FaultSite site : spec.sites) {
+        CampaignVariant variant = base;
+        variant.label =
+            base.label + "@" + core::fault_site_name(site);
+        variant.site = site;
+        // Coverage expectations are statements about the result-flip
+        // model; site outcomes are judged by the masked/detected/SDC
+        // lattice instead.
+        variant.expect_full_coverage = false;
+        variant.expect_zero_coverage = false;
+        spec.variants.push_back(std::move(variant));
+      }
+    }
+    spec.sites.clear();
+  }
   if (spec.variants.empty()) spec.variants = standard_campaign_variants();
   if (!spec.programs.empty()) {
     // Fixed program images replace the workload axis; their names label
@@ -591,6 +681,7 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
     fault_config.rate = spec.rate;
     fault_config.target = variant.target;
     fault_config.seed = cell_seed;
+    fault_config.site = variant.site;
     faults::Injector injector(fault_config);
 
     Simulator simulator(std::move(workload_image), variant.config);
@@ -612,10 +703,25 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
     // can over-count masking for at most the last few in-flight values.
     injector.finalize_windows();
 
-    cell.injected = injector.injected();
-    cell.detected = injector.detected();
-    cell.undetected = injector.undetected();
-    cell.pending = injector.pending();
+    if (injector.site_mode()) {
+      // Site mode: the strike/outcome counters are the whole story —
+      // no FaultRecords exist. undetected mirrors sdc so resolved()/
+      // coverage() keep their meaning (detected / all architecturally
+      // consequential outcomes would be a different metric; reports
+      // compute site-specific rates from masked/sdc directly).
+      cell.injected = injector.site_fired();
+      cell.detected = injector.site_detected();
+      cell.undetected = injector.site_sdc();
+      cell.masked = injector.site_masked();
+      cell.sdc = injector.site_sdc();
+      cell.coverage_loss = injector.checker_loss();
+      cell.pending = 0;
+    } else {
+      cell.injected = injector.injected();
+      cell.detected = injector.detected();
+      cell.undetected = injector.undetected();
+      cell.pending = injector.pending();
+    }
     cell.duplicate_reports = injector.duplicate_reports();
     cell.committed = sim_result.committed;
     cell.cycles = sim_result.cycles;
@@ -636,6 +742,16 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
       accumulate_stratum(&cell.by_class[class_index], record);
       accumulate_stratum(record.hit_p ? &cell.p_side : &cell.r_side, record);
 
+      // Legacy-model outcome lattice: an escape whose value was consumed
+      // (ACE) is an SDC; an unconsumed escape is masked.
+      if (record.resolved && !record.detected) {
+        if (record.window_closed && !record.ace) {
+          ++cell.masked;
+        } else {
+          ++cell.sdc;
+        }
+      }
+
       PcStratum& pc_stratum = cell.by_pc[record.pc];
       ++pc_stratum.injected;
       if (record.resolved) {
@@ -653,6 +769,18 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
       } else {
         ++pc_stratum.masked;
       }
+    }
+
+    // Site mode root-cause attribution: fold the injector's per-PC outcome
+    // tallies into the same by_pc stratum the srv-vuln cross-validation
+    // reads (detected ~ covered, undetected/ace ~ SDC, masked ~ masked).
+    for (const auto& [pc, tally] : injector.site_by_pc()) {
+      PcStratum& pc_stratum = cell.by_pc[pc];
+      pc_stratum.injected += tally.injected;
+      pc_stratum.detected += tally.detected;
+      pc_stratum.undetected += tally.sdc;
+      pc_stratum.ace += tally.sdc;
+      pc_stratum.masked += tally.masked;
     }
 
     if (!done_path.empty()) {

@@ -43,11 +43,30 @@ struct CampaignVariant {
   bool expect_full_coverage = false;
   /// Baseline (no comparator): every resolved fault must escape.
   bool expect_zero_coverage = false;
+  /// Component axis (DESIGN.md §16): kResult keeps the classic
+  /// result-flipping model; any other value runs the Injector in site mode
+  /// against that structure, and the cell's masked/sdc/coverage_loss
+  /// columns become meaningful.
+  core::FaultSite site = core::FaultSite::kResult;
 };
 
 /// The A5 bench's five standard rows: REESE with P-side, R-side and
 /// either-side flips, the baseline, and REESE with 1-of-2 re-execution.
 std::vector<CampaignVariant> standard_campaign_variants();
+
+/// The two base configurations component campaigns cross with the site
+/// axis: "reese" (full re-execution) and "baseline" (no checker).
+std::vector<CampaignVariant> component_base_variants();
+
+/// Parse a fault_site_name() string back to the enum. False on unknown.
+bool fault_site_from_name(std::string_view name, core::FaultSite* site);
+
+/// Resolve a variant label to a full CampaignVariant: either one of the
+/// five standard labels, or a component label of the form "base@site"
+/// (e.g. "reese@rqueue") with base from component_base_variants(). This is
+/// how site variants travel through the service/fleet wire — labels only,
+/// no new protocol field. False on unknown label.
+bool campaign_variant_by_label(const std::string& label, CampaignVariant* out);
 
 /// A fixed program image to campaign over in place of a named workload
 /// (e.g. an assembled examples/srv file for srv-vuln cross-validation).
@@ -58,6 +77,10 @@ struct CampaignProgram {
 
 struct CampaignSpec {
   std::vector<CampaignVariant> variants;  ///< empty = the standard five
+  /// Component axis shorthand: when non-empty, the variant list is replaced
+  /// by (base × site) for each site here, with labels "base@site". The
+  /// bases are `variants` if set, else component_base_variants().
+  std::vector<core::FaultSite> sites;
   std::vector<std::string> workloads;     ///< empty = the six spec-like names
   /// When non-empty, these images replace the workload axis entirely:
   /// cell (v, w, r) runs programs[w], spec.workloads is overwritten with
@@ -143,6 +166,16 @@ struct CampaignCell {
   u64 duplicate_reports = 0;  ///< must stay 0; see Injector
   u64 committed = 0;
   Cycle cycles = 0;
+
+  // Outcome lattice (DESIGN.md §16). In site mode masked + detected + sdc
+  // == injected and undetected == sdc; in the legacy result-flip model the
+  // pair is derived from escapes via the ACE measurement (an escape whose
+  // value was never consumed is masked, a consumed one is SDC).
+  u64 masked = 0;
+  u64 sdc = 0;
+  /// Site mode only: R-queue control-state strikes that silently disabled
+  /// a pending re-execution (REESE coverage loss; the §16 headline).
+  u64 coverage_loss = 0;
 
   // Detection-latency distribution, mergeable across cells: the Injector's
   // Histogram{4,64} finite buckets plus its clamped overflow bucket.

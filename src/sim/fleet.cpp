@@ -373,20 +373,15 @@ bool run_fleet_campaign(const FleetConfig& config, const CampaignSpec& spec,
   if (!resolved.programs.empty()) {
     return fail("fleet mode cannot ship fixed program images to workers");
   }
-  // The wire spec names variants by label; anything outside the standard
-  // set would silently resolve differently on the worker.
-  const std::vector<CampaignVariant> standard = standard_campaign_variants();
+  // The wire spec names variants by label; anything the worker cannot
+  // reconstruct from the label alone (standard five or component
+  // "base@site") would silently resolve differently over there.
   for (const CampaignVariant& variant : resolved.variants) {
-    bool known = false;
-    for (const CampaignVariant& candidate : standard) {
-      if (candidate.label == variant.label) {
-        known = true;
-        break;
-      }
-    }
-    if (!known) {
-      return fail("fleet mode supports standard campaign variants only, "
-                  "got \"" + variant.label + "\"");
+    CampaignVariant reconstructed;
+    if (!campaign_variant_by_label(variant.label, &reconstructed)) {
+      return fail("fleet mode supports label-resolvable campaign variants "
+                  "only (standard or \"base@site\"), got \"" +
+                  variant.label + "\"");
     }
   }
 

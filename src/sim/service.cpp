@@ -348,18 +348,14 @@ http::Response SimulationService::submit(const http::Request& request,
       return error_response(400, error);
     }
     if (!variant_labels.empty()) {
+      // Labels resolve to either the standard five or a component
+      // "base@site" variant — the wire carries labels only.
       for (const std::string& label : variant_labels) {
-        bool found = false;
-        for (CampaignVariant& variant : standard_campaign_variants()) {
-          if (variant.label == label) {
-            spec.variants.push_back(std::move(variant));
-            found = true;
-            break;
-          }
-        }
-        if (!found) {
+        CampaignVariant variant;
+        if (!campaign_variant_by_label(label, &variant)) {
           return error_response(400, "unknown variant \"" + label + "\"");
         }
+        spec.variants.push_back(std::move(variant));
       }
     }
     const usize variant_count =

@@ -308,6 +308,33 @@ TEST(Fleet, MergedResultIsByteIdenticalForTwoAndThreeWorkers) {
   }
 }
 
+TEST(Fleet, ComponentCampaignMergesByteIdenticallyAcrossTwoWorkers) {
+  // Component variants travel the wire as "base@site" labels; a sharded
+  // run must land on the same bytes as a single node, including the
+  // masked/sdc/coverage_loss columns only site mode populates.
+  CampaignSpec spec = small_spec();
+  spec.variants.clear();
+  spec.sites = {core::FaultSite::kRQueue, core::FaultSite::kDCache};
+  const CampaignResult single = sim::run_campaign(spec);
+
+  std::vector<std::unique_ptr<WorkerDaemon>> daemons;
+  std::vector<WorkerDaemon*> ptrs;
+  for (usize i = 0; i < 2; ++i) {
+    daemons.push_back(std::make_unique<WorkerDaemon>());
+    ptrs.push_back(daemons.back().get());
+  }
+  CampaignResult result;
+  std::string error;
+  ASSERT_TRUE(sim::fleet::run_fleet_campaign(fleet_config(ptrs), spec,
+                                             &result, &error))
+      << error;
+  EXPECT_EQ(result.json(), single.json());
+  EXPECT_EQ(result.csv(), single.csv());
+  const sim::CampaignCell rqueue = result.variant_total(0);
+  EXPECT_GT(rqueue.injected, 0u);
+  EXPECT_EQ(rqueue.masked + rqueue.detected + rqueue.sdc, rqueue.injected);
+}
+
 TEST(Fleet, ShardCompletionsReachTheProgressCallback) {
   WorkerDaemon worker;
   CampaignSpec spec = small_spec();

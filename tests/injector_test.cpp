@@ -432,5 +432,128 @@ TEST(Campaign, QuickModeUsesOneReplicaAndReducedBudget) {
   }
 }
 
+// --- component-targeted fault sites (DESIGN.md §16) ---------------------------
+
+sim::CampaignSpec site_campaign(std::vector<core::FaultSite> sites) {
+  sim::CampaignSpec spec = tiny_campaign();
+  spec.sites = std::move(sites);
+  return spec;
+}
+
+TEST(Campaign, SiteAxisExpandsToLabelResolvableVariants) {
+  const sim::CampaignSpec resolved = sim::resolve_campaign_defaults(
+      site_campaign({core::FaultSite::kRuu, core::FaultSite::kRQueue}));
+  // (reese, baseline) x (ruu, rqueue), labels "base@site".
+  ASSERT_EQ(resolved.variants.size(), 4u);
+  EXPECT_EQ(resolved.variants[0].label, "reese@ruu");
+  EXPECT_EQ(resolved.variants[1].label, "reese@rqueue");
+  EXPECT_EQ(resolved.variants[2].label, "baseline@ruu");
+  EXPECT_TRUE(resolved.sites.empty());
+  for (const sim::CampaignVariant& variant : resolved.variants) {
+    // The wire ships labels only: every expanded variant must reconstruct
+    // from its label alone, identically.
+    sim::CampaignVariant reconstructed;
+    ASSERT_TRUE(sim::campaign_variant_by_label(variant.label, &reconstructed))
+        << variant.label;
+    EXPECT_EQ(reconstructed.site, variant.site);
+    EXPECT_EQ(reconstructed.label, variant.label);
+  }
+  sim::CampaignVariant unused;
+  EXPECT_FALSE(sim::campaign_variant_by_label("reese@nosuchsite", &unused));
+  EXPECT_FALSE(sim::campaign_variant_by_label("nosuchbase@ruu", &unused));
+  EXPECT_FALSE(sim::campaign_variant_by_label("franklin", &unused));
+}
+
+TEST(Campaign, SiteMatrixIsBitIdenticalAcrossJobCounts) {
+  sim::CampaignSpec spec = site_campaign({core::FaultSite::kRuu,
+                                          core::FaultSite::kRQueue,
+                                          core::FaultSite::kDCache});
+  spec.jobs = 1;
+  const sim::CampaignResult sequential = sim::run_campaign(spec);
+  spec.jobs = 2;
+  const sim::CampaignResult two_jobs = sim::run_campaign(spec);
+  spec.jobs = 0;  // auto: hardware concurrency (or $REESE_JOBS)
+  const sim::CampaignResult hardware = sim::run_campaign(spec);
+
+  EXPECT_GT(sequential.total_injections(), 0u);
+  EXPECT_TRUE(sequential.matrix == two_jobs.matrix);
+  EXPECT_TRUE(sequential.matrix == hardware.matrix);
+}
+
+TEST(Campaign, EverySiteStrikeResolvesToExactlyOneOutcome) {
+  // The conservation law behind the outcome lattice: masked + detected +
+  // sdc == injected for every site, with nothing pending and nothing lost.
+  // "go" is branch-heavy, so RUU strikes regularly land on entries that a
+  // mispredict later squashes — those must come back as masked, not vanish.
+  sim::CampaignSpec spec = site_campaign(
+      {core::FaultSite::kRuu, core::FaultSite::kRQueue, core::FaultSite::kLsq,
+       core::FaultSite::kPredictor, core::FaultSite::kBtb,
+       core::FaultSite::kDCache, core::FaultSite::kDTlb});
+  spec.workloads = {"go"};
+  const sim::CampaignResult result = sim::run_campaign(spec);
+  for (usize v = 0; v < result.spec.variants.size(); ++v) {
+    const sim::CampaignVariant& variant = result.spec.variants[v];
+    const sim::CampaignCell total = result.variant_total(v);
+    EXPECT_GT(total.injected, 0u) << variant.label;
+    EXPECT_EQ(total.masked + total.detected + total.sdc, total.injected)
+        << variant.label;
+    EXPECT_EQ(total.pending, 0u) << variant.label;
+    EXPECT_EQ(total.undetected, total.sdc) << variant.label;
+    if (variant.site == core::FaultSite::kRuu) {
+      EXPECT_GT(total.masked, 0u) << variant.label;
+    }
+  }
+}
+
+TEST(Campaign, RQueueSelfFaultsLowerDetectionThanResultFlips) {
+  // The §16 headline: strikes into the checker's own queue must show
+  // measurably worse detection than the classic result-flip model, and
+  // some of them must silently kill pending re-executions.
+  sim::CampaignSpec spec = tiny_campaign();
+  sim::CampaignVariant reference;
+  sim::CampaignVariant rqueue;
+  ASSERT_TRUE(sim::campaign_variant_by_label("reese@result", &reference));
+  ASSERT_TRUE(sim::campaign_variant_by_label("reese@rqueue", &rqueue));
+  spec.variants = {reference, rqueue};
+  const sim::CampaignResult result = sim::run_campaign(spec);
+
+  const sim::CampaignCell ref_total = result.variant_total(0);
+  const sim::CampaignCell rq_total = result.variant_total(1);
+  ASSERT_GT(ref_total.injected, 0u);
+  ASSERT_GT(rq_total.injected, 0u);
+  const double ref_detection =
+      safe_ratio(ref_total.detected, ref_total.injected);
+  const double rq_detection = safe_ratio(rq_total.detected, rq_total.injected);
+  EXPECT_LT(rq_detection, ref_detection - 0.10);
+  EXPECT_GT(rq_total.coverage_loss, 0u);
+  EXPECT_EQ(ref_total.coverage_loss, 0u);
+}
+
+TEST(Campaign, PredictorAndBtbSitesAreArchitecturallyMasked) {
+  const sim::CampaignResult result = sim::run_campaign(
+      site_campaign({core::FaultSite::kPredictor, core::FaultSite::kBtb}));
+  for (usize v = 0; v < result.spec.variants.size(); ++v) {
+    const sim::CampaignCell total = result.variant_total(v);
+    EXPECT_GT(total.injected, 0u) << result.spec.variants[v].label;
+    EXPECT_EQ(total.detected, 0u) << result.spec.variants[v].label;
+    EXPECT_EQ(total.sdc, 0u) << result.spec.variants[v].label;
+    EXPECT_EQ(total.masked, total.injected) << result.spec.variants[v].label;
+  }
+}
+
+TEST(Campaign, ComponentReportSerializesToValidJson) {
+  const sim::CampaignResult result =
+      sim::run_campaign(site_campaign({core::FaultSite::kRQueue}));
+  const std::string json = result.json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"label\": \"reese@rqueue\""), std::string::npos);
+  EXPECT_NE(json.find("\"site\": \"rqueue\""), std::string::npos);
+  EXPECT_NE(json.find("\"masked\""), std::string::npos);
+  EXPECT_NE(json.find("\"sdc\""), std::string::npos);
+  EXPECT_NE(json.find("\"coverage_loss\""), std::string::npos);
+  const std::string csv = result.csv();
+  EXPECT_NE(csv.find("masked,sdc,coverage_loss"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace reese

@@ -17,6 +17,10 @@ Auto-detects the report kind:
     static srv-vuln ranking and measured per-PC fault outcomes. Exits 1
     when any program's rho_window drops by more than --rho-threshold
     (default 0.15, absolute), or a previously-passing program now fails.
+  * BENCH_cavf.json (bench/component_avf, schema reese-cavf-v1):
+    per-component detection/AVF with Wilson bounds. Exits 1 when any
+    site's detection rate drops by more than --threshold percentage
+    points, or a site that had zero SDC gains some.
   * BENCH_overnight.json (bench/overnight_bench, schema
     reese-overnight-v1): per-figure average IPC at paper scale. Exits 1
     when any figure/model average drops by more than --threshold percent.
@@ -82,6 +86,8 @@ def report_kind(report):
         return "fault"
     if report.get("schema") == "reese-avf-v1":
         return "avf"
+    if report.get("schema") == "reese-cavf-v1":
+        return "cavf"
     if report.get("schema") == "reese-overnight-v1":
         return "overnight"
     if "aggregate_kips" in report or "workloads" in report:
@@ -384,6 +390,61 @@ def diff_avf(before, after, rho_threshold, md):
     return 1 if regressions else 0
 
 
+def diff_cavf(before, after, threshold, md):
+    before_sites = {s["label"]: s for s in before.get("sites", [])}
+    after_sites = {s["label"]: s for s in after.get("sites", [])}
+
+    for key in ("instructions", "replicas", "rate", "seed"):
+        if before.get(key) != after.get(key):
+            print(f"bench_diff: warning: campaign {key} differs "
+                  f"({before.get(key)} vs {after.get(key)}); rates are "
+                  f"still comparable but strike streams are not",
+                  file=sys.stderr)
+
+    md.add("### Per-component AVF (component_avf)")
+    md.add()
+    md.add("| site | det before | det after | change | sdc | cov loss |")
+    md.add("|---|---:|---:|---:|---:|---:|")
+    print(f"{'site':<20}{'det before':>12}{'det after':>12}{'change':>9}"
+          f"{'sdc':>7}{'cov loss':>10}")
+    regressions = []
+    for name in sorted(set(before_sites) | set(after_sites)):
+        b = before_sites.get(name)
+        a = after_sites.get(name)
+        if b is None or a is None:
+            side = "before" if b is None else "after"
+            print(f"{name:<20}{'(missing in ' + side + ')':>33}")
+            md.add(f"| {name} | (missing in {side}) | | | | |")
+            continue
+        b_det = 100.0 * b.get("detection", 0.0)
+        a_det = 100.0 * a.get("detection", 0.0)
+        delta = a_det - b_det
+        print(f"{name:<20}{b_det:>11.3f}%{a_det:>11.3f}%{delta:>+8.3f}%"
+              f"{a.get('sdc', 0):>7}{a.get('coverage_loss', 0):>10}")
+        flag = ""
+        if delta < -threshold:
+            regressions.append((name, f"detection {delta:+.3f}pp "
+                                      f"(threshold -{threshold}pp)"))
+            flag = " :warning:"
+        if b.get("sdc", 0) == 0 and a.get("sdc", 0) > 0:
+            regressions.append((name, f"{a['sdc']} new SDC outcomes in a "
+                                      f"previously SDC-free site"))
+            flag = " :warning:"
+        md.add(f"| {name} | {b_det:.3f}% | {a_det:.3f}% | {delta:+.3f}%{flag} "
+               f"| {a.get('sdc', 0)} | {a.get('coverage_loss', 0)} |")
+
+    for name, why in regressions:
+        print(f"bench_diff: REGRESSION {name}: {why}", file=sys.stderr)
+    md.add()
+    if regressions:
+        md.add(f"**{len(regressions)} regression(s)**: "
+               + "; ".join(f"{name} — {why}" for name, why in regressions))
+    else:
+        md.add(f"No detection regressions beyond the -{threshold}pp "
+               f"threshold.")
+    return 1 if regressions else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("before")
@@ -438,6 +499,8 @@ def main():
         status = diff_fault(before, after, args.threshold, md)
     elif kinds[0] == "avf":
         status = diff_avf(before, after, args.rho_threshold, md)
+    elif kinds[0] == "cavf":
+        status = diff_cavf(before, after, args.threshold, md)
     elif kinds[0] == "overnight":
         status = diff_overnight(before, after, args.threshold, md)
     else:

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """doc_check: keep the docs honest about the CLI surface.
 
-Two checks, both gating in CI (.github/workflows/ci.yml "docs" job):
+Three checks, all gating in CI (.github/workflows/ci.yml "docs" job):
 
 1. Flag coverage — every `--flag` string literal that a binary under
    bench/ or tools/ actually parses must be mentioned in README.md or
    EXPERIMENTS.md. Removing a flag's documentation (or documenting a flag
    that was renamed in code only) fails the build.
 
-2. Link integrity — every intra-repo markdown link in the top-level *.md
+2. Schema coverage — every report schema literal ("reese-*-vN") a bench
+   emits must be mentioned in README.md or EXPERIMENTS.md, so a new or
+   renamed report format cannot ship undocumented.
+
+3. Link integrity — every intra-repo markdown link in the top-level *.md
    files and docs referenced from them must point at a file that exists.
 
 Usage: python3 tools/doc_check.py [repo_root]
@@ -23,6 +27,10 @@ import sys
 # A flag "counts" when the source compares or documents it as an argument:
 # string literals like "--jobs" / "--jobs=..." in bench/*.cpp, tools/*.cpp.
 FLAG_LITERAL = re.compile(r'"(--[a-z][a-z0-9-]*)=?"')
+
+# A report schema "counts" when a bench emits it as a JSON string literal,
+# e.g. \"schema\": \"reese-cavf-v1\" in bench/*.cpp.
+SCHEMA_LITERAL = re.compile(r'\\"(reese-[a-z0-9-]+-v\d+)\\"')
 
 # [text](target) markdown links; images share the syntax via a leading '!'.
 MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -49,6 +57,23 @@ def collect_flags(repo_root):
     return {flag: sorted(sources) for flag, sources in flags.items()}
 
 
+def collect_schemas(repo_root):
+    """Map report schema -> sorted list of bench sources that emit it."""
+    schemas = {}
+    directory = os.path.join(repo_root, "bench")
+    if not os.path.isdir(directory):
+        return schemas
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".cpp"):
+            continue
+        path = os.path.join(directory, name)
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for schema in SCHEMA_LITERAL.findall(text):
+            schemas.setdefault(schema, set()).add(os.path.join("bench", name))
+    return {schema: sorted(sources) for schema, sources in schemas.items()}
+
+
 def check_flag_coverage(repo_root):
     doc_paths = [os.path.join(repo_root, name)
                  for name in ("README.md", "EXPERIMENTS.md")]
@@ -62,6 +87,11 @@ def check_flag_coverage(repo_root):
         if flag not in documented:
             errors.append(
                 f"flag {flag} (parsed by {', '.join(sources)}) is not "
+                f"documented in README.md or EXPERIMENTS.md")
+    for schema, sources in sorted(collect_schemas(repo_root).items()):
+        if schema not in documented:
+            errors.append(
+                f"schema {schema} (emitted by {', '.join(sources)}) is not "
                 f"documented in README.md or EXPERIMENTS.md")
     return errors
 
