@@ -716,6 +716,30 @@ CampaignResult run_campaign(const CampaignSpec& spec_in) {
       cell.sdc = injector.site_sdc();
       cell.coverage_loss = injector.checker_loss();
       cell.pending = 0;
+      if (spec.metrics != nullptr) {
+        // Per-site strike/outcome breakdown on /v1/metrics (DESIGN.md §17):
+        // the same counts srv-vuln cross-validates, scrapeable live.
+        const std::string site = core::fault_site_name(variant.site);
+        const auto strikes = [&](const char* outcome, u64 count) {
+          if (count == 0) return;
+          if (metrics::Counter* counter = spec.metrics->counter(
+                  "reese_injector_strikes_total",
+                  {{"site", site}, {"outcome", outcome}},
+                  "Site-mode fault strikes by injection site and outcome")) {
+            counter->inc(count);
+          }
+        };
+        strikes("detected", cell.detected);
+        strikes("masked", cell.masked);
+        strikes("sdc", cell.sdc);
+        if (cell.coverage_loss != 0) {
+          if (metrics::Counter* counter = spec.metrics->counter(
+                  "reese_injector_coverage_loss_total", {{"site", site}},
+                  "Strikes landing while the REESE checker was disabled")) {
+            counter->inc(cell.coverage_loss);
+          }
+        }
+      }
     } else {
       cell.injected = injector.injected();
       cell.detected = injector.detected();
@@ -826,6 +850,7 @@ std::vector<CampaignSpec> split_campaign_spec(const CampaignSpec& resolved,
     shard.cancel = nullptr;
     shard.progress = nullptr;
     shard.metrics = nullptr;
+    shard.shard_progress = nullptr;
     out.push_back(std::move(shard));
     begin += count;
   }

@@ -192,9 +192,19 @@ const char* job_state_name(JobState state) {
 
 SimulationService::SimulationService(const ServiceConfig& config)
     : config_(config),
-      queue_(std::max(1u, config.workers), config.queue_capacity) {}
+      logger_(config.logger != nullptr ? config.logger : &log::global()),
+      queue_(std::max(1u, config.workers), config.queue_capacity) {
+  // Event volume becomes scrapeable (reese_fleet_events_total on
+  // /v1/metrics). Detached in the destructor before registry_ dies.
+  logger_->set_registry(&registry_);
+}
 
-SimulationService::~SimulationService() = default;
+SimulationService::~SimulationService() {
+  // Detach before registry_ dies; still-running jobs (joined by queue_'s
+  // destructor, which runs after this body) then log without a counter
+  // rather than into a dead registry.
+  if (logger_->registry() == &registry_) logger_->set_registry(nullptr);
+}
 
 void SimulationService::drain() { queue_.drain(); }
 
@@ -240,6 +250,10 @@ http::Response SimulationService::handle(const http::Request& request) {
     if (request.method != "GET") return error_response(405, "use GET");
     return metrics_response();
   }
+  if (path == "/v1/fleet/metrics") {
+    if (request.method != "GET") return error_response(405, "use GET");
+    return fleet_metrics_response();
+  }
   if (path == "/v1/experiments" || path == "/v1/campaigns") {
     if (request.method != "POST") return error_response(405, "use POST");
     return submit(request, path == "/v1/campaigns");
@@ -271,6 +285,9 @@ std::string SimulationService::job_status_json(const Job& job) {
                 job.is_campaign ? "campaign" : "experiment");
   out += format("  \"state\": \"%s\",\n", job_state_name(job.state));
   out += format("  \"timeout_s\": %g,\n", job.timeout_s);
+  if (job.trace.valid()) {
+    out += format("  \"trace\": \"%s\",\n", job.trace.header_value().c_str());
+  }
   if (job.state == JobState::kFailed) {
     out += format("  \"error\": \"%s\",\n", json_escape(job.error).c_str());
   }
@@ -442,6 +459,10 @@ http::Response SimulationService::submit(const http::Request& request,
   }
 
   job.tenant = request_token(request);
+  // A coordinator dispatching this job tags it with its campaign trace and
+  // the shard attempt's span (X-Reese-Trace); the pair rides along on
+  // status/progress JSON and every lifecycle log event.
+  job.trace = http::trace_context_of(request);
 
   u64 id = 0;
   {
@@ -514,6 +535,20 @@ http::Response SimulationService::submit(const http::Request& request,
                                  queue_.capacity()));
   }
 
+  {
+    std::vector<log::Field> fields = {
+        log::field("id", id),
+        log::field("kind", is_campaign ? "campaign" : "experiment")};
+    const http::TraceContext trace = http::trace_context_of(request);
+    if (trace.valid()) {
+      fields.push_back(log::field("trace", trace.header_value()));
+    }
+    logger_->info("job_submitted",
+                  format("job %llu accepted",
+                         static_cast<unsigned long long>(id)),
+                  fields);
+  }
+
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = jobs_.find(id);
   // The job may already have started (or even finished) on a worker.
@@ -548,21 +583,54 @@ http::Response SimulationService::job_progress(u64 id) {
   }
   // Committed count: the live max-merged progress number until the final
   // tally lands (the final tally includes cells the callback never saw,
-  // e.g. when the run was cancelled mid-cell).
-  const u64 committed =
-      std::max(job.progress_committed, job.committed);
+  // e.g. when the run was cancelled mid-cell). Coordinator jobs add the
+  // per-shard rollup — each entry is itself max-merged, so the sums are
+  // monotonic even across re-dispatch.
+  u64 shard_cells_done = 0;
+  u64 shard_cells_total = 0;
+  u64 shard_committed = 0;
+  for (const ShardProgressUpdate& shard : job.shards) {
+    shard_cells_done += shard.cells_done;
+    shard_cells_total += shard.cells_total;
+    shard_committed += shard.committed;
+  }
+  const u64 cells_done = std::max(job.cells_done, shard_cells_done);
+  const u64 cells_total = std::max(job.cells_total, shard_cells_total);
+  const u64 committed = std::max(
+      std::max(job.progress_committed, job.committed), shard_committed);
   const double kips =
       elapsed_s > 0.0 ? committed / elapsed_s / 1000.0 : 0.0;
 
   std::string out = "{\n";
   out += format("  \"id\": %llu,\n", static_cast<unsigned long long>(job.id));
   out += format("  \"state\": \"%s\",\n", job_state_name(job.state));
+  if (job.trace.valid()) {
+    out += format("  \"trace\": \"%s\",\n", job.trace.header_value().c_str());
+  }
   out += format("  \"cells_done\": %llu,\n",
-                static_cast<unsigned long long>(job.cells_done));
+                static_cast<unsigned long long>(cells_done));
   out += format("  \"cells_total\": %llu,\n",
-                static_cast<unsigned long long>(job.cells_total));
+                static_cast<unsigned long long>(cells_total));
   out += format("  \"committed\": %llu,\n",
                 static_cast<unsigned long long>(committed));
+  if (!job.shards.empty()) {
+    out += "  \"shards\": [\n";
+    for (usize s = 0; s < job.shards.size(); ++s) {
+      const ShardProgressUpdate& shard = job.shards[s];
+      out += format(
+          "    {\"shard\": %zu, \"replica_begin\": %u, \"replicas\": %u, "
+          "\"state\": \"%s\", \"worker\": \"%s\", \"cells_done\": %llu, "
+          "\"cells_total\": %llu, \"committed\": %llu, \"kips\": %.3f, "
+          "\"dispatches\": %u}%s\n",
+          s, shard.replica_begin, shard.replicas, shard.state,
+          json_escape(shard.worker).c_str(),
+          static_cast<unsigned long long>(shard.cells_done),
+          static_cast<unsigned long long>(shard.cells_total),
+          static_cast<unsigned long long>(shard.committed), shard.kips,
+          shard.dispatches, s + 1 < job.shards.size() ? "," : "");
+    }
+    out += "  ],\n";
+  }
   out += format("  \"elapsed_s\": %.6f,\n", elapsed_s);
   out += format("  \"kips\": %.3f\n", kips);
   out += "}\n";
@@ -709,9 +777,27 @@ http::Response SimulationService::metrics_response() {
                         registry_.prometheus()};
 }
 
+http::Response SimulationService::fleet_metrics_response() {
+  // Federation (DESIGN.md §17): a fresh registry per scrape, filled by the
+  // coordinator's collector — merged worker series never pollute this
+  // daemon's own registry_, and a worker joining/leaving between scrapes
+  // is reflected immediately.
+  if (!config_.fleet_collector) {
+    return error_response(404, "not a fleet coordinator");
+  }
+  metrics::Registry federated;
+  std::string error;
+  if (!config_.fleet_collector(&federated, &error)) {
+    return error_response(502, "federation scrape failed: " + error);
+  }
+  return http::Response{200, "text/plain; version=0.0.4",
+                        federated.prometheus()};
+}
+
 void SimulationService::run_job(u64 id) {
   bool is_campaign = false;
   double timeout_s = 0.0;
+  http::TraceContext trace;
   ExperimentSpec experiment_spec;
   CampaignSpec campaign_spec;
   {
@@ -723,12 +809,27 @@ void SimulationService::run_job(u64 id) {
     job.started_at = std::chrono::steady_clock::now();
     is_campaign = job.is_campaign;
     timeout_s = job.timeout_s;
+    trace = job.trace;
     if (is_campaign) {
       campaign_spec = *job.campaign_spec;
     } else {
       experiment_spec = *job.experiment_spec;
     }
   }
+
+  const auto lifecycle_fields = [&](std::vector<log::Field> extra = {}) {
+    std::vector<log::Field> fields = {
+        log::field("id", id),
+        log::field("kind", is_campaign ? "campaign" : "experiment")};
+    if (trace.valid()) {
+      fields.push_back(log::field("trace", trace.header_value()));
+    }
+    for (log::Field& field : extra) fields.push_back(std::move(field));
+    return fields;
+  };
+  logger_->info("job_started",
+                format("job %llu running", static_cast<unsigned long long>(id)),
+                lifecycle_fields());
 
   // Per-cell progress lands in the job table (max-merged: worker threads
   // may report out of order) so /v1/jobs/<id>/progress sees a monotonic
@@ -762,6 +863,31 @@ void SimulationService::run_job(u64 id) {
     campaign_spec.cancel = expired;
     campaign_spec.progress = progress;
     campaign_spec.metrics = &registry_;
+    // Per-shard rollup (fleet coordinator only; run_campaign ignores the
+    // hook and split_campaign_spec strips it from wire shards). Max-merge
+    // keeps each shard's numbers monotonic across re-dispatch: a fresh
+    // attempt restarting at zero cells must not drag the rollup backwards.
+    campaign_spec.shard_progress =
+        [this, id](const ShardProgressUpdate& update) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          const auto it = jobs_.find(id);
+          if (it == jobs_.end()) return;
+          Job& job = it->second;
+          if (job.shards.size() <= update.shard_index) {
+            job.shards.resize(update.shard_index + 1);
+          }
+          ShardProgressUpdate& entry = job.shards[update.shard_index];
+          entry.shard_index = update.shard_index;
+          entry.replica_begin = update.replica_begin;
+          entry.replicas = update.replicas;
+          if (update.cells_total != 0) entry.cells_total = update.cells_total;
+          entry.cells_done = std::max(entry.cells_done, update.cells_done);
+          entry.committed = std::max(entry.committed, update.committed);
+          entry.dispatches = std::max(entry.dispatches, update.dispatches);
+          entry.state = update.state;
+          if (!update.worker.empty()) entry.worker = update.worker;
+          if (update.kips > 0.0) entry.kips = update.kips;
+        };
     if (config_.campaign_runner) {
       // Coordinator mode: the fleet dispatcher executes the campaign on
       // worker daemons (sim/fleet.h) under the same cancel/progress hooks.
@@ -803,27 +929,43 @@ void SimulationService::run_job(u64 id) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return;
-  Job& job = it->second;
-  job.wall_seconds = wall_seconds;
-  job.committed = committed;
-  if (runner_failed) {
-    job.state = JobState::kFailed;
-    job.error = runner_error;
-    ++failed_;
-  } else if (cancelled) {
-    job.state = JobState::kTimeout;
-    ++timeouts_;
-  } else {
-    job.state = JobState::kDone;
-    job.experiment_result = std::move(experiment_result);
-    job.campaign_result = std::move(campaign_result);
-    ++completed_;
-    total_committed_ += committed;
-    total_wall_seconds_ += wall_seconds;
+  JobState final_state = JobState::kDone;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    Job& job = it->second;
+    job.wall_seconds = wall_seconds;
+    job.committed = committed;
+    if (runner_failed) {
+      job.state = JobState::kFailed;
+      job.error = runner_error;
+      ++failed_;
+    } else if (cancelled) {
+      job.state = JobState::kTimeout;
+      ++timeouts_;
+    } else {
+      job.state = JobState::kDone;
+      job.experiment_result = std::move(experiment_result);
+      job.campaign_result = std::move(campaign_result);
+      ++completed_;
+      total_committed_ += committed;
+      total_wall_seconds_ += wall_seconds;
+    }
+    final_state = job.state;
   }
+
+  std::vector<log::Field> extra = {
+      log::field("state", job_state_name(final_state)),
+      log::field("wall_seconds", wall_seconds),
+      log::field("committed", committed)};
+  if (runner_failed) extra.push_back(log::field("error", runner_error));
+  logger_->log(runner_failed ? log::Level::kWarn : log::Level::kInfo,
+               "job_finished",
+               format("job %llu finished in state %s",
+                      static_cast<unsigned long long>(id),
+                      job_state_name(final_state)),
+               lifecycle_fields(std::move(extra)));
 }
 
 }  // namespace reese::sim

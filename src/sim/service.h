@@ -43,10 +43,12 @@
 #include <vector>
 
 #include "common/http.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "sim/campaign.h"
 #include "sim/experiment.h"
+#include "sim/progress.h"
 
 namespace reese::sim {
 
@@ -81,10 +83,20 @@ struct ServiceConfig {
   usize max_retained_jobs = 256;
   /// Campaign executor override: the fleet coordinator (sim/fleet.h) plugs
   /// in here so campaign jobs dispatch to workers instead of running
-  /// locally. Must honor the spec's cancel/progress hooks; returns false
-  /// with a diagnostic to fail the job. Experiments always run locally.
+  /// locally. Must honor the spec's cancel/progress/shard_progress hooks;
+  /// returns false with a diagnostic to fail the job. Experiments always
+  /// run locally.
   std::function<bool(const CampaignSpec&, CampaignResult*, std::string*)>
       campaign_runner;
+  /// Metrics federation source behind GET /v1/fleet/metrics (DESIGN.md
+  /// §17): fills a fresh registry with every worker's merged series. The
+  /// coordinator plugs collect_fleet_metrics in here; without it the
+  /// endpoint answers 404. Returns false with a diagnostic → 502.
+  std::function<bool(metrics::Registry*, std::string*)> fleet_collector;
+  /// Structured event log for job lifecycle events; nullptr =
+  /// log::global(). The service attaches its metrics registry to the
+  /// logger for the reese_fleet_events_total counter.
+  log::Logger* logger = nullptr;
 };
 
 enum class JobState { kQueued, kRunning, kDone, kTimeout, kFailed };
@@ -156,6 +168,14 @@ class SimulationService {
     u64 cells_done = 0;
     u64 cells_total = 0;
     u64 progress_committed = 0;
+    /// Trace context inherited from the X-Reese-Trace request header
+    /// (invalid when absent); echoed on status/progress JSON and log
+    /// events.
+    http::TraceContext trace;
+    /// Per-shard rollup for coordinator jobs, max-merged from the fleet's
+    /// ShardProgressFn so cells_done/committed/dispatches stay monotonic
+    /// across re-dispatch. Empty for locally-run jobs.
+    std::vector<ShardProgressUpdate> shards;
     // Exactly one of these is engaged, matching is_campaign.
     std::optional<ExperimentSpec> experiment_spec;
     std::optional<CampaignSpec> campaign_spec;
@@ -171,10 +191,12 @@ class SimulationService {
   http::Response job_result(u64 id, const http::Request& request);
   http::Response stats_response();
   http::Response metrics_response();
+  http::Response fleet_metrics_response();
   void run_job(u64 id);
   std::string job_status_json(const Job& job);
 
   const ServiceConfig config_;
+  log::Logger* logger_;  ///< never null (config.logger or log::global())
   mutable std::mutex mutex_;
   std::map<u64, Job> jobs_;
   u64 next_id_ = 1;

@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
 # Fleet smoke: prove the coordinator contract end to end with real
-# processes (DESIGN.md §15). A campaign fanned across two worker reesed
-# daemons — one of which is SIGKILLed mid-run — must complete and render
-# json + csv byte-identical to a single-node run of the same spec.
+# processes (DESIGN.md §15, §17). A campaign fanned across two worker
+# reesed daemons — one of which is SIGKILLed mid-run — must:
+#   * complete and render json + csv byte-identical to a single-node run;
+#   * narrate the death as a structured log event ("kind": "worker_dead")
+#     in the coordinator's --log-file;
+#   * emit a fleet timeline (--fleet-trace-out) that passes
+#     tools/trace_check.py;
+#   * keep the per-shard progress rollup monotonic while shards re-dispatch;
+#   * answer /v1/fleet/metrics with a deterministic federated export.
 #
 # Usage: tools/fleet_smoke.sh [BUILD_DIR]   (default: build)
 #
 # Exits non-zero on any divergence. CI runs this as the gating
-# `fleet-smoke` job; it also works locally after a normal build.
+# `fleet-smoke` job and uploads BUILD_DIR/fleet-smoke-artifacts (logs,
+# trace, metrics, progress samples); it also works locally after a normal
+# build.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -18,10 +26,16 @@ for bin in "$REESED" "$CLIENT"; do
 done
 
 WORK=$(mktemp -d)
+ARTIFACTS="$BUILD_DIR/fleet-smoke-artifacts"
 PIDS=()
 cleanup() {
   for pid in ${PIDS[@]+"${PIDS[@]}"}; do kill "$pid" 2>/dev/null || true; done
   wait 2>/dev/null || true
+  # Keep the observability artifacts (CI uploads them) even on failure.
+  mkdir -p "$ARTIFACTS"
+  cp "$WORK"/*.log "$WORK"/*.err "$WORK"/fleet_trace.json \
+     "$WORK"/fleet_metrics*.txt "$WORK"/progress_samples.jsonl \
+     "$ARTIFACTS"/ 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -30,7 +44,8 @@ trap cleanup EXIT
 # must land in PIDS for cleanup). $1 = log prefix, rest = extra flags.
 start_daemon() {
   local prefix=$1; shift
-  "$REESED" --port 0 "$@" > "$WORK/$prefix.out" 2> "$WORK/$prefix.err" &
+  "$REESED" --port 0 --log-file "$WORK/$prefix.log" "$@" \
+      > "$WORK/$prefix.out" 2> "$WORK/$prefix.err" &
   DAEMON_PID=$!
   PIDS+=("$DAEMON_PID")
   DAEMON_PORT=""
@@ -64,24 +79,95 @@ start_daemon worker2 --workers 2
 W2_PORT=$DAEMON_PORT
 start_daemon coordinator --coordinator \
     --worker "127.0.0.1:$W1_PORT" --worker "127.0.0.1:$W2_PORT" \
-    --shards-per-worker 3
+    --shards-per-worker 3 \
+    --fleet-trace-out "$WORK/fleet_trace.json"
 CO_PORT=$DAEMON_PORT
 
 id=$("$CLIENT" --port "$CO_PORT" submit-campaign "$WORK/spec.json")
+
+# Sample the per-shard progress rollup while the campaign runs; the
+# monotonicity check below proves re-dispatch never drags it backwards.
+( while "$CLIENT" --port "$CO_PORT" progress "$id" \
+        >> "$WORK/progress_samples.jsonl" 2>/dev/null; do
+    sleep 0.1
+  done ) &
+SAMPLER_PID=$!
+PIDS+=("$SAMPLER_PID")
+
 sleep 0.3
 kill -9 "$W1_PID"
 echo "   killed worker 1 (pid $W1_PID) mid-campaign"
+
+# Federated metrics answer mid-campaign, not just at rest.
+"$CLIENT" --port "$CO_PORT" fleet-metrics > "$WORK/fleet_metrics_midrun.txt"
+grep -q "^reese_fleet_worker_up" "$WORK/fleet_metrics_midrun.txt" || {
+  echo "fleet_smoke: mid-run federation lacks worker_up gauges" >&2; exit 1; }
+
 state=$("$CLIENT" --port "$CO_PORT" wait "$id" --poll-ms 50)
 [[ "$state" == "done" ]] || {
   echo "fleet_smoke: campaign ended in state $state" >&2
-  cat "$WORK/coordinator.err" >&2
+  cat "$WORK/coordinator.log" >&2
   exit 1
 }
+kill "$SAMPLER_PID" 2>/dev/null || true
 "$CLIENT" --port "$CO_PORT" result "$id" > "$WORK/fleet.json"
 "$CLIENT" --port "$CO_PORT" result "$id" --csv > "$WORK/fleet.csv"
 
-grep -q "re-dispatching shard" "$WORK/coordinator.err" || \
+echo "== structured log: the death is an event, not prose"
+if grep -q '"kind": "worker_dead"' "$WORK/coordinator.log"; then
+  grep -q '"kind": "shard_redispatch"\|"kind": "worker_dead"' \
+    "$WORK/coordinator.log"
+else
   echo "   note: worker died between shards (no re-dispatch needed)"
+fi
+# Lifecycle events always present, and no stderr narration remains.
+for kind in campaign_start shard_dispatch shard_merged campaign_done; do
+  grep -q "\"kind\": \"$kind\"" "$WORK/coordinator.log" || {
+    echo "fleet_smoke: coordinator.log lacks $kind event" >&2; exit 1; }
+done
+[[ ! -s "$WORK/coordinator.err" ]] || {
+  echo "fleet_smoke: coordinator wrote to stderr:" >&2
+  cat "$WORK/coordinator.err" >&2; exit 1; }
+
+echo "== fleet timeline validates"
+python3 tools/trace_check.py "$WORK/fleet_trace.json"
+
+echo "== progress rollup is monotonic"
+python3 - "$WORK/progress_samples.jsonl" <<'PY'
+import json, sys
+last = -1
+samples = 0
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line:
+        continue
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError:
+        continue  # sampler raced daemon shutdown; partial line
+    samples += 1
+    done = doc.get("cells_done", 0)
+    if done < last:
+        sys.exit(f"progress went backwards: {done} after {last}")
+    last = done
+    for shard in doc.get("shards", []):
+        if shard["state"] not in ("queued", "dispatched", "running",
+                                  "re-dispatched", "merged"):
+            sys.exit(f"unknown shard state {shard['state']!r}")
+print(f"   {samples} samples, cells_done peaked at {last}")
+PY
+
+echo "== federated metrics are deterministic at rest"
+"$CLIENT" --port "$CO_PORT" fleet-metrics > "$WORK/fleet_metrics_a.txt"
+"$CLIENT" --port "$CO_PORT" fleet-metrics > "$WORK/fleet_metrics_b.txt"
+cmp "$WORK/fleet_metrics_a.txt" "$WORK/fleet_metrics_b.txt" || {
+  echo "fleet_smoke: back-to-back federated scrapes diverged" >&2; exit 1; }
+grep -q "reese_fleet_worker_up{worker=\"127.0.0.1:$W1_PORT\"} 0" \
+  "$WORK/fleet_metrics_a.txt" || {
+  echo "fleet_smoke: dead worker not reported down in federation" >&2
+  exit 1; }
+grep -q "worker=\"127.0.0.1:$W2_PORT\"" "$WORK/fleet_metrics_a.txt" || {
+  echo "fleet_smoke: surviving worker missing from federation" >&2; exit 1; }
 
 cmp "$WORK/fleet.json" "$WORK/single.json" || {
   echo "fleet_smoke: json diverged from the single-node run" >&2; exit 1; }

@@ -13,15 +13,18 @@
 // §15): campaign specs shard along the replica axis, shards dispatch over
 // keep-alive HTTP, dead workers' shards re-dispatch to survivors, and the
 // merged result is byte-identical to a single-node run. Experiments still
-// run locally.
+// run locally. Coordinators additionally federate worker metrics behind
+// GET /v1/fleet/metrics and can emit a fleet-timeline Chrome trace
+// (DESIGN.md §17).
 //
 // Usage: reesed [--host ADDR] [--port N] [--workers N] [--queue-capacity N]
 //               [--grid-jobs N] [--max-instructions N] [--max-cells N]
 //               [--timeout-s SECONDS] [--auth-token TOK]...
 //               [--tenant-max-active N] [--retain-jobs N]
+//               [--log-file PATH] [--log-level LEVEL]
 //               [--coordinator] [--worker HOST:PORT]...
 //               [--workers-file PATH] [--fleet-token TOK]
-//               [--shards-per-worker N]
+//               [--shards-per-worker N] [--fleet-trace-out PATH]
 //
 //   --host ADDR            bind address (default 127.0.0.1)
 //   --port N               TCP port; 0 picks an ephemeral port (default 8642)
@@ -42,6 +45,10 @@
 //   --retain-jobs N        finished jobs kept for result fetches; pruning
 //                          prefers already-fetched results, and a pruned id
 //                          answers 410 Gone (default 256)
+//   --log-file PATH        append structured JSON-lines events to PATH
+//                          instead of stderr (DESIGN.md §17)
+//   --log-level LEVEL      drop events below LEVEL: debug, info, warn or
+//                          error (default info)
 //   --coordinator          dispatch campaign jobs to the worker fleet
 //   --worker HOST:PORT     add a fleet worker (repeatable)
 //   --workers-file PATH    read workers, one HOST:PORT per line ('#'
@@ -51,10 +58,14 @@
 //   --shards-per-worker N  campaign shards per worker; >1 shrinks the unit
 //                          of re-dispatched work after a worker death
 //                          (default 2)
+//   --fleet-trace-out PATH write each fleet campaign's timeline as Chrome
+//                          trace JSON to PATH (coordinator only; validate
+//                          with tools/trace_check.py)
 //
 // Prints exactly one "reesed: listening on HOST:PORT" line once the socket
-// is bound (tests parse it to discover the ephemeral port). SIGTERM and
-// SIGINT stop the accept loop, drain the admitted jobs, print final stats
+// is bound (tests parse it to discover the ephemeral port); everything
+// else the daemon has to say is a structured log event. SIGTERM and
+// SIGINT stop the accept loop, drain the admitted jobs, log final stats
 // and exit 0.
 #include <csignal>
 #include <cstdio>
@@ -62,6 +73,8 @@
 #include <cstring>
 
 #include "common/http.h"
+#include "common/log.h"
+#include "common/strutil.h"
 #include "common/thread_pool.h"
 #include "sim/fleet.h"
 #include "sim/service.h"
@@ -77,9 +90,35 @@ void handle_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
 }
 
+/// Config errors are events too: one error-level line, then exit 2.
+[[noreturn]] void config_error(const std::string& message) {
+  log::global().error("config", message);
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The log sink and level apply before any other flag is parsed, so a
+  // bad --worker on the same command line already lands in the right
+  // place (a pre-scan: flag order must not matter).
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--log-file") == 0) {
+      if (!log::global().open_file(argv[i + 1])) {
+        // open_file leaves the sink on stderr, so this event is visible.
+        config_error(format("cannot open log file %s", argv[i + 1]));
+      }
+    } else if (std::strcmp(argv[i], "--log-level") == 0) {
+      log::Level level;
+      if (!log::level_from_name(argv[i + 1], &level)) {
+        config_error(format("--log-level must be debug, info, warn or "
+                            "error, got %s",
+                            argv[i + 1]));
+      }
+      log::global().set_level(level);
+    }
+  }
+
   std::string host = "127.0.0.1";
   int port = 8642;
   sim::ServiceConfig config;
@@ -90,8 +129,7 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     auto next_value = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "reesed: %s needs a value\n", arg);
-        std::exit(2);
+        config_error(format("%s needs a value", arg));
       }
       return argv[++i];
     };
@@ -124,51 +162,50 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--retain-jobs") == 0) {
       config.max_retained_jobs =
           static_cast<usize>(std::strtoull(next_value(), nullptr, 10));
+    } else if (std::strcmp(arg, "--log-file") == 0 ||
+               std::strcmp(arg, "--log-level") == 0) {
+      next_value();  // applied by the pre-scan above
     } else if (std::strcmp(arg, "--coordinator") == 0) {
       coordinator = true;
     } else if (std::strcmp(arg, "--worker") == 0) {
       sim::fleet::Worker worker;
       std::string error;
       if (!sim::fleet::parse_worker_address(next_value(), &worker, &error)) {
-        std::fprintf(stderr, "reesed: %s\n", error.c_str());
-        return 2;
+        config_error(error);
       }
       fleet.workers.push_back(std::move(worker));
     } else if (std::strcmp(arg, "--workers-file") == 0) {
       std::string error;
       if (!sim::fleet::load_workers_file(next_value(), &fleet.workers,
                                          &error)) {
-        std::fprintf(stderr, "reesed: %s\n", error.c_str());
-        return 2;
+        config_error(error);
       }
     } else if (std::strcmp(arg, "--fleet-token") == 0) {
       fleet.auth_token = next_value();
     } else if (std::strcmp(arg, "--shards-per-worker") == 0) {
       const long value = std::strtol(next_value(), nullptr, 10);
       if (value < 1) {
-        std::fprintf(stderr, "reesed: --shards-per-worker must be >= 1\n");
-        return 2;
+        config_error("--shards-per-worker must be >= 1");
       }
       fleet.shards_per_worker = static_cast<u32>(value);
+    } else if (std::strcmp(arg, "--fleet-trace-out") == 0) {
+      fleet.trace_path = next_value();
     } else {
-      std::fprintf(stderr, "reesed: unknown argument %s\n", arg);
-      return 2;
+      config_error(format("unknown argument %s", arg));
     }
   }
   if (port < 0 || port > 65535) {
-    std::fprintf(stderr, "reesed: --port %d is not in [0, 65535]\n", port);
-    return 2;
+    config_error(format("--port %d is not in [0, 65535]", port));
   }
   if (coordinator && fleet.workers.empty()) {
-    std::fprintf(stderr,
-                 "reesed: --coordinator needs at least one --worker (or a "
-                 "--workers-file)\n");
-    return 2;
+    config_error("--coordinator needs at least one --worker (or a "
+                 "--workers-file)");
   }
   if (!coordinator && !fleet.workers.empty()) {
-    std::fprintf(stderr, "reesed: --worker/--workers-file need "
-                         "--coordinator\n");
-    return 2;
+    config_error("--worker/--workers-file need --coordinator");
+  }
+  if (!coordinator && !fleet.trace_path.empty()) {
+    config_error("--fleet-trace-out needs --coordinator");
   }
 
   if (coordinator) {
@@ -180,8 +217,15 @@ int main(int argc, char** argv) {
                                      std::string* error) {
       return sim::fleet::run_fleet_campaign(fleet, spec, result, error);
     };
-    std::fprintf(stderr, "reesed: coordinating %zu workers\n",
-                 fleet.workers.size());
+    config.fleet_collector = [fleet](metrics::Registry* registry,
+                                     std::string* error) {
+      return sim::fleet::collect_fleet_metrics(fleet, registry, error);
+    };
+    log::global().info(
+        "coordinator_start",
+        format("coordinating %zu workers", fleet.workers.size()),
+        {log::field("workers", static_cast<u64>(fleet.workers.size())),
+         log::field("shards_per_worker", fleet.shards_per_worker)});
   }
 
   sim::SimulationService service(config);
@@ -200,17 +244,19 @@ int main(int argc, char** argv) {
   server.serve();
 
   // Stop requested: refuse new work, finish what was admitted, report.
-  std::fprintf(stderr, "reesed: draining in-flight jobs\n");
+  log::global().info("draining", "draining in-flight jobs");
   service.drain();
   const sim::ServiceStats stats = service.stats();
-  std::fprintf(stderr,
-               "reesed: shut down (submitted %llu, completed %llu, "
-               "timeouts %llu, failed %llu, rejected %llu, %.1f kIPS)\n",
-               static_cast<unsigned long long>(stats.submitted),
-               static_cast<unsigned long long>(stats.completed),
-               static_cast<unsigned long long>(stats.timeouts),
-               static_cast<unsigned long long>(stats.failed),
-               static_cast<unsigned long long>(stats.rejected_queue_full),
-               stats.kips());
+  log::global().info(
+      "shutdown",
+      format("shut down (submitted %llu, completed %llu, %.1f kIPS)",
+             static_cast<unsigned long long>(stats.submitted),
+             static_cast<unsigned long long>(stats.completed), stats.kips()),
+      {log::field("submitted", stats.submitted),
+       log::field("completed", stats.completed),
+       log::field("timeouts", stats.timeouts),
+       log::field("failed", stats.failed),
+       log::field("rejected", stats.rejected_queue_full),
+       log::field("kips", stats.kips())});
   return 0;
 }
